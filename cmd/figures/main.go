@@ -1,0 +1,223 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (Tables II–III, Figures 2–8, and the Section V-E trie
+// calibration) and prints them as aligned tables or CSV.
+//
+// Usage:
+//
+//	figures [-exp all|tableII|tableIII|triecal|fig2|fig3|fig4|fig5|fig6|fig7|fig8] [-grade both|-2|-1L] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"vrpower/internal/experiments"
+	"vrpower/internal/fpga"
+	"vrpower/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, tableII, tableIII, triecal, fig2..fig8, stride, tcam, updates, devicefit, multiway, qos, braiding, loadsweep, ortc, calspread)")
+	gradeFlag := flag.String("grade", "both", "speed grade for fig5-fig8: both, -2 or -1L")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	outdir := flag.String("outdir", "", "also write each experiment's CSV into this directory")
+	flag.Parse()
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	written := map[string]int{}
+
+	grades, err := parseGrades(*gradeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	currentExp := ""
+	emitTable := func(t *report.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+		if *outdir != "" {
+			name := currentExp
+			if written[currentExp] > 0 {
+				name = fmt.Sprintf("%s_%d", currentExp, written[currentExp])
+			}
+			written[currentExp]++
+			path := filepath.Join(*outdir, name+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	emitFigure := func(f *report.Figure) { emitTable(f.Table()) }
+
+	run := map[string]func() error{
+		"tableII":  func() error { emitTable(experiments.TableII()); return nil },
+		"tableIII": func() error { emitTable(experiments.TableIII()); return nil },
+		"triecal": func() error {
+			t, err := experiments.TrieCalibration()
+			if err != nil {
+				return err
+			}
+			emitTable(t)
+			return nil
+		},
+		"fig2": func() error { emitFigure(experiments.Fig2()); return nil },
+		"fig3": func() error { emitFigure(experiments.Fig3()); return nil },
+		"fig4": func() error {
+			ptr, nhi, err := experiments.Fig4()
+			if err != nil {
+				return err
+			}
+			emitFigure(ptr)
+			emitFigure(nhi)
+			return nil
+		},
+		"stride": func() error {
+			t, err := experiments.StrideComparison()
+			if err != nil {
+				return err
+			}
+			emitTable(t)
+			return nil
+		},
+		"tcam": func() error {
+			t, err := experiments.TCAMComparison()
+			if err != nil {
+				return err
+			}
+			emitTable(t)
+			return nil
+		},
+		"updates": func() error {
+			t, err := experiments.UpdateCost()
+			if err != nil {
+				return err
+			}
+			emitTable(t)
+			return nil
+		},
+		"devicefit": func() error {
+			t, err := experiments.DeviceFit()
+			if err != nil {
+				return err
+			}
+			emitTable(t)
+			return nil
+		},
+		"multiway": func() error {
+			t, err := experiments.MultiwayComparison()
+			if err != nil {
+				return err
+			}
+			emitTable(t)
+			return nil
+		},
+		"qos": func() error {
+			t, err := experiments.QoSIsolation()
+			if err != nil {
+				return err
+			}
+			emitTable(t)
+			return nil
+		},
+		"braiding": func() error {
+			t, err := experiments.BraidingComparison()
+			if err != nil {
+				return err
+			}
+			emitTable(t)
+			return nil
+		},
+		"loadsweep": func() error {
+			f, err := experiments.LoadSweep()
+			if err != nil {
+				return err
+			}
+			emitFigure(f)
+			return nil
+		},
+		"ortc": func() error {
+			t, err := experiments.CompactionEffect()
+			if err != nil {
+				return err
+			}
+			emitTable(t)
+			return nil
+		},
+		"calspread": func() error {
+			t, err := experiments.CalibrationSpread()
+			if err != nil {
+				return err
+			}
+			emitTable(t)
+			return nil
+		},
+		"grouped": func() error {
+			t, err := experiments.GroupedMerge()
+			if err != nil {
+				return err
+			}
+			emitTable(t)
+			return nil
+		},
+		"fig5": perGrade(grades, experiments.Fig5, emitFigure),
+		"fig6": perGrade(grades, experiments.Fig6, emitFigure),
+		"fig7": perGrade(grades, experiments.Fig7, emitFigure),
+		"fig8": perGrade(grades, experiments.Fig8, emitFigure),
+	}
+
+	order := []string{"tableII", "tableIII", "triecal", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "stride", "tcam", "updates", "devicefit", "multiway", "qos", "braiding", "loadsweep", "ortc", "calspread", "grouped"}
+	if *exp == "all" {
+		for _, name := range order {
+			currentExp = name
+			if err := run[name](); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}
+		return
+	}
+	fn, ok := run[*exp]
+	if !ok {
+		log.Printf("unknown experiment %q; available: all %v", *exp, order)
+		os.Exit(2)
+	}
+	currentExp = *exp
+	if err := fn(); err != nil {
+		log.Fatalf("%s: %v", *exp, err)
+	}
+}
+
+func parseGrades(s string) ([]fpga.SpeedGrade, error) {
+	switch s {
+	case "both":
+		return fpga.Grades(), nil
+	case "-2":
+		return []fpga.SpeedGrade{fpga.Grade2}, nil
+	case "-1L":
+		return []fpga.SpeedGrade{fpga.Grade1L}, nil
+	}
+	return nil, fmt.Errorf(`grade %q: want "both", "-2" or "-1L"`, s)
+}
+
+func perGrade(grades []fpga.SpeedGrade, gen func(fpga.SpeedGrade) (*report.Figure, error), emit func(*report.Figure)) func() error {
+	return func() error {
+		for _, g := range grades {
+			f, err := gen(g)
+			if err != nil {
+				return err
+			}
+			emit(f)
+		}
+		return nil
+	}
+}

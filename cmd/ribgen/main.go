@@ -1,0 +1,89 @@
+// Command ribgen generates synthetic BGP-like routing tables (the Potaroo
+// substitute of Section V-E) and writes them in the repo's text format.
+//
+// Usage:
+//
+//	ribgen -n 3725 -seed 1 [-o table.rib] [-stats]
+//	ribgen -k 8 -share 0.6 -o vn            # writes vn0.rib .. vn7.rib
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vrpower/internal/rib"
+	"vrpower/internal/trie"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ribgen: ")
+	var (
+		n     = flag.Int("n", 3725, "number of routes")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		out   = flag.String("o", "", "output file (default stdout); with -k > 1, the prefix for <o><i>.rib")
+		k     = flag.Int("k", 1, "generate a K-table virtual set")
+		share = flag.Float64("share", 0.6, "prefix-space share across the virtual set")
+		stats = flag.Bool("stats", false, "print trie statistics instead of routes")
+	)
+	flag.Parse()
+
+	if *k > 1 {
+		set, err := rib.GenerateVirtualSet(*k, *n, *share, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *out == "" {
+			log.Fatal("-k > 1 requires -o <prefix>")
+		}
+		for i, tbl := range set.Tables {
+			name := fmt.Sprintf("%s%d.rib", *out, i)
+			if err := writeTable(tbl, name); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%d routes)\n", name, tbl.Len())
+		}
+		return
+	}
+
+	tbl, err := rib.Generate("ribgen", rib.DefaultGen(*n, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		tr := trie.Build(tbl.Routes)
+		plain := tr.Stats()
+		tr.LeafPush()
+		pushed := tr.Stats()
+		fmt.Printf("routes:             %d\n", tbl.Len())
+		fmt.Printf("trie nodes:         %d\n", plain.Nodes)
+		fmt.Printf("trie leaves:        %d\n", plain.Leaves)
+		fmt.Printf("leaf-pushed nodes:  %d\n", pushed.Nodes)
+		fmt.Printf("height:             %d\n", plain.Height)
+		return
+	}
+	if *out == "" {
+		if err := tbl.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := writeTable(tbl, *out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d routes)\n", *out, tbl.Len())
+}
+
+func writeTable(tbl *rib.Table, name string) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := tbl.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,81 @@
+// Command vrplan answers the deployment question the paper's models enable:
+// given K networks and a per-network throughput requirement, which router
+// organisation, speed grade and Virtex-6 family member burns the least
+// power? It searches every configuration the library can build and prints
+// the cheapest feasible ones plus the power/throughput Pareto frontier.
+//
+// Usage:
+//
+//	vrplan -k 8 -gbps 10 [-alpha 0.5] [-prefixes 3725] [-top 5] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vrpower/internal/core"
+	"vrpower/internal/planner"
+	"vrpower/internal/report"
+	"vrpower/internal/rib"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vrplan: ")
+	var (
+		k        = flag.Int("k", 8, "number of (virtual) networks")
+		gbps     = flag.Float64("gbps", 10, "required worst-case Gbps per network (40 B packets)")
+		alpha    = flag.Float64("alpha", 0.5, "expected merging efficiency for the merged scheme")
+		prefixes = flag.Int("prefixes", 3725, "routes per network table")
+		top      = flag.Int("top", 5, "how many candidates to print")
+		seed     = flag.Int64("seed", 1, "table generator seed")
+	)
+	flag.Parse()
+
+	tbl, err := rib.Generate("profile", rib.DefaultGen(*prefixes, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := planner.Requirements{
+		K:         *k,
+		PerVNGbps: *gbps,
+		Profile:   core.ProfileOf(tbl),
+		Alpha:     *alpha,
+	}
+	cands, err := planner.Plan(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(cands) == 0 {
+		log.Fatalf("no feasible configuration for K=%d at %.1f Gbps per network (α=%.2f)",
+			*k, *gbps, *alpha)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Cheapest feasible deployments: K=%d, ≥%.1f Gbps per network, α=%.2f",
+			*k, *gbps, *alpha),
+		"Rank", "Configuration", "Power (W)", "Per-VN Gbps", "Aggregate Gbps", "mW/Gbps", "Latency (ns)")
+	for i, c := range cands {
+		if i >= *top {
+			break
+		}
+		t.AddF(i+1, c.Describe(),
+			fmt.Sprintf("%.3f", c.MeasuredW),
+			fmt.Sprintf("%.1f", c.GuaranteedPerVNGbps),
+			fmt.Sprintf("%.1f", c.AggregateGbps),
+			fmt.Sprintf("%.2f", c.EffMWPerGbps),
+			fmt.Sprintf("%.1f", c.LatencyNS))
+	}
+	fmt.Println(t.String())
+
+	fr := planner.Frontier(cands)
+	ft := report.NewTable("Power/throughput Pareto frontier",
+		"Configuration", "Power (W)", "Per-VN Gbps")
+	for _, c := range fr {
+		ft.AddF(c.Describe(), fmt.Sprintf("%.3f", c.MeasuredW), fmt.Sprintf("%.1f", c.GuaranteedPerVNGbps))
+	}
+	fmt.Println(ft.String())
+	fmt.Printf("%d feasible configurations evaluated; cheapest: %s at %.3f W\n",
+		len(cands), cands[0].Describe(), cands[0].MeasuredW)
+}

@@ -1,0 +1,208 @@
+// Command vrpower estimates the Layer-3 power of one router configuration:
+// scheme, number of virtual networks, speed grade and merging efficiency.
+// It prints the analytical model (Eq. 2/4/6), the emulated post
+// place-and-route measurement, the achievable clock and the paper's
+// efficiency metric.
+//
+// Usage:
+//
+//	vrpower -scheme VS -k 8 -grade -2 [-alpha 0.8] [-prefixes 3725]
+//	        [-empirical] [-share 0.6] [-stages 28] [-bram36] [-no-gating] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vrpower/internal/core"
+	"vrpower/internal/fpga"
+	"vrpower/internal/power"
+	"vrpower/internal/report"
+	"vrpower/internal/rib"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vrpower: ")
+	var (
+		schemeFlag = flag.String("scheme", "VS", "router scheme: NV, VS or VM")
+		k          = flag.Int("k", 4, "number of (virtual) networks")
+		gradeFlag  = flag.String("grade", "-2", `speed grade: "-2" or "-1L"`)
+		alpha      = flag.Float64("alpha", 0.8, "merging efficiency for VM (0..1)")
+		prefixes   = flag.Int("prefixes", 3725, "routes per network table")
+		empirical  = flag.Bool("empirical", false, "build real tables and compiled engines instead of the analytic model")
+		share      = flag.Float64("share", 0.6, "prefix-space share across networks for -empirical")
+		stages     = flag.Int("stages", core.DefaultStages, "pipeline depth N")
+		bram36     = flag.Bool("bram36", false, "pack memories into 36 Kb blocks instead of 18 Kb")
+		noGating   = flag.Bool("no-gating", false, "disable clock gating of idle engines")
+		balanced   = flag.Bool("balanced", false, "memory-balanced level-to-stage mapping (refs [7,8])")
+		distram    = flag.Int64("distram", 0, "map stages of at most this many bits to distributed RAM (0 = BRAM only)")
+		deviceName = flag.String("device", "XC6VLX760", "target Virtex-6 family member")
+		compare    = flag.Bool("compare", false, "print all three schemes side by side instead of one")
+		seed       = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	scheme, err := parseScheme(*schemeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grade, err := parseGrade(*gradeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	device, err := findDevice(*deviceName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{
+		Scheme:           scheme,
+		K:                *k,
+		Grade:            grade,
+		Stages:           *stages,
+		ClockGating:      !*noGating,
+		Balanced:         *balanced,
+		DistRAMThreshold: *distram,
+		Device:           device,
+	}
+	if *bram36 {
+		cfg.Mode = fpga.BRAM36Mode
+	}
+
+	if *compare {
+		if err := printComparison(cfg, *prefixes, *alpha, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var r *core.Router
+	if *empirical {
+		set, err := rib.GenerateVirtualSet(*k, *prefixes, *share, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err = core.Build(cfg, set.Tables)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		tbl, err := rib.Generate("profile", rib.DefaultGen(*prefixes, *seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err = core.BuildAnalytic(cfg, core.ProfileOf(tbl), *alpha)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	model, err := r.ModelPower()
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured, err := r.MeasuredPower(power.NewAnalyzer())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("%s, K=%d, grade %s, %d stages", scheme, *k, grade, cfg.Stages),
+		"Quantity", "Value")
+	t.AddF("Clock (MHz)", fmt.Sprintf("%.1f", r.Fmax()))
+	t.AddF("Pipeline latency (ns)", fmt.Sprintf("%.1f", r.LatencyNS()))
+	t.AddF("Throughput (Gbps, 40 B packets)", fmt.Sprintf("%.1f", r.ThroughputGbps()))
+	t.AddF("Model power (W)", fmt.Sprintf("%.3f  (static %.2f, logic %.3f, memory %.3f)",
+		model.Total(), model.Static, model.Logic, model.Memory))
+	t.AddF("Measured power (W)", fmt.Sprintf("%.3f", measured.Total()))
+	t.AddF("Model error (%)", fmt.Sprintf("%+.2f", power.PercentError(model.Total(), measured.Total())))
+	t.AddF("Efficiency (mW/Gbps)", fmt.Sprintf("%.2f",
+		power.MilliwattsPerGbps(measured.Total(), r.ThroughputGbps())))
+	t.AddF("Pointer memory (Mb)", fmt.Sprintf("%.2f", float64(r.PointerBits())/(1024*1024)))
+	t.AddF("NHI memory (Mb)", fmt.Sprintf("%.2f", float64(r.NHIBits())/(1024*1024)))
+	pl := r.Placement()
+	t.AddF("Logic utilization", fmt.Sprintf("%.1f%%", pl.LogicUtilization()*100))
+	t.AddF("BRAM utilization", fmt.Sprintf("%.1f%%", pl.BRAMUtilization()*100))
+	t.AddF("Devices", r.Design().Devices)
+	fmt.Println(t.String())
+}
+
+// findDevice resolves a Virtex-6 family member by name.
+func findDevice(name string) (fpga.Device, error) {
+	for _, d := range fpga.Family() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	names := make([]string, 0, len(fpga.Family()))
+	for _, d := range fpga.Family() {
+		names = append(names, d.Name)
+	}
+	return fpga.Device{}, fmt.Errorf("device %q: want one of %v", name, names)
+}
+
+// printComparison evaluates all three schemes under the same configuration.
+func printComparison(cfg core.Config, prefixes int, alpha float64, seed int64) error {
+	tbl, err := rib.Generate("profile", rib.DefaultGen(prefixes, seed))
+	if err != nil {
+		return err
+	}
+	prof := core.ProfileOf(tbl)
+	a := power.NewAnalyzer()
+	t := report.NewTable(
+		fmt.Sprintf("All schemes, K=%d, grade %s, α=%.0f%% for VM", cfg.K, cfg.Grade, alpha*100),
+		"Scheme", "Clock (MHz)", "Power (W)", "Measured (W)", "Gbps", "mW/Gbps", "Latency (ns)")
+	for _, sc := range core.Schemes() {
+		c := cfg
+		c.Scheme = sc
+		al := 0.0
+		if sc == core.VM {
+			al = alpha
+		}
+		r, err := core.BuildAnalytic(c, prof, al)
+		if err != nil {
+			t.AddF(sc.String(), "-", "-", "-", "-", "-", fmt.Sprintf("(%v)", err))
+			continue
+		}
+		model, err := r.ModelPower()
+		if err != nil {
+			return err
+		}
+		meas, err := r.MeasuredPower(a)
+		if err != nil {
+			return err
+		}
+		t.AddF(sc.String(),
+			fmt.Sprintf("%.1f", r.Fmax()),
+			fmt.Sprintf("%.3f", model.Total()),
+			fmt.Sprintf("%.3f", meas.Total()),
+			fmt.Sprintf("%.1f", r.ThroughputGbps()),
+			fmt.Sprintf("%.2f", power.MilliwattsPerGbps(meas.Total(), r.ThroughputGbps())),
+			fmt.Sprintf("%.1f", r.LatencyNS()))
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func parseScheme(s string) (core.Scheme, error) {
+	switch s {
+	case "NV":
+		return core.NV, nil
+	case "VS":
+		return core.VS, nil
+	case "VM":
+		return core.VM, nil
+	}
+	return 0, fmt.Errorf("scheme %q: want NV, VS or VM", s)
+}
+
+func parseGrade(s string) (fpga.SpeedGrade, error) {
+	switch s {
+	case "-2":
+		return fpga.Grade2, nil
+	case "-1L":
+		return fpga.Grade1L, nil
+	}
+	return 0, fmt.Errorf(`grade %q: want "-2" or "-1L"`, s)
+}

@@ -1,0 +1,81 @@
+// Elastic virtual networks: an ISP grows its virtualized router one tenant
+// at a time. This example drives the control-plane lifecycle manager —
+// adding networks until the device is exhausted, applying routing churn,
+// and retiring a tenant — and contrasts what each operation costs on the
+// separate vs merged data planes (the asymmetry behind the paper's
+// scalability discussion in Sections IV-B/IV-C).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrpower"
+)
+
+func main() {
+	log.SetFlags(0)
+	const prefixes = 500
+
+	newTable := func(seed int64) *vrpower.Table {
+		tbl, err := vrpower.Generate(fmt.Sprintf("tenant%d", seed), vrpower.DefaultGen(prefixes, seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return tbl
+	}
+
+	for _, scheme := range []vrpower.Scheme{vrpower.VS, vrpower.VM} {
+		fmt.Printf("=== %s data plane ===\n", scheme)
+		mgr, err := vrpower.NewManager(vrpower.Config{
+			Scheme: scheme, Grade: vrpower.Grade2, ClockGating: true,
+		}, []*vrpower.Table{newTable(1), newTable(2)})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Onboard tenants until the device says no.
+		seed := int64(3)
+		for {
+			ev, err := mgr.AddNetwork(newTable(seed))
+			if err != nil {
+				fmt.Printf("  add tenant %d: %v\n", mgr.K()+1, err)
+				break
+			}
+			seed++
+			if mgr.K() <= 5 || mgr.K()%5 == 0 {
+				b, _ := mgr.Router().ModelPower()
+				fmt.Printf("  add tenant -> K=%2d: %d words written, %d nets disrupted, %.2f W\n",
+					ev.K, ev.Writes, ev.DisruptedNetworks, b.Total())
+			}
+			if mgr.K() >= 24 {
+				fmt.Printf("  ... stopping the experiment at K=%d\n", mgr.K())
+				break
+			}
+		}
+
+		// A tenant's BGP session flaps: 50 updates arrive.
+		ops, err := vrpower.GenerateChurn(mgr.Tables()[0], 50, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := mgr.ApplyUpdates(0, ops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  churn (50 ops on tenant 0): %d writes, %d bubbles, %d nets disrupted\n",
+			ev.Writes, ev.Bubbles, ev.DisruptedNetworks)
+
+		// A tenant leaves.
+		ev, err = mgr.RemoveNetwork(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  remove tenant 1: K=%d, %d nets disrupted\n\n", ev.K, ev.DisruptedNetworks)
+	}
+
+	fmt.Println("The separate plane isolates every change to one tenant but hits")
+	fmt.Println("the I/O wall at 15 engines; the merged plane keeps growing yet")
+	fmt.Println("every change shakes all tenants — the paper's scalability")
+	fmt.Println("trade-off, seen from the control plane.")
+}

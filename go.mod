@@ -1,0 +1,3 @@
+module vrpower
+
+go 1.22

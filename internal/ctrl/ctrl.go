@@ -1,0 +1,283 @@
+// Package ctrl implements the control-plane side of router virtualization
+// the paper delegates to "existing OS virtualization techniques" (Section
+// II-A): a lifecycle manager that adds and removes virtual networks on a
+// running virtualized router and accounts the data-plane reconfiguration
+// each change costs. The scheme asymmetry the paper highlights shows up
+// directly: the separate scheme adds a network by placing one new engine
+// (nobody else is disturbed, until I/O pins run out), while the merged
+// scheme must rebuild and reload the shared structure, disrupting every
+// network, but scales further in memory.
+package ctrl
+
+import (
+	"fmt"
+
+	"vrpower/internal/core"
+	"vrpower/internal/merge"
+	"vrpower/internal/pipeline"
+	"vrpower/internal/rib"
+	"vrpower/internal/trie"
+	"vrpower/internal/update"
+)
+
+// Action is a lifecycle operation kind.
+type Action int
+
+const (
+	// Add brings a new virtual network into service.
+	Add Action = iota
+	// Remove retires a virtual network.
+	Remove
+	// Update applies routing churn to one network.
+	Update
+)
+
+// String names the action.
+func (a Action) String() string {
+	switch a {
+	case Add:
+		return "add"
+	case Remove:
+		return "remove"
+	case Update:
+		return "update"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Event records one lifecycle operation and its data-plane cost.
+type Event struct {
+	Action Action
+	// VN is the affected network's index (post-operation for Add).
+	VN int
+	// K is the network count after the operation.
+	K int
+	// DisruptedNetworks counts networks whose forwarding pauses while the
+	// change is applied: 1 for a separate-engine load, K for a merged
+	// structure swap.
+	DisruptedNetworks int
+	// Writes is the number of stage-memory words written.
+	Writes int
+	// Bubbles is the number of pipeline write bubbles (lookup slots lost).
+	Bubbles int
+}
+
+// Manager hosts a virtualized router (VS or VM) and mutates its set of
+// virtual networks at runtime.
+type Manager struct {
+	cfg    core.Config
+	tables []*rib.Table
+	router *core.Router
+	events []Event
+	// sm pins a fixed stage map so image diffs across rebuilds are
+	// comparable word-for-word.
+	sm trie.StageMap
+}
+
+// New builds the manager around an initial set of networks. Only the
+// virtualized schemes are dynamic; NV changes mean racking a new device,
+// which needs no manager.
+func New(cfg core.Config, tables []*rib.Table) (*Manager, error) {
+	if cfg.Scheme == core.NV {
+		return nil, fmt.Errorf("ctrl: the non-virtualized scheme has no runtime lifecycle")
+	}
+	cfg.K = len(tables)
+	stages := cfg.Stages
+	if stages == 0 {
+		stages = core.DefaultStages
+	}
+	sm, err := trie.NewStageMap(stages, 32)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{cfg: cfg, sm: sm}
+	m.tables = append(m.tables, tables...)
+	if err := m.rebuild(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// rebuild reconstructs the router for the current table set.
+func (m *Manager) rebuild() error {
+	cfg := m.cfg
+	cfg.K = len(m.tables)
+	r, err := core.Build(cfg, m.tables)
+	if err != nil {
+		return err
+	}
+	m.router = r
+	return nil
+}
+
+// Router returns the currently running router.
+func (m *Manager) Router() *core.Router { return m.router }
+
+// K returns the number of networks in service.
+func (m *Manager) K() int { return len(m.tables) }
+
+// Events returns the lifecycle log.
+func (m *Manager) Events() []Event { return m.events }
+
+// Tables returns the live tables (shared storage).
+func (m *Manager) Tables() []*rib.Table { return m.tables }
+
+// compileSeparate compiles one table's engine image under the pinned stage
+// map, so diffs across rebuilds compare word-for-word.
+func (m *Manager) compileSeparate(tbl *rib.Table) (*pipeline.Image, error) {
+	tr := trie.Build(tbl.Routes)
+	tr.LeafPush()
+	return pipeline.CompileMapped(tr, m.sm)
+}
+
+// compileMerged compiles the merged image for a table set under the pinned
+// stage map.
+func (m *Manager) compileMerged(tables []*rib.Table) (*pipeline.Image, error) {
+	mg, err := merge.Build(tables)
+	if err != nil {
+		return nil, err
+	}
+	mg.LeafPush()
+	return pipeline.CompileMergedMapped(mg, m.sm)
+}
+
+// AddNetwork brings tbl into service. For VS the new engine is compiled and
+// placed beside the running ones (the add fails with a capacity error when
+// the device is out of I/O or memory, reproducing the paper's VS
+// scalability limit); for VM the merged structure is rebuilt and swapped.
+func (m *Manager) AddNetwork(tbl *rib.Table) (Event, error) {
+	var before *pipeline.Image
+	var err error
+	if m.cfg.Scheme == core.VM {
+		before, err = m.compileMerged(m.tables)
+		if err != nil {
+			return Event{}, err
+		}
+	}
+	m.tables = append(m.tables, tbl)
+	if err := m.rebuild(); err != nil {
+		m.tables = m.tables[:len(m.tables)-1]
+		if rerr := m.rebuild(); rerr != nil {
+			return Event{}, fmt.Errorf("ctrl: add failed (%v) and rollback failed (%v)", err, rerr)
+		}
+		return Event{}, err
+	}
+	ev := Event{Action: Add, VN: len(m.tables) - 1, K: len(m.tables)}
+	if m.cfg.Scheme == core.VS {
+		// Only the new engine loads; running networks are untouched.
+		ev.DisruptedNetworks = 1
+		img, err := m.compileSeparate(tbl)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Writes = imageWords(img)
+		ev.Bubbles = 0 // the engine loads before it is put in service
+	} else {
+		after, err := m.compileMerged(m.tables)
+		if err != nil {
+			return Event{}, err
+		}
+		writes, err := update.Diff(before, after)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.DisruptedNetworks = len(m.tables)
+		ev.Writes = len(writes)
+		ev.Bubbles = update.Bubbles(writes)
+	}
+	m.events = append(m.events, ev)
+	return ev, nil
+}
+
+// RemoveNetwork retires network vn and compacts indices above it.
+func (m *Manager) RemoveNetwork(vn int) (Event, error) {
+	if vn < 0 || vn >= len(m.tables) {
+		return Event{}, fmt.Errorf("ctrl: network %d outside [0,%d)", vn, len(m.tables))
+	}
+	if len(m.tables) == 1 {
+		return Event{}, fmt.Errorf("ctrl: cannot remove the last network")
+	}
+	var before *pipeline.Image
+	var err error
+	if m.cfg.Scheme == core.VM {
+		before, err = m.compileMerged(m.tables)
+		if err != nil {
+			return Event{}, err
+		}
+	}
+	m.tables = append(m.tables[:vn], m.tables[vn+1:]...)
+	if err := m.rebuild(); err != nil {
+		return Event{}, err
+	}
+	ev := Event{Action: Remove, VN: vn, K: len(m.tables)}
+	if m.cfg.Scheme == core.VS {
+		ev.DisruptedNetworks = 1 // the retired network only
+	} else {
+		after, err := m.compileMerged(m.tables)
+		if err != nil {
+			return Event{}, err
+		}
+		writes, err := update.Diff(before, after)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.DisruptedNetworks = len(m.tables) + 1
+		ev.Writes = len(writes)
+		ev.Bubbles = update.Bubbles(writes)
+	}
+	m.events = append(m.events, ev)
+	return ev, nil
+}
+
+// ApplyUpdates applies routing churn to network vn, reporting the write-
+// bubble cost (Section II-A of the companion work [6]).
+func (m *Manager) ApplyUpdates(vn int, ops []update.Op) (Event, error) {
+	if vn < 0 || vn >= len(m.tables) {
+		return Event{}, fmt.Errorf("ctrl: network %d outside [0,%d)", vn, len(m.tables))
+	}
+	var beforeImg *pipeline.Image
+	var err error
+	if m.cfg.Scheme == core.VM {
+		beforeImg, err = m.compileMerged(m.tables)
+	} else {
+		beforeImg, err = m.compileSeparate(m.tables[vn])
+	}
+	if err != nil {
+		return Event{}, err
+	}
+	m.tables[vn] = update.Apply(m.tables[vn], ops)
+	if err := m.rebuild(); err != nil {
+		return Event{}, err
+	}
+	var afterImg *pipeline.Image
+	if m.cfg.Scheme == core.VM {
+		afterImg, err = m.compileMerged(m.tables)
+	} else {
+		afterImg, err = m.compileSeparate(m.tables[vn])
+	}
+	if err != nil {
+		return Event{}, err
+	}
+	writes, err := update.Diff(beforeImg, afterImg)
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{Action: Update, VN: vn, K: len(m.tables), Writes: len(writes), Bubbles: update.Bubbles(writes)}
+	if m.cfg.Scheme == core.VS {
+		ev.DisruptedNetworks = 1
+	} else {
+		ev.DisruptedNetworks = len(m.tables)
+	}
+	m.events = append(m.events, ev)
+	return ev, nil
+}
+
+// imageWords counts the stage-memory words of an image.
+func imageWords(img *pipeline.Image) int {
+	n := 0
+	for _, s := range img.Stages {
+		n += len(s.Entries)
+	}
+	return n
+}

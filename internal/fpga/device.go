@@ -1,0 +1,137 @@
+// Package fpga models the FPGA substrate of the reproduction: the Xilinx
+// Virtex-6 XC6VLX760 device the paper evaluates on (Table II), its two speed
+// grades, resource accounting/placement, and a post place-and-route timing
+// model. The real silicon and CAD flow are not portable, so this package
+// reproduces exactly the quantities the paper's power models consume:
+// resource counts (BRAM blocks, slices, I/O pins) and achievable clock
+// frequency as a function of design size.
+package fpga
+
+import "fmt"
+
+// SpeedGrade selects the device speed/power bin (Section V).
+type SpeedGrade int
+
+const (
+	// Grade2 is speed grade -2: high performance.
+	Grade2 SpeedGrade = iota
+	// Grade1L is speed grade -1L: low power.
+	Grade1L
+)
+
+// String returns the Xilinx-style grade name.
+func (g SpeedGrade) String() string {
+	switch g {
+	case Grade2:
+		return "-2"
+	case Grade1L:
+		return "-1L"
+	default:
+		return fmt.Sprintf("SpeedGrade(%d)", int(g))
+	}
+}
+
+// Grades lists both evaluated speed grades in paper order.
+func Grades() []SpeedGrade { return []SpeedGrade{Grade2, Grade1L} }
+
+// Device describes an FPGA part's resource inventory.
+type Device struct {
+	Name string
+	// LogicCells is the marketing logic-cell count (Table II: 758K).
+	LogicCells int
+	// SliceRegisters is the number of flip-flops available.
+	SliceRegisters int
+	// SliceLUTs is the number of 6-input LUTs available.
+	SliceLUTs int
+	// DistRAMBits is the maximum distributed RAM (Table II: 8 Mb).
+	DistRAMBits int64
+	// BRAMBits is the total Block RAM (Table II: 26 Mb).
+	BRAMBits int64
+	// BRAM36 is the number of 36 Kb BRAM blocks. Each splits into two
+	// independent 18 Kb blocks (Section V-B).
+	BRAM36 int
+	// IOPins is the maximum user I/O pin count (Table II: 1200).
+	IOPins int
+}
+
+// Kb is 1024 bits, the unit Xilinx BRAM sizes use.
+const Kb = 1024
+
+// BRAM block capacities in bits.
+const (
+	BRAM18Bits = 18 * Kb
+	BRAM36Bits = 36 * Kb
+)
+
+// XC6VLX760 returns the Virtex-6 device from Table II of the paper.
+func XC6VLX760() Device {
+	return Device{
+		Name:           "XC6VLX760",
+		LogicCells:     758784,
+		SliceRegisters: 948480,
+		SliceLUTs:      474240,
+		DistRAMBits:    8 * 1024 * Kb,
+		BRAMBits:       26 * 1024 * Kb,
+		BRAM36:         720, // 720 x 36 Kb = 25.9 Mb
+		IOPins:         1200,
+	}
+}
+
+// BRAM18 returns the number of independent 18 Kb blocks on the device.
+func (d Device) BRAM18() int { return 2 * d.BRAM36 }
+
+// Family returns the Virtex-6 LXT/LX parts in ascending logic capacity.
+// The paper evaluates on the largest (XC6VLX760); the smaller members let
+// the right-sizing experiments give the non-virtualized fleet the fairest
+// possible footing (one small device per network instead of a 760 each).
+func Family() []Device {
+	return []Device{
+		{
+			Name: "XC6VLX75T", LogicCells: 74496,
+			SliceRegisters: 93120, SliceLUTs: 46560,
+			DistRAMBits: 1045 * Kb, BRAMBits: 5616 * Kb, BRAM36: 156, IOPins: 360,
+		},
+		{
+			Name: "XC6VLX130T", LogicCells: 128000,
+			SliceRegisters: 160000, SliceLUTs: 80000,
+			DistRAMBits: 1740 * Kb, BRAMBits: 9504 * Kb, BRAM36: 264, IOPins: 600,
+		},
+		{
+			Name: "XC6VLX240T", LogicCells: 241152,
+			SliceRegisters: 301440, SliceLUTs: 150720,
+			DistRAMBits: 3650 * Kb, BRAMBits: 14976 * Kb, BRAM36: 416, IOPins: 720,
+		},
+		{
+			Name: "XC6VLX365T", LogicCells: 364032,
+			SliceRegisters: 455040, SliceLUTs: 227520,
+			DistRAMBits: 4130 * Kb, BRAMBits: 14976 * Kb, BRAM36: 416, IOPins: 720,
+		},
+		{
+			Name: "XC6VLX550T", LogicCells: 549888,
+			SliceRegisters: 687360, SliceLUTs: 343680,
+			DistRAMBits: 6200 * Kb, BRAMBits: 22752 * Kb, BRAM36: 632, IOPins: 1200,
+		},
+		XC6VLX760(),
+	}
+}
+
+// AreaScale returns the device's die-area proxy relative to the XC6VLX760:
+// static (leakage) power is proportional to area (Section V-A), so a
+// right-sized small part leaks proportionally less.
+func (d Device) AreaScale() float64 {
+	return float64(d.LogicCells) / float64(XC6VLX760().LogicCells)
+}
+
+// SmallestFit places the design on the smallest family member that can
+// host it, returning the placement on that device.
+func SmallestFit(grade SpeedGrade, used Resources, stages, maxBlocksPerStage, engines int) (*Placement, error) {
+	var lastErr error
+	for _, dev := range Family() {
+		pl, err := Place(dev, grade, used, stages, maxBlocksPerStage, engines)
+		if err == nil {
+			return pl, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,273 @@
+package fpga
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviceTableII(t *testing.T) {
+	d := XC6VLX760()
+	if d.Name != "XC6VLX760" {
+		t.Errorf("Name = %q", d.Name)
+	}
+	if d.LogicCells != 758784 {
+		t.Errorf("LogicCells = %d, want 758784 (Table II: 758K)", d.LogicCells)
+	}
+	if got := d.DistRAMBits / (1024 * Kb); got != 8 {
+		t.Errorf("DistRAM = %d Mb, want 8 (Table II)", got)
+	}
+	if got := d.BRAMBits / (1024 * Kb); got != 26 {
+		t.Errorf("BRAM = %d Mb, want 26 (Table II)", got)
+	}
+	if d.IOPins != 1200 {
+		t.Errorf("IOPins = %d, want 1200 (Table II)", d.IOPins)
+	}
+	if d.BRAM18() != 2*d.BRAM36 {
+		t.Errorf("BRAM18 = %d, want 2x%d", d.BRAM18(), d.BRAM36)
+	}
+}
+
+func TestSpeedGradeString(t *testing.T) {
+	if Grade2.String() != "-2" || Grade1L.String() != "-1L" {
+		t.Errorf("grade names: %s, %s", Grade2, Grade1L)
+	}
+	if len(Grades()) != 2 {
+		t.Errorf("Grades() = %v", Grades())
+	}
+}
+
+func TestBRAMModeBlocksFor(t *testing.T) {
+	cases := []struct {
+		mode BRAMMode
+		bits int64
+		want int
+	}{
+		{BRAM18Mode, 0, 0},
+		{BRAM18Mode, 1, 1},
+		{BRAM18Mode, 18 * Kb, 1},
+		{BRAM18Mode, 18*Kb + 1, 2},
+		{BRAM36Mode, 36 * Kb, 1},
+		{BRAM36Mode, 72 * Kb, 2},
+		{BRAM36Mode, 72*Kb + 1, 3},
+	}
+	for _, c := range cases {
+		if got := c.mode.BlocksFor(c.bits); got != c.want {
+			t.Errorf("%s.BlocksFor(%d) = %d, want %d", c.mode, c.bits, got, c.want)
+		}
+	}
+}
+
+// Property: block count covers the memory and never over-allocates by a
+// full block.
+func TestBlocksForProperty(t *testing.T) {
+	f := func(bits uint32, mode bool) bool {
+		m := BRAM18Mode
+		if mode {
+			m = BRAM36Mode
+		}
+		n := m.BlocksFor(int64(bits))
+		cap := int64(n) * m.BlockBits()
+		if bits == 0 {
+			return n == 0
+		}
+		return cap >= int64(bits) && cap-int64(bits) < m.BlockBits()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnibitPEProfile(t *testing.T) {
+	pe := UnibitPE()
+	if pe.FFs != 1689 {
+		t.Errorf("FFs = %d, want 1689 (Section V-C)", pe.FFs)
+	}
+	if pe.LUTs() != 336+126+376 {
+		t.Errorf("LUTs = %d, want 838", pe.LUTs())
+	}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{FFs: 1, LUTs: 2, BRAM18: 3, BRAM36: 4, IOPins: 5, DistRAMBits: 6}
+	b := a.Add(a)
+	if b != (Resources{FFs: 2, LUTs: 4, BRAM18: 6, BRAM36: 8, IOPins: 10, DistRAMBits: 12}) {
+		t.Errorf("Add = %+v", b)
+	}
+	c := a.Scale(3)
+	if c != (Resources{FFs: 3, LUTs: 6, BRAM18: 9, BRAM36: 12, IOPins: 15, DistRAMBits: 18}) {
+		t.Errorf("Scale = %+v", c)
+	}
+}
+
+func TestBRAM36Equivalent(t *testing.T) {
+	cases := []struct {
+		r    Resources
+		want int
+	}{
+		{Resources{BRAM18: 0, BRAM36: 0}, 0},
+		{Resources{BRAM18: 1, BRAM36: 0}, 1},
+		{Resources{BRAM18: 2, BRAM36: 0}, 1},
+		{Resources{BRAM18: 3, BRAM36: 2}, 4},
+	}
+	for _, c := range cases {
+		if got := c.r.BRAM36Equivalent(); got != c.want {
+			t.Errorf("%+v equivalent = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestPlaceFitsAndRejects(t *testing.T) {
+	dev := XC6VLX760()
+	ok := Resources{FFs: 1000, LUTs: 1000, BRAM18: 10, IOPins: 100}
+	p, err := Place(dev, Grade2, ok, 28, 1, 1)
+	if err != nil {
+		t.Fatalf("Place small design: %v", err)
+	}
+	if p.LogicUtilization() <= 0 || p.LogicUtilization() > 1 {
+		t.Errorf("LogicUtilization = %g", p.LogicUtilization())
+	}
+	for _, bad := range []Resources{
+		{FFs: dev.SliceRegisters + 1},
+		{LUTs: dev.SliceLUTs + 1},
+		{BRAM36: dev.BRAM36 + 1},
+		{BRAM18: dev.BRAM18() + 2},
+		{IOPins: dev.IOPins + 1},
+		{DistRAMBits: dev.DistRAMBits + 1},
+	} {
+		if _, err := Place(dev, Grade2, bad, 28, 1, 1); err == nil {
+			t.Errorf("Place(%+v) succeeded, want capacity error", bad)
+		} else {
+			var ce *ErrCapacity
+			if !errors.As(err, &ce) {
+				t.Errorf("Place(%+v) error type %T, want *ErrCapacity", bad, err)
+			}
+		}
+	}
+}
+
+// TestIOPinCeiling reproduces the paper's Section VI-A observation: the
+// separate approach's per-engine I/O exhausts the 1200-pin device just
+// above 15 virtual networks.
+func TestIOPinCeiling(t *testing.T) {
+	dev := XC6VLX760()
+	fits := func(k int) bool {
+		r := Resources{IOPins: ShellPins + k*EnginePins}
+		_, err := Place(dev, Grade2, r, 28, 1, k)
+		return err == nil
+	}
+	if !fits(15) {
+		t.Error("K=15 separate engines should fit the I/O budget")
+	}
+	if fits(16) {
+		t.Error("K=16 separate engines should exceed the I/O budget")
+	}
+}
+
+func TestTimingFmaxShape(t *testing.T) {
+	tm := DefaultTiming()
+	dev := XC6VLX760()
+	small, err := Place(dev, Grade2, Resources{FFs: 47292, LUTs: 23464, BRAM18: 28, IOPins: 132}, 28, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := tm.Fmax(small)
+	if f1 <= 0 || f1 > tm.Base2 {
+		t.Fatalf("small design fmax = %g, want (0, %g]", f1, tm.Base2)
+	}
+
+	// More blocks per stage must slow the clock.
+	wide := *small
+	wide.MaxBlocksPerStage = 8
+	if f2 := tm.Fmax(&wide); f2 >= f1 {
+		t.Errorf("8 blocks/stage fmax %g >= 1 block fmax %g", f2, f1)
+	}
+
+	// Higher utilisation must slow the clock.
+	big, err := Place(dev, Grade2, Resources{FFs: 700000, LUTs: 350000, BRAM18: 400, IOPins: 1140}, 28, 1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3 := tm.Fmax(big); f3 >= f1 {
+		t.Errorf("near-full device fmax %g >= small design fmax %g", f3, f1)
+	}
+
+	// -1L is slower than -2 for the same placement.
+	low := *small
+	low.Grade = Grade1L
+	if fl := tm.Fmax(&low); fl >= f1 {
+		t.Errorf("-1L fmax %g >= -2 fmax %g", fl, f1)
+	}
+}
+
+func TestTimingFloor(t *testing.T) {
+	tm := DefaultTiming()
+	dev := XC6VLX760()
+	p := &Placement{Device: dev, Grade: Grade2, Used: Resources{FFs: dev.SliceRegisters}, Stages: 28, MaxBlocksPerStage: 64, Engines: 1}
+	f := tm.Fmax(p)
+	if f < tm.Base2*0.3*0.3 {
+		t.Errorf("fmax %g below sanity floor", f)
+	}
+}
+
+func TestThroughputGbps(t *testing.T) {
+	// 312.5 MHz, one packet per cycle at 40 B = 100 Gbps.
+	got := ThroughputGbps(312.5, 1)
+	if got < 99.99 || got > 100.01 {
+		t.Errorf("ThroughputGbps(312.5, 1) = %g, want 100", got)
+	}
+	if g2 := ThroughputGbps(312.5, 4); g2 < 399.9 || g2 > 400.1 {
+		t.Errorf("4 engines = %g, want 400", g2)
+	}
+}
+
+func TestFamilyOrderedAndSane(t *testing.T) {
+	fam := Family()
+	if len(fam) != 6 {
+		t.Fatalf("family size = %d, want 6", len(fam))
+	}
+	prev := 0
+	for _, d := range fam {
+		if d.LogicCells <= prev {
+			t.Errorf("%s: logic cells %d not ascending", d.Name, d.LogicCells)
+		}
+		prev = d.LogicCells
+		if d.BRAM36 <= 0 || d.IOPins <= 0 || d.SliceLUTs <= 0 {
+			t.Errorf("%s: incomplete inventory %+v", d.Name, d)
+		}
+		if s := d.AreaScale(); s <= 0 || s > 1 {
+			t.Errorf("%s: area scale %g outside (0,1]", d.Name, s)
+		}
+	}
+	if fam[len(fam)-1].Name != "XC6VLX760" {
+		t.Errorf("largest member = %s, want XC6VLX760", fam[len(fam)-1].Name)
+	}
+	if fam[len(fam)-1].AreaScale() != 1 {
+		t.Error("LX760 area scale != 1")
+	}
+}
+
+func TestSmallestFit(t *testing.T) {
+	// A single 28-stage engine fits the smallest part.
+	small := Resources{FFs: 47292, LUTs: 23464, BRAM18: 28, IOPins: 132}
+	pl, err := SmallestFit(Grade2, small, 28, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Device.Name != "XC6VLX75T" {
+		t.Errorf("single engine fit on %s, want XC6VLX75T", pl.Device.Name)
+	}
+	// Fifteen engines need the big I/O parts.
+	big := Resources{FFs: 15 * 47292, LUTs: 15 * 23464, BRAM18: 15 * 28, IOPins: ShellPins + 15*EnginePins}
+	pl, err = SmallestFit(Grade2, big, 28, 1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Device.Name != "XC6VLX550T" && pl.Device.Name != "XC6VLX760" {
+		t.Errorf("15 engines fit on %s, want a 1200-pin part", pl.Device.Name)
+	}
+	// Nothing fits an impossible demand.
+	if _, err := SmallestFit(Grade2, Resources{IOPins: 5000}, 28, 1, 1); err == nil {
+		t.Error("impossible demand placed")
+	}
+}

@@ -1,0 +1,187 @@
+package fpga
+
+import "fmt"
+
+// BRAMMode selects which block granularity a design maps its stage memories
+// to. The paper's BRAM power model (Table III) distinguishes the two.
+type BRAMMode int
+
+const (
+	// BRAM18Mode packs stage memory into independent 18 Kb blocks.
+	BRAM18Mode BRAMMode = iota
+	// BRAM36Mode packs stage memory into 36 Kb blocks.
+	BRAM36Mode
+)
+
+// String names the mode like the paper's "18Kb"/"36Kb" rows.
+func (m BRAMMode) String() string {
+	if m == BRAM36Mode {
+		return "36Kb"
+	}
+	return "18Kb"
+}
+
+// BlockBits returns the capacity of one block in this mode.
+func (m BRAMMode) BlockBits() int64 {
+	if m == BRAM36Mode {
+		return BRAM36Bits
+	}
+	return BRAM18Bits
+}
+
+// BlocksFor returns the number of blocks needed for bits of memory:
+// ⌈bits/blockBits⌉, never less than 1 for a non-empty memory — the paper
+// stresses that "despite how small the amount of memory required, a BRAM
+// block has to be assigned" (Section V-B).
+func (m BRAMMode) BlocksFor(bits int64) int {
+	if bits <= 0 {
+		return 0
+	}
+	bb := m.BlockBits()
+	return int((bits + bb - 1) / bb)
+}
+
+// PEProfile is the per-stage processing-element logic budget. The defaults
+// are the paper's measured uni-bit trie PE (Section V-C).
+type PEProfile struct {
+	// FFs is slice registers used as flip-flops per stage.
+	FFs int
+	// LUTLogic, LUTMemory, LUTRouting are slice LUTs by function per stage.
+	LUTLogic   int
+	LUTMemory  int
+	LUTRouting int
+}
+
+// LUTs returns total slice LUTs per stage.
+func (p PEProfile) LUTs() int { return p.LUTLogic + p.LUTMemory + p.LUTRouting }
+
+// UnibitPE returns the paper's measured per-stage resource mix:
+// 1689 FFs; LUTs: 336 logic + 126 memory + 376 routing.
+func UnibitPE() PEProfile {
+	return PEProfile{FFs: 1689, LUTLogic: 336, LUTMemory: 126, LUTRouting: 376}
+}
+
+// Resources is a design's total demand on the device.
+type Resources struct {
+	FFs         int
+	LUTs        int
+	BRAM18      int // blocks used in 18 Kb mode
+	BRAM36      int // blocks used in 36 Kb mode
+	IOPins      int
+	DistRAMBits int64 // LUT-RAM bits (hybrid memory option)
+}
+
+// Add returns the element-wise sum of r and s.
+func (r Resources) Add(s Resources) Resources {
+	return Resources{
+		FFs:         r.FFs + s.FFs,
+		LUTs:        r.LUTs + s.LUTs,
+		BRAM18:      r.BRAM18 + s.BRAM18,
+		BRAM36:      r.BRAM36 + s.BRAM36,
+		IOPins:      r.IOPins + s.IOPins,
+		DistRAMBits: r.DistRAMBits + s.DistRAMBits,
+	}
+}
+
+// Scale returns r with every count multiplied by k.
+func (r Resources) Scale(k int) Resources {
+	return Resources{
+		FFs:         r.FFs * k,
+		LUTs:        r.LUTs * k,
+		BRAM18:      r.BRAM18 * k,
+		BRAM36:      r.BRAM36 * k,
+		IOPins:      r.IOPins * k,
+		DistRAMBits: r.DistRAMBits * int64(k),
+	}
+}
+
+// BRAM36Equivalent returns the demand in 36 Kb block units: two 18 Kb blocks
+// occupy one 36 Kb block (they are its two independent halves).
+func (r Resources) BRAM36Equivalent() int {
+	return r.BRAM36 + (r.BRAM18+1)/2
+}
+
+// I/O budget model: the pin counts below reproduce the paper's observation
+// that the separate approach exhausts I/O around K = 15 on the 1200-pin
+// device (Section VI-A). Each lookup engine carries its own address/NHI
+// interface; the shell (clocking, control) is shared.
+const (
+	// EnginePins is the per-lookup-engine I/O demand: 32 address in,
+	// 16 NHI out, VNID, valid/ready handshake and spares.
+	EnginePins = 72
+	// ShellPins is the shared clocking/reset/control overhead.
+	ShellPins = 60
+)
+
+// ErrCapacity reports which resource a design exceeded on a device.
+type ErrCapacity struct {
+	Device   string
+	Resource string
+	Need     int
+	Have     int
+}
+
+func (e *ErrCapacity) Error() string {
+	return fmt.Sprintf("fpga: %s exceeds %s capacity: need %d, have %d",
+		e.Resource, e.Device, e.Need, e.Have)
+}
+
+// Placement is a design successfully fitted onto a device.
+type Placement struct {
+	Device Device
+	Grade  SpeedGrade
+	Used   Resources
+	// Stages is the pipeline depth of the placed design (for timing).
+	Stages int
+	// MaxBlocksPerStage is the largest per-stage BRAM block count, the
+	// main congestion driver in the timing model.
+	MaxBlocksPerStage int
+	// Engines is the number of parallel lookup engines placed.
+	Engines int
+}
+
+// Place validates that used fits on dev and returns the placement.
+func Place(dev Device, grade SpeedGrade, used Resources, stages, maxBlocksPerStage, engines int) (*Placement, error) {
+	checks := []struct {
+		name       string
+		need, have int
+	}{
+		{"flip-flops", used.FFs, dev.SliceRegisters},
+		{"LUTs", used.LUTs, dev.SliceLUTs},
+		{"BRAM (36Kb equivalent)", used.BRAM36Equivalent(), dev.BRAM36},
+		{"I/O pins", used.IOPins, dev.IOPins},
+	}
+	for _, c := range checks {
+		if c.need > c.have {
+			return nil, &ErrCapacity{Device: dev.Name, Resource: c.name, Need: c.need, Have: c.have}
+		}
+	}
+	if used.DistRAMBits > dev.DistRAMBits {
+		return nil, &ErrCapacity{Device: dev.Name, Resource: "distributed RAM bits",
+			Need: int(used.DistRAMBits), Have: int(dev.DistRAMBits)}
+	}
+	return &Placement{
+		Device:            dev,
+		Grade:             grade,
+		Used:              used,
+		Stages:            stages,
+		MaxBlocksPerStage: maxBlocksPerStage,
+		Engines:           engines,
+	}, nil
+}
+
+// LogicUtilization returns the placed fraction of the scarcer logic
+// resource (FFs or LUTs), in [0,1].
+func (p *Placement) LogicUtilization() float64 {
+	ff := float64(p.Used.FFs) / float64(p.Device.SliceRegisters)
+	lut := float64(p.Used.LUTs) / float64(p.Device.SliceLUTs)
+	if ff > lut {
+		return ff
+	}
+	return lut
+}
+
+// BRAMUtilization returns the placed fraction of BRAM capacity in [0,1].
+func (p *Placement) BRAMUtilization() float64 {
+	return float64(p.Used.BRAM36Equivalent()) / float64(p.Device.BRAM36)
+}

@@ -1,0 +1,210 @@
+// Package ip implements IPv4 addresses, CIDR prefixes and the reference
+// longest-prefix-match used throughout the virtual-router reproduction.
+//
+// The package is deliberately self-contained (no net dependency) so that the
+// trie, merge and pipeline packages can treat prefixes as plain value types:
+// an Addr is a uint32 in host order, a Prefix is an Addr plus a length.
+package ip
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order. The zero value is 0.0.0.0.
+type Addr uint32
+
+// AddrFrom4 builds an Addr from four dotted-quad octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Octets returns the four dotted-quad octets of a.
+func (a Addr) Octets() (o0, o1, o2, o3 byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// Bit returns the i-th most significant bit of a (i in [0,31]); bit 0 is the
+// top bit, matching the order in which a uni-bit trie consumes address bits.
+func (a Addr) Bit(i int) int {
+	return int(a>>(31-uint(i))) & 1
+}
+
+// String renders a in dotted-quad form.
+func (a Addr) String() string {
+	o0, o1, o2, o3 := a.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d", o0, o1, o2, o3)
+}
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("ip: %q is not a dotted-quad address", s)
+	}
+	var a uint32
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("ip: bad octet %q in %q", p, s)
+		}
+		a = a<<8 | uint32(v)
+	}
+	return Addr(a), nil
+}
+
+// Prefix is an IPv4 CIDR prefix. Bits beyond Len are kept zero by the
+// constructors; a Prefix built directly must respect that invariant.
+type Prefix struct {
+	Addr Addr
+	Len  int // 0..32
+}
+
+// ErrPrefixLen reports an out-of-range prefix length.
+var ErrPrefixLen = errors.New("ip: prefix length out of range [0,32]")
+
+// PrefixFrom masks addr down to length bits and returns the canonical prefix.
+func PrefixFrom(addr Addr, length int) (Prefix, error) {
+	if length < 0 || length > 32 {
+		return Prefix{}, ErrPrefixLen
+	}
+	return Prefix{Addr: addr & Mask(length), Len: length}, nil
+}
+
+// MustPrefix is PrefixFrom for statically known-good inputs; it panics on error.
+func MustPrefix(addr Addr, length int) Prefix {
+	p, err := PrefixFrom(addr, length)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Mask returns the network mask with the top length bits set.
+func Mask(length int) Addr {
+	if length <= 0 {
+		return 0
+	}
+	if length >= 32 {
+		return ^Addr(0)
+	}
+	return ^Addr(0) << (32 - uint(length))
+}
+
+// Contains reports whether addr falls inside prefix p.
+func (p Prefix) Contains(addr Addr) bool {
+	return addr&Mask(p.Len) == p.Addr
+}
+
+// Overlaps reports whether p and q share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.Len < q.Len {
+		return p.Contains(q.Addr)
+	}
+	return q.Contains(p.Addr)
+}
+
+// Bit returns the i-th most significant bit of the prefix address.
+func (p Prefix) Bit(i int) int { return p.Addr.Bit(i) }
+
+// String renders p in CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.Addr, p.Len)
+}
+
+// ParsePrefix parses CIDR notation ("10.0.0.0/8"). The address part is
+// canonicalised (host bits cleared).
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("ip: %q is not CIDR notation", s)
+	}
+	addr, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	length, err := strconv.Atoi(s[slash+1:])
+	if err != nil {
+		return Prefix{}, fmt.Errorf("ip: bad prefix length in %q", s)
+	}
+	return PrefixFrom(addr, length)
+}
+
+// Compare orders prefixes by address then by length, suitable for sort.Slice.
+func Compare(a, b Prefix) int {
+	switch {
+	case a.Addr < b.Addr:
+		return -1
+	case a.Addr > b.Addr:
+		return 1
+	case a.Len < b.Len:
+		return -1
+	case a.Len > b.Len:
+		return 1
+	}
+	return 0
+}
+
+// NextHop identifies an output port / next-hop entry. The zero value means
+// "no route". Widths follow the paper's NHI (next-hop information) usage: a
+// small integer stored at trie leaves.
+type NextHop uint16
+
+// NoRoute is the NextHop returned when no prefix covers an address.
+const NoRoute NextHop = 0
+
+// Route pairs a prefix with its next hop.
+type Route struct {
+	Prefix  Prefix
+	NextHop NextHop
+}
+
+// Table is the reference longest-prefix-match structure: a slice of routes
+// searched exhaustively. It is intentionally simple — it serves as the oracle
+// that the trie and pipeline implementations are property-tested against.
+type Table struct {
+	routes []Route
+}
+
+// Add inserts or replaces the route for r.Prefix.
+func (t *Table) Add(r Route) {
+	for i := range t.routes {
+		if t.routes[i].Prefix == r.Prefix {
+			t.routes[i].NextHop = r.NextHop
+			return
+		}
+	}
+	t.routes = append(t.routes, r)
+}
+
+// Remove deletes the route for p, reporting whether it was present.
+func (t *Table) Remove(p Prefix) bool {
+	for i := range t.routes {
+		if t.routes[i].Prefix == p {
+			t.routes[i] = t.routes[len(t.routes)-1]
+			t.routes = t.routes[:len(t.routes)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of routes.
+func (t *Table) Len() int { return len(t.routes) }
+
+// Routes returns the underlying routes (shared storage; callers must not
+// mutate prefixes in place).
+func (t *Table) Routes() []Route { return t.routes }
+
+// Lookup performs longest-prefix match by exhaustive scan.
+func (t *Table) Lookup(addr Addr) NextHop {
+	best, bestLen := NoRoute, -1
+	for _, r := range t.routes {
+		if r.Prefix.Len > bestLen && r.Prefix.Contains(addr) {
+			best, bestLen = r.NextHop, r.Prefix.Len
+		}
+	}
+	return best
+}

@@ -1,0 +1,235 @@
+package ip
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrFrom4AndOctets(t *testing.T) {
+	a := AddrFrom4(192, 168, 1, 200)
+	if got, want := uint32(a), uint32(0xC0A801C8); got != want {
+		t.Fatalf("AddrFrom4 = %#x, want %#x", got, want)
+	}
+	o0, o1, o2, o3 := a.Octets()
+	if o0 != 192 || o1 != 168 || o2 != 1 || o3 != 200 {
+		t.Fatalf("Octets = %d.%d.%d.%d, want 192.168.1.200", o0, o1, o2, o3)
+	}
+}
+
+func TestAddrBit(t *testing.T) {
+	a := AddrFrom4(0x80, 0, 0, 1) // top bit and bottom bit set
+	if a.Bit(0) != 1 {
+		t.Errorf("Bit(0) = %d, want 1", a.Bit(0))
+	}
+	if a.Bit(1) != 0 {
+		t.Errorf("Bit(1) = %d, want 0", a.Bit(1))
+	}
+	if a.Bit(31) != 1 {
+		t.Errorf("Bit(31) = %d, want 1", a.Bit(31))
+	}
+}
+
+func TestParseAddrRoundTrip(t *testing.T) {
+	for _, s := range []string{"0.0.0.0", "255.255.255.255", "10.1.2.3", "192.0.2.1"} {
+		a, err := ParseAddr(s)
+		if err != nil {
+			t.Fatalf("ParseAddr(%q): %v", s, err)
+		}
+		if a.String() != s {
+			t.Errorf("round trip %q -> %q", s, a.String())
+		}
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3"} {
+		if _, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		len  int
+		want Addr
+	}{
+		{0, 0},
+		{1, 0x80000000},
+		{8, 0xFF000000},
+		{24, 0xFFFFFF00},
+		{32, 0xFFFFFFFF},
+	}
+	for _, c := range cases {
+		if got := Mask(c.len); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.len, got, c.want)
+		}
+	}
+}
+
+func TestPrefixFromCanonicalises(t *testing.T) {
+	p, err := PrefixFrom(AddrFrom4(10, 1, 2, 3), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr != AddrFrom4(10, 0, 0, 0) {
+		t.Errorf("PrefixFrom did not clear host bits: %s", p)
+	}
+	if _, err := PrefixFrom(0, 33); err == nil {
+		t.Error("PrefixFrom(len=33) succeeded, want error")
+	}
+	if _, err := PrefixFrom(0, -1); err == nil {
+		t.Error("PrefixFrom(len=-1) succeeded, want error")
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustPrefix(AddrFrom4(10, 0, 0, 0), 8)
+	if !p.Contains(AddrFrom4(10, 255, 0, 1)) {
+		t.Error("10/8 should contain 10.255.0.1")
+	}
+	if p.Contains(AddrFrom4(11, 0, 0, 1)) {
+		t.Error("10/8 should not contain 11.0.0.1")
+	}
+	def := MustPrefix(0, 0)
+	if !def.Contains(AddrFrom4(1, 2, 3, 4)) {
+		t.Error("default route should contain everything")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustPrefix(AddrFrom4(10, 0, 0, 0), 8)
+	b := MustPrefix(AddrFrom4(10, 1, 0, 0), 16)
+	c := MustPrefix(AddrFrom4(11, 0, 0, 0), 8)
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("10/8 and 10.1/16 should overlap (both directions)")
+	}
+	if a.Overlaps(c) {
+		t.Error("10/8 and 11/8 should not overlap")
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("192.168.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "192.168.0.0/16" {
+		t.Errorf("got %s", p)
+	}
+	for _, s := range []string{"192.168.0.0", "1.2.3.4/33", "1.2.3.4/x", "bad/8"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	ps := []Prefix{
+		MustPrefix(AddrFrom4(10, 0, 0, 0), 16),
+		MustPrefix(AddrFrom4(10, 0, 0, 0), 8),
+		MustPrefix(AddrFrom4(9, 0, 0, 0), 8),
+	}
+	sort.Slice(ps, func(i, j int) bool { return Compare(ps[i], ps[j]) < 0 })
+	want := []string{"9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16"}
+	for i, w := range want {
+		if ps[i].String() != w {
+			t.Errorf("sorted[%d] = %s, want %s", i, ps[i], w)
+		}
+	}
+	if Compare(ps[0], ps[0]) != 0 {
+		t.Error("Compare(p,p) != 0")
+	}
+}
+
+func TestTableAddRemoveLookup(t *testing.T) {
+	var tbl Table
+	tbl.Add(Route{MustPrefix(AddrFrom4(10, 0, 0, 0), 8), 1})
+	tbl.Add(Route{MustPrefix(AddrFrom4(10, 1, 0, 0), 16), 2})
+	tbl.Add(Route{MustPrefix(AddrFrom4(10, 1, 0, 0), 16), 3}) // replace
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tbl.Len())
+	}
+	if nh := tbl.Lookup(AddrFrom4(10, 1, 2, 3)); nh != 3 {
+		t.Errorf("Lookup longest match = %d, want 3", nh)
+	}
+	if nh := tbl.Lookup(AddrFrom4(10, 2, 2, 3)); nh != 1 {
+		t.Errorf("Lookup shorter match = %d, want 1", nh)
+	}
+	if nh := tbl.Lookup(AddrFrom4(12, 0, 0, 1)); nh != NoRoute {
+		t.Errorf("Lookup miss = %d, want NoRoute", nh)
+	}
+	if !tbl.Remove(MustPrefix(AddrFrom4(10, 1, 0, 0), 16)) {
+		t.Error("Remove existing route returned false")
+	}
+	if tbl.Remove(MustPrefix(AddrFrom4(10, 1, 0, 0), 16)) {
+		t.Error("Remove absent route returned true")
+	}
+	if nh := tbl.Lookup(AddrFrom4(10, 1, 2, 3)); nh != 1 {
+		t.Errorf("Lookup after remove = %d, want 1", nh)
+	}
+}
+
+// Property: masking is idempotent and Contains agrees with bit comparison.
+func TestPrefixContainsProperty(t *testing.T) {
+	f := func(addr uint32, probe uint32, lenSeed uint8) bool {
+		length := int(lenSeed) % 33
+		p := MustPrefix(Addr(addr), length)
+		q := MustPrefix(p.Addr, length)
+		if p != q {
+			return false // canonicalisation must be idempotent
+		}
+		want := true
+		for i := 0; i < length; i++ {
+			if Addr(probe).Bit(i) != p.Bit(i) {
+				want = false
+				break
+			}
+		}
+		return p.Contains(Addr(probe)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lookup returns the longest matching prefix among the routes.
+func TestTableLookupProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		var tbl Table
+		type entry struct {
+			p  Prefix
+			nh NextHop
+		}
+		var entries []entry
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			p := MustPrefix(Addr(rng.Uint32()), rng.Intn(33))
+			nh := NextHop(1 + rng.Intn(100))
+			tbl.Add(Route{p, nh})
+			replaced := false
+			for j := range entries {
+				if entries[j].p == p {
+					entries[j].nh = nh
+					replaced = true
+				}
+			}
+			if !replaced {
+				entries = append(entries, entry{p, nh})
+			}
+		}
+		addr := Addr(rng.Uint32())
+		want, wantLen := NoRoute, -1
+		for _, e := range entries {
+			if e.p.Len > wantLen && e.p.Contains(addr) {
+				want, wantLen = e.nh, e.p.Len
+			}
+		}
+		if got := tbl.Lookup(addr); got != want {
+			t.Fatalf("iter %d: Lookup(%s) = %d, want %d", iter, addr, got, want)
+		}
+	}
+}

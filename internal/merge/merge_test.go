@@ -1,0 +1,292 @@
+package merge
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vrpower/internal/ip"
+	"vrpower/internal/rib"
+)
+
+func buildSet(t *testing.T, k, prefixes int, share float64, seed int64) []*rib.Table {
+	t.Helper()
+	set, err := rib.GenerateVirtualSet(k, prefixes, share, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set.Tables
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("Build(nil) succeeded, want error")
+	}
+}
+
+func TestLookupMatchesPerVNReference(t *testing.T) {
+	tables := buildSet(t, 4, 400, 0.5, 21)
+	m, err := Build(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*ip.Table, len(tables))
+	for i, tbl := range tables {
+		refs[i] = tbl.Reference()
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		addr := ip.Addr(rng.Uint32())
+		vn := rng.Intn(len(tables))
+		if got, want := m.Lookup(vn, addr), refs[vn].Lookup(addr); got != want {
+			t.Fatalf("pre-push Lookup(vn=%d, %s) = %d, want %d", vn, addr, got, want)
+		}
+	}
+	m.LeafPush()
+	for i := 0; i < 3000; i++ {
+		addr := ip.Addr(rng.Uint32())
+		vn := rng.Intn(len(tables))
+		if got, want := m.Lookup(vn, addr), refs[vn].Lookup(addr); got != want {
+			t.Fatalf("post-push Lookup(vn=%d, %s) = %d, want %d", vn, addr, got, want)
+		}
+	}
+}
+
+func TestLookupTargetedAddresses(t *testing.T) {
+	// Probe each table's own route addresses, which stresses nesting.
+	tables := buildSet(t, 3, 200, 0.3, 5)
+	m, err := Build(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LeafPush()
+	for vn, tbl := range tables {
+		ref := tbl.Reference()
+		for _, r := range tbl.Routes {
+			addr := r.Prefix.Addr | ^ip.Mask(r.Prefix.Len)&0x5555
+			if got, want := m.Lookup(vn, addr), ref.Lookup(addr); got != want {
+				t.Fatalf("Lookup(vn=%d, %s) = %d, want %d (route %s)", vn, addr, got, want, r.Prefix)
+			}
+		}
+	}
+}
+
+func TestLookupVNIsolation(t *testing.T) {
+	// A route private to VN 0 must not leak into VN 1's lookups.
+	t0 := &rib.Table{Name: "vn0"}
+	t1 := &rib.Table{Name: "vn1"}
+	p, _ := ip.ParsePrefix("10.0.0.0/8")
+	q, _ := ip.ParsePrefix("10.1.0.0/16")
+	t0.Add(ip.Route{Prefix: p, NextHop: 7})
+	t1.Add(ip.Route{Prefix: q, NextHop: 9})
+	m, err := Build([]*rib.Table{t0, t1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LeafPush()
+	addr, _ := ip.ParseAddr("10.1.2.3")
+	if got := m.Lookup(0, addr); got != 7 {
+		t.Errorf("vn0 lookup = %d, want 7", got)
+	}
+	if got := m.Lookup(1, addr); got != 9 {
+		t.Errorf("vn1 lookup = %d, want 9", got)
+	}
+	addr, _ = ip.ParseAddr("10.2.2.3")
+	if got := m.Lookup(1, addr); got != ip.NoRoute {
+		t.Errorf("vn1 lookup outside its /16 = %d, want NoRoute (no leak from vn0)", got)
+	}
+}
+
+func TestLookupPanicsOnBadVN(t *testing.T) {
+	m, err := Build(buildSet(t, 2, 50, 0.5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Lookup with vn out of range did not panic")
+		}
+	}()
+	m.Lookup(2, 0)
+}
+
+func TestLeafPushInvariants(t *testing.T) {
+	m, err := Build(buildSet(t, 5, 300, 0.4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LeafPush()
+	if !m.LeafPushed() {
+		t.Fatal("LeafPushed false after push")
+	}
+	s := m.Stats()
+	if s.Leaves != s.Internal+1 {
+		t.Errorf("full binary tree broken: leaves=%d internal=%d", s.Leaves, s.Internal)
+	}
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if n.IsLeaf() {
+			if len(n.NHI) != m.K() {
+				t.Fatalf("leaf NHI width = %d, want %d", len(n.NHI), m.K())
+			}
+			return true
+		}
+		if n.NHI != nil {
+			t.Fatal("internal node has NHI vector")
+		}
+		return walk(n.Child[0]) && walk(n.Child[1])
+	}
+	walk(m.Root())
+}
+
+func TestLeafPushIdempotent(t *testing.T) {
+	m, err := Build(buildSet(t, 3, 100, 0.5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LeafPush()
+	n1 := m.Stats().Nodes
+	m.LeafPush()
+	if n2 := m.Stats().Nodes; n2 != n1 {
+		t.Errorf("second LeafPush changed nodes %d -> %d", n1, n2)
+	}
+}
+
+func TestAlphaExtremes(t *testing.T) {
+	// Identical tables: every pre-push node shared by all K, so α = 1.
+	tables := buildSet(t, 4, 300, 1.0, 17)
+	m, err := Build(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.Alpha < 0.999 {
+		t.Errorf("identical tables: α = %.3f, want 1.0", s.Alpha)
+	}
+	// Disjoint tables: only near-root paths overlap, α must be small.
+	tables = buildSet(t, 4, 300, 0.0, 17)
+	m, err = Build(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = m.Stats()
+	if s.Alpha > 0.5 {
+		t.Errorf("disjoint tables: α = %.3f, want well below identical case", s.Alpha)
+	}
+}
+
+func TestAlphaMonotoneInShare(t *testing.T) {
+	prev := -1.0
+	for _, share := range []float64{0.0, 0.3, 0.6, 0.9} {
+		m, err := Build(buildSet(t, 4, 500, share, 23))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := m.Stats().Alpha
+		if a <= prev {
+			t.Errorf("α not increasing with share: share=%.1f α=%.3f (prev %.3f)", share, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestAlphaIgnoresPushFillers(t *testing.T) {
+	m, err := Build(buildSet(t, 3, 200, 0.7, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := m.Stats()
+	m.LeafPush()
+	post := m.Stats()
+	if post.Common != pre.Common {
+		t.Errorf("Common changed across push: %d -> %d", pre.Common, post.Common)
+	}
+	if post.Nodes < pre.Nodes {
+		t.Errorf("push removed nodes: %d -> %d", pre.Nodes, post.Nodes)
+	}
+}
+
+func TestStatsPerLevelSums(t *testing.T) {
+	m, err := Build(buildSet(t, 3, 300, 0.5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.LeafPush()
+	s := m.Stats()
+	nodes, leaves := 0, 0
+	for _, lv := range s.PerLevel {
+		nodes += lv.Nodes
+		leaves += lv.Leaves
+	}
+	if nodes != s.Nodes || leaves != s.Leaves {
+		t.Errorf("per-level sums (%d,%d) != totals (%d,%d)", nodes, leaves, s.Nodes, s.Leaves)
+	}
+	if s.Height > 32 {
+		t.Errorf("height %d > 32", s.Height)
+	}
+}
+
+func TestAnalyticNodesProperties(t *testing.T) {
+	const m = 10000
+	if got := AnalyticNodes(1, m, 0.5); got != m {
+		t.Errorf("K=1: %g, want %g", got, float64(m))
+	}
+	if got := AnalyticNodes(5, m, 1); got != m {
+		t.Errorf("α=1: %g, want %g (full overlap collapses to one trie)", got, float64(m))
+	}
+	if got := AnalyticNodes(5, m, 0); got != 5*m {
+		t.Errorf("α=0: %g, want %g (no overlap)", got, float64(5*m))
+	}
+	if AnalyticNodes(0, m, 0.5) != 0 {
+		t.Error("K=0 should give 0")
+	}
+	// Monotone: more overlap, fewer nodes; more VNs, more nodes.
+	for k := 2; k <= 16; k++ {
+		if AnalyticNodes(k, m, 0.8) >= AnalyticNodes(k, m, 0.2) {
+			t.Errorf("K=%d: α=0.8 should need fewer nodes than α=0.2", k)
+		}
+		if AnalyticNodes(k, m, 0.5) <= AnalyticNodes(k-1, m, 0.5) {
+			t.Errorf("K=%d: node count should grow with K", k)
+		}
+	}
+}
+
+// TestAnalyticTracksEmpirical ties the analytic sharing model to measured
+// merges: plugging the measured α into AnalyticNodes must land within 30% of
+// the actual merged pre-push node count. (The analytic model assumes shared
+// nodes are shared by all K; real overlap is messier, hence the loose band.)
+func TestAnalyticTracksEmpirical(t *testing.T) {
+	for _, share := range []float64{0.2, 0.5, 0.8} {
+		tables := buildSet(t, 4, 800, share, 29)
+		m, err := Build(tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := m.Stats()
+		// Mean individual trie size.
+		var sum float64
+		for _, tbl := range tables {
+			sum += float64(len(tbl.Routes))
+		}
+		// Use per-table trie node counts for m, not route counts.
+		var nodeSum float64
+		for _, tbl := range tables {
+			nodeSum += float64(trieNodes(tbl))
+		}
+		mean := nodeSum / float64(len(tables))
+		predicted := AnalyticNodes(4, mean, s.Alpha)
+		ratio := predicted / float64(s.Nodes)
+		if math.Abs(ratio-1) > 0.30 {
+			t.Errorf("share=%.1f: analytic %.0f vs empirical %d (ratio %.2f) at α=%.3f",
+				share, predicted, s.Nodes, ratio, s.Alpha)
+		}
+	}
+}
+
+func trieNodes(tbl *rib.Table) int {
+	m, err := Build([]*rib.Table{tbl})
+	if err != nil {
+		panic(err)
+	}
+	return m.Stats().Nodes
+}

@@ -1,0 +1,224 @@
+// Package mtrie implements fixed-stride multi-bit tries with controlled
+// prefix expansion (CPE, [16] in the paper's references). The paper's
+// engines use uni-bit tries — one address bit per pipeline stage — but the
+// survey it builds on treats stride as the fundamental depth/memory knob:
+// a stride-s trie consumes s bits per stage, shortening the pipeline by s×
+// (less logic power, lower latency) at the cost of 2^s-way nodes (more
+// memory, wider BRAM per stage). This package provides the structure, its
+// memory accounting, and lookup — the stride ablation in the benchmark
+// harness compares it against the paper's uni-bit design on power.
+package mtrie
+
+import (
+	"fmt"
+
+	"vrpower/internal/ip"
+)
+
+// Node is one multi-bit trie node: 2^stride slots, each optionally holding
+// a child pointer and/or an expanded route.
+type Node struct {
+	Child []*Node
+	// nh[i] is the next hop of the longest original prefix expanded onto
+	// slot i; origLen tracks that length for CPE priority.
+	nh      []ip.NextHop
+	origLen []int8
+	hasNH   []bool
+}
+
+// Trie is a fixed-stride multi-bit trie over IPv4 prefixes.
+type Trie struct {
+	root   *Node
+	stride int
+	routes int
+}
+
+// ValidStrides are the strides that divide the 32-bit address evenly.
+var ValidStrides = []int{1, 2, 4, 8}
+
+// New returns an empty trie with the given stride (must divide 32).
+func New(stride int) (*Trie, error) {
+	ok := false
+	for _, s := range ValidStrides {
+		if s == stride {
+			ok = true
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("mtrie: stride %d not in %v", stride, ValidStrides)
+	}
+	t := &Trie{stride: stride}
+	t.root = t.newNode()
+	return t, nil
+}
+
+// Build constructs a stride-s trie from the routes.
+func Build(routes []ip.Route, stride int) (*Trie, error) {
+	t, err := New(stride)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range routes {
+		t.Insert(r.Prefix, r.NextHop)
+	}
+	return t, nil
+}
+
+// Stride returns the bits consumed per level.
+func (t *Trie) Stride() int { return t.stride }
+
+// Routes returns the number of routes inserted.
+func (t *Trie) Routes() int { return t.routes }
+
+// Levels returns the number of node levels a full-depth walk visits.
+func (t *Trie) Levels() int { return 32 / t.stride }
+
+func (t *Trie) newNode() *Node {
+	fan := 1 << uint(t.stride)
+	return &Node{
+		Child:   make([]*Node, fan),
+		nh:      make([]ip.NextHop, fan),
+		origLen: make([]int8, fan),
+		hasNH:   make([]bool, fan),
+	}
+}
+
+// chunk extracts the s-bit chunk at the given level (level 0 = top bits).
+func (t *Trie) chunk(a ip.Addr, level int) int {
+	shift := 32 - (level+1)*t.stride
+	return int(a>>uint(shift)) & ((1 << uint(t.stride)) - 1)
+}
+
+// Insert adds or replaces the route for p, expanding it onto the slots of
+// its terminal level (controlled prefix expansion). Priority: a slot keeps
+// the next hop of the longest original prefix covering it, so expansion of
+// a /7 never overrides a genuine /8 at the same level.
+func (t *Trie) Insert(p ip.Prefix, nh ip.NextHop) {
+	t.routes++ // counts insert operations; duplicates replace in place
+	if p.Len == 0 {
+		// Default route: expands onto every slot of the root.
+		t.expand(t.root, 0, 0, nh)
+		return
+	}
+	depth := (p.Len + t.stride - 1) / t.stride // terminal node level + 1
+	n := t.root
+	for level := 0; level < depth-1; level++ {
+		c := t.chunk(p.Addr, level)
+		if n.Child[c] == nil {
+			n.Child[c] = t.newNode()
+		}
+		n = n.Child[c]
+	}
+	rem := p.Len - (depth-1)*t.stride // 1..stride bits at the terminal level
+	base := t.chunk(p.Addr, depth-1) &^ ((1 << uint(t.stride-rem)) - 1)
+	t.expandRange(n, base, 1<<uint(t.stride-rem), p.Len, nh)
+}
+
+// expand writes nh onto every slot of n with the given original length.
+func (t *Trie) expand(n *Node, _, origLen int, nh ip.NextHop) {
+	t.expandRange(n, 0, len(n.nh), origLen, nh)
+}
+
+func (t *Trie) expandRange(n *Node, base, count, origLen int, nh ip.NextHop) {
+	for i := base; i < base+count; i++ {
+		if !n.hasNH[i] || int(n.origLen[i]) <= origLen {
+			n.hasNH[i] = true
+			n.nh[i] = nh
+			n.origLen[i] = int8(origLen)
+		}
+	}
+}
+
+// Lookup performs longest-prefix match by walking stride-bit chunks; the
+// deepest slot hit wins (within a level, CPE already resolved priority).
+func (t *Trie) Lookup(addr ip.Addr) ip.NextHop {
+	best := ip.NoRoute
+	n := t.root
+	for level := 0; n != nil && level < t.Levels(); level++ {
+		c := t.chunk(addr, level)
+		if n.hasNH[c] {
+			best = n.nh[c]
+		}
+		n = n.Child[c]
+	}
+	return best
+}
+
+// LevelStat describes one level's storage demand.
+type LevelStat struct {
+	Nodes      int
+	ChildSlots int // slots holding a child pointer
+	NHSlots    int // slots holding forwarding information
+	EmptySlots int
+}
+
+// Stats summarises the trie's shape.
+type Stats struct {
+	Nodes    int
+	Stride   int
+	PerLevel []LevelStat
+}
+
+// Stats walks the trie and counts per-level slot usage.
+func (t *Trie) Stats() Stats {
+	s := Stats{Stride: t.stride, PerLevel: make([]LevelStat, t.Levels())}
+	var walk func(n *Node, level int)
+	walk = func(n *Node, level int) {
+		s.Nodes++
+		lv := &s.PerLevel[level]
+		lv.Nodes++
+		for i := range n.Child {
+			switch {
+			case n.Child[i] != nil:
+				lv.ChildSlots++
+				walk(n.Child[i], level+1)
+			case n.hasNH[i]:
+				lv.NHSlots++
+			default:
+				lv.EmptySlots++
+			}
+			// A slot can hold both a child and an expanded route; the
+			// route then also needs storage.
+			if n.Child[i] != nil && n.hasNH[i] {
+				lv.NHSlots++
+			}
+		}
+	}
+	walk(t.root, 0)
+	s.PerLevel = s.PerLevel[:usedLevels(s.PerLevel)]
+	return s
+}
+
+func usedLevels(levels []LevelStat) int {
+	n := len(levels)
+	for n > 0 && levels[n-1].Nodes == 0 {
+		n--
+	}
+	return n
+}
+
+// LevelBits sizes each level's memory: every slot of every node is a
+// physical word (the multi-bit trie's defining cost), wide enough for a
+// pointer or an NHI entry plus a type flag.
+func (t *Trie) LevelBits(ptrBits, nhiBits int) []int64 {
+	st := t.Stats()
+	word := int64(ptrBits)
+	if int64(nhiBits) > word {
+		word = int64(nhiBits)
+	}
+	word++ // type flag
+	out := make([]int64, len(st.PerLevel))
+	for lv, l := range st.PerLevel {
+		out[lv] = int64(l.Nodes) * int64(len(t.root.Child)) * word
+	}
+	return out
+}
+
+// TotalBits sums LevelBits.
+func (t *Trie) TotalBits(ptrBits, nhiBits int) int64 {
+	var sum int64
+	for _, b := range t.LevelBits(ptrBits, nhiBits) {
+		sum += b
+	}
+	return sum
+}

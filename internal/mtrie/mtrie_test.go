@@ -1,0 +1,202 @@
+package mtrie
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrpower/internal/ip"
+	"vrpower/internal/rib"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, s := range []int{0, 3, 5, 16, 32, -1} {
+		if _, err := New(s); err == nil {
+			t.Errorf("stride %d accepted", s)
+		}
+	}
+	for _, s := range ValidStrides {
+		if _, err := New(s); err != nil {
+			t.Errorf("stride %d rejected: %v", s, err)
+		}
+	}
+}
+
+func TestLookupMatchesReferenceAllStrides(t *testing.T) {
+	tbl, err := rib.Generate("t", rib.DefaultGen(800, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tbl.Reference()
+	for _, stride := range ValidStrides {
+		tr, err := Build(tbl.Routes, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 4000; i++ {
+			addr := ip.Addr(rng.Uint32())
+			if got, want := tr.Lookup(addr), ref.Lookup(addr); got != want {
+				t.Fatalf("stride %d: Lookup(%s) = %d, want %d", stride, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestCPEPriority(t *testing.T) {
+	// /7 expands onto two stride-4 level-2 slots; the genuine /8 covering
+	// one of them must win there and the expansion elsewhere.
+	tr, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p7, _ := ip.ParsePrefix("16.0.0.0/7") // covers 16/8 and 17/8
+	p8, _ := ip.ParsePrefix("16.0.0.0/8")
+	tr.Insert(p7, 1)
+	tr.Insert(p8, 2)
+	a16, _ := ip.ParseAddr("16.1.2.3")
+	a17, _ := ip.ParseAddr("17.1.2.3")
+	if got := tr.Lookup(a16); got != 2 {
+		t.Errorf("Lookup(16.x) = %d, want 2 (genuine /8 beats expanded /7)", got)
+	}
+	if got := tr.Lookup(a17); got != 1 {
+		t.Errorf("Lookup(17.x) = %d, want 1 (expanded /7)", got)
+	}
+	// Insertion order must not matter.
+	tr2, _ := New(4)
+	tr2.Insert(p8, 2)
+	tr2.Insert(p7, 1)
+	if got := tr2.Lookup(a16); got != 2 {
+		t.Errorf("reversed order: Lookup(16.x) = %d, want 2", got)
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tr, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := ip.ParsePrefix("0.0.0.0/0")
+	p8, _ := ip.ParsePrefix("10.0.0.0/8")
+	tr.Insert(p0, 9)
+	tr.Insert(p8, 1)
+	a, _ := ip.ParseAddr("200.1.1.1")
+	if got := tr.Lookup(a); got != 9 {
+		t.Errorf("default route lookup = %d, want 9", got)
+	}
+	a, _ = ip.ParseAddr("10.1.1.1")
+	if got := tr.Lookup(a); got != 1 {
+		t.Errorf("/8 lookup = %d, want 1", got)
+	}
+}
+
+func TestReplaceRoute(t *testing.T) {
+	tr, _ := New(4)
+	p, _ := ip.ParsePrefix("10.0.0.0/8")
+	tr.Insert(p, 1)
+	tr.Insert(p, 7)
+	a, _ := ip.ParseAddr("10.2.3.4")
+	if got := tr.Lookup(a); got != 7 {
+		t.Errorf("replaced route lookup = %d, want 7", got)
+	}
+}
+
+func TestHost32Route(t *testing.T) {
+	tr, _ := New(4)
+	p32, _ := ip.ParsePrefix("10.0.0.1/32")
+	p24, _ := ip.ParsePrefix("10.0.0.0/24")
+	tr.Insert(p32, 5)
+	tr.Insert(p24, 3)
+	a1, _ := ip.ParseAddr("10.0.0.1")
+	a2, _ := ip.ParseAddr("10.0.0.2")
+	if got := tr.Lookup(a1); got != 5 {
+		t.Errorf("/32 lookup = %d, want 5", got)
+	}
+	if got := tr.Lookup(a2); got != 3 {
+		t.Errorf("/24 fallback = %d, want 3", got)
+	}
+}
+
+func TestLevelsShrinkWithStride(t *testing.T) {
+	tbl, err := rib.Generate("t", rib.DefaultGen(500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevLevels := 33
+	prevBits := int64(0)
+	for _, stride := range ValidStrides {
+		tr, err := Build(tbl.Routes, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Levels(); got != 32/stride {
+			t.Errorf("stride %d: Levels = %d, want %d", stride, got, 32/stride)
+		}
+		st := tr.Stats()
+		if len(st.PerLevel) > tr.Levels() {
+			t.Errorf("stride %d: %d used levels exceeds max %d", stride, len(st.PerLevel), tr.Levels())
+		}
+		if got := tr.Levels(); got >= prevLevels {
+			t.Errorf("stride %d: levels %d not below previous %d", stride, got, prevLevels)
+		}
+		prevLevels = tr.Levels()
+		bits := tr.TotalBits(18, 8)
+		if stride >= 4 && bits <= prevBits {
+			t.Errorf("stride %d: memory %d not above stride-%d memory %d (depth/memory trade-off)",
+				stride, bits, stride/2, prevBits)
+		}
+		prevBits = bits
+	}
+}
+
+func TestStatsSlotAccounting(t *testing.T) {
+	tr, _ := New(2)
+	p, _ := ip.ParsePrefix("192.0.0.0/4")
+	tr.Insert(p, 1)
+	st := tr.Stats()
+	// Root (level 0) has one child slot toward level 1; level-1 node has
+	// expanded route slots.
+	if st.Nodes != 2 {
+		t.Fatalf("Nodes = %d, want 2", st.Nodes)
+	}
+	if st.PerLevel[0].ChildSlots != 1 {
+		t.Errorf("level 0 child slots = %d, want 1", st.PerLevel[0].ChildSlots)
+	}
+	if st.PerLevel[1].NHSlots != 1 {
+		t.Errorf("level 1 NH slots = %d, want 1 (/4 is exact at stride 2)", st.PerLevel[1].NHSlots)
+	}
+	total := 0
+	for _, lv := range st.PerLevel {
+		total += lv.Nodes
+	}
+	if total != st.Nodes {
+		t.Errorf("per-level nodes %d != total %d", total, st.Nodes)
+	}
+	// LevelBits: each node costs 4 slots x (18+1) bits at stride 2.
+	bits := tr.LevelBits(18, 8)
+	for lv, b := range bits {
+		want := int64(st.PerLevel[lv].Nodes) * 4 * 19
+		if b != want {
+			t.Errorf("level %d bits = %d, want %d", lv, b, want)
+		}
+	}
+}
+
+func TestUniBitStrideOneEquivalence(t *testing.T) {
+	// Stride 1 must behave exactly like the uni-bit reference.
+	tbl, err := rib.Generate("t", rib.DefaultGen(300, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Build(tbl.Routes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tbl.Reference()
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 3000; i++ {
+		addr := ip.Addr(rng.Uint32())
+		if got, want := tr.Lookup(addr), ref.Lookup(addr); got != want {
+			t.Fatalf("stride 1 Lookup(%s) = %d, want %d", addr, got, want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package multiway implements the multi-pipeline IP lookup organisation of
+// the paper's reference [7] (Jiang & Prasanna, "Multi-way pipelining for
+// power-efficient IP lookup"): the routing trie is partitioned by the first
+// b address bits into W = 2^b sub-tries, each mapped onto its own shorter
+// pipeline, and a lookup activates exactly one of them. With clock gating,
+// every way idles W−1 of the time, so lookup memory power drops by roughly
+// the way count while aggregate throughput is preserved — the mechanism the
+// paper's related-work section credits for power-efficient FPGA lookup.
+package multiway
+
+import (
+	"fmt"
+
+	"vrpower/internal/fpga"
+	"vrpower/internal/ip"
+	"vrpower/internal/pipeline"
+	"vrpower/internal/power"
+	"vrpower/internal/rib"
+	"vrpower/internal/trie"
+)
+
+// Engine is a W-way partitioned lookup engine for one routing table.
+type Engine struct {
+	bits   int
+	ways   int
+	stages int
+	images []*pipeline.Image // nil for ways with no routes
+	// shares holds each way's fraction of the covered address space.
+	shares []float64
+}
+
+// Build partitions the table by its first log2(ways) address bits and
+// compiles one pipeline per non-empty way. Prefixes shorter than the
+// partition index are expanded (controlled prefix expansion) so every way
+// is self-contained. stages is the per-way pipeline depth; 0 derives a
+// depth-bounded default (28 − index bits).
+func Build(tbl *rib.Table, ways, stages int) (*Engine, error) {
+	bits := 0
+	for 1<<bits < ways {
+		bits++
+	}
+	if 1<<bits != ways || ways < 1 || bits > 8 {
+		return nil, fmt.Errorf("multiway: ways = %d, want a power of two in [1,256]", ways)
+	}
+	if stages == 0 {
+		stages = 28 - bits
+	}
+	if stages < 2 {
+		return nil, fmt.Errorf("multiway: stages = %d, want >= 2", stages)
+	}
+
+	// Partition with CPE: short prefixes replicate into every way they
+	// cover, at the index length. When several short prefixes expand onto
+	// the same way, the longest original wins (standard CPE priority); a
+	// genuine route exactly at the index length always beats expansions.
+	parts := make([]*rib.Table, ways)
+	genuine := make([]map[ip.Prefix]bool, ways)
+	for w := range parts {
+		parts[w] = &rib.Table{Name: fmt.Sprintf("%s-way%d", tbl.Name, w)}
+		genuine[w] = make(map[ip.Prefix]bool)
+	}
+	for _, r := range tbl.Routes {
+		if r.Prefix.Len >= bits {
+			w := 0
+			if bits > 0 {
+				w = int(r.Prefix.Addr >> (32 - uint(bits)))
+			}
+			parts[w].Add(r)
+			if r.Prefix.Len == bits {
+				genuine[w][r.Prefix] = true
+			}
+		}
+	}
+	type expansion struct {
+		nh      ip.NextHop
+		origLen int
+	}
+	expansions := make([]map[ip.Prefix]expansion, ways)
+	for w := range expansions {
+		expansions[w] = make(map[ip.Prefix]expansion)
+	}
+	for _, r := range tbl.Routes {
+		if r.Prefix.Len >= bits {
+			continue
+		}
+		span := 1 << uint(bits-r.Prefix.Len)
+		base := int(r.Prefix.Addr >> (32 - uint(bits)))
+		for i := 0; i < span; i++ {
+			w := base + i
+			expanded, err := ip.PrefixFrom(ip.Addr(uint32(w)<<(32-uint(bits))), bits)
+			if err != nil {
+				return nil, err
+			}
+			if genuine[w][expanded] {
+				continue // a real index-length route outranks any expansion
+			}
+			if prev, ok := expansions[w][expanded]; !ok || r.Prefix.Len > prev.origLen {
+				expansions[w][expanded] = expansion{nh: r.NextHop, origLen: r.Prefix.Len}
+			}
+		}
+	}
+	for w, exp := range expansions {
+		for p, e := range exp {
+			parts[w].Add(ip.Route{Prefix: p, NextHop: e.nh})
+		}
+	}
+
+	e := &Engine{bits: bits, ways: ways, stages: stages,
+		images: make([]*pipeline.Image, ways), shares: make([]float64, ways)}
+	for w, part := range parts {
+		e.shares[w] = 1 / float64(ways)
+		if part.Len() == 0 {
+			continue
+		}
+		tr := trie.Build(part.Routes)
+		tr.LeafPush()
+		img, err := pipeline.Compile(tr, stages)
+		if err != nil {
+			return nil, err
+		}
+		e.images[w] = img
+	}
+	return e, nil
+}
+
+// Ways returns the pipeline count.
+func (e *Engine) Ways() int { return e.ways }
+
+// Stages returns the per-way pipeline depth.
+func (e *Engine) Stages() int { return e.stages }
+
+// way selects the pipeline for an address.
+func (e *Engine) way(addr ip.Addr) int {
+	if e.bits == 0 {
+		return 0
+	}
+	return int(addr >> (32 - uint(e.bits)))
+}
+
+// Lookup resolves addr through its way's pipeline.
+func (e *Engine) Lookup(addr ip.Addr) ip.NextHop {
+	img := e.images[e.way(addr)]
+	if img == nil {
+		return ip.NoRoute
+	}
+	return pipeline.Lookup(img, pipeline.Request{Addr: addr})
+}
+
+// Design returns the power-model input: one engine per populated way, each
+// active for its traffic share (uniform addresses hit each way equally).
+// ClockGating is what realises the multi-way power saving.
+func (e *Engine) Design(grade fpga.SpeedGrade, mode fpga.BRAMMode, fMHz float64, layout pipeline.MemLayout) power.SystemDesign {
+	d := power.SystemDesign{
+		Grade: grade, Mode: mode, FMHz: fMHz, Devices: 1, ClockGating: true,
+	}
+	for w, img := range e.images {
+		if img == nil {
+			continue
+		}
+		d.Engines = append(d.Engines, power.EngineDesign{
+			StageBits:   layout.AllStageBits(img),
+			Utilization: e.shares[w],
+		})
+	}
+	return d
+}

@@ -1,0 +1,147 @@
+package multiway
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrpower/internal/fpga"
+	"vrpower/internal/ip"
+	"vrpower/internal/pipeline"
+	"vrpower/internal/power"
+	"vrpower/internal/rib"
+)
+
+func genTable(t *testing.T, n int, seed int64) *rib.Table {
+	t.Helper()
+	tbl, err := rib.Generate("t", rib.DefaultGen(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestBuildValidation(t *testing.T) {
+	tbl := genTable(t, 50, 1)
+	for _, ways := range []int{0, 3, 5, 512, -2} {
+		if _, err := Build(tbl, ways, 0); err == nil {
+			t.Errorf("ways = %d accepted", ways)
+		}
+	}
+	if _, err := Build(tbl, 4, 1); err == nil {
+		t.Error("stages = 1 accepted")
+	}
+}
+
+func TestLookupMatchesReferenceAllWays(t *testing.T) {
+	tbl := genTable(t, 800, 2)
+	ref := tbl.Reference()
+	for _, ways := range []int{1, 2, 4, 8, 16} {
+		e, err := Build(tbl, ways, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Ways() != ways {
+			t.Fatalf("Ways = %d, want %d", e.Ways(), ways)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 3000; i++ {
+			addr := ip.Addr(rng.Uint32())
+			if got, want := e.Lookup(addr), ref.Lookup(addr); got != want {
+				t.Fatalf("ways=%d: Lookup(%s) = %d, want %d", ways, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestShortPrefixExpansionPriority(t *testing.T) {
+	// /1 and /2 both expand into way 0 at 4 ways (2 index bits); the /2
+	// must win inside its span, the /1 elsewhere.
+	tbl := &rib.Table{Name: "short"}
+	p1, _ := ip.ParsePrefix("0.0.0.0/1")
+	p2, _ := ip.ParsePrefix("0.0.0.0/2")
+	tbl.Add(ip.Route{Prefix: p1, NextHop: 1})
+	tbl.Add(ip.Route{Prefix: p2, NextHop: 2})
+	e, err := Build(tbl, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inP2, _ := ip.ParseAddr("10.0.0.1")  // 00...: inside /2
+	inP1, _ := ip.ParseAddr("100.0.0.1") // 01...: inside /1 only
+	outside, _ := ip.ParseAddr("200.0.0.1")
+	if got := e.Lookup(inP2); got != 2 {
+		t.Errorf("Lookup inside /2 = %d, want 2", got)
+	}
+	if got := e.Lookup(inP1); got != 1 {
+		t.Errorf("Lookup inside /1 only = %d, want 1", got)
+	}
+	if got := e.Lookup(outside); got != ip.NoRoute {
+		t.Errorf("Lookup outside = %d, want NoRoute", got)
+	}
+}
+
+func TestGenuineIndexLengthRouteOutranksExpansion(t *testing.T) {
+	tbl := &rib.Table{Name: "g"}
+	p1, _ := ip.ParsePrefix("0.0.0.0/1") // expands onto ways 0,1
+	pg, _ := ip.ParsePrefix("0.0.0.0/2") // genuine index-length route in way 0
+	tbl.Add(ip.Route{Prefix: p1, NextHop: 1})
+	tbl.Add(ip.Route{Prefix: pg, NextHop: 7})
+	e, err := Build(tbl, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ip.ParseAddr("1.0.0.1") // way 0
+	if got := e.Lookup(a); got != 7 {
+		t.Errorf("genuine /2 lookup = %d, want 7", got)
+	}
+	b, _ := ip.ParseAddr("65.0.0.1") // way 1: only the /1 expansion
+	if got := e.Lookup(b); got != 1 {
+		t.Errorf("expansion lookup = %d, want 1", got)
+	}
+}
+
+// TestMemoryPowerDropsWithWays reproduces [7]'s result: with clock gating,
+// W-way partitioning cuts lookup memory power roughly by W (each way is
+// active 1/W of the time).
+func TestMemoryPowerDropsWithWays(t *testing.T) {
+	tbl := genTable(t, 3725, 4)
+	layout := pipeline.DefaultLayout()
+	prev := -1.0
+	for _, ways := range []int{1, 4, 16} {
+		e, err := Build(tbl, ways, 28) // fixed depth isolates the memory effect
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := e.Design(fpga.Grade2, fpga.BRAM18Mode, 300, layout)
+		b, err := power.Estimate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 && b.Memory >= prev {
+			t.Errorf("ways=%d: memory power %.4f W not below previous %.4f W", ways, b.Memory, prev)
+		}
+		prev = b.Memory
+	}
+}
+
+func TestDesignSkipsEmptyWays(t *testing.T) {
+	// A table confined to 10/8 leaves most of 256 ways empty.
+	tbl := &rib.Table{Name: "sparse"}
+	p, _ := ip.ParsePrefix("10.1.0.0/16")
+	tbl.Add(ip.Route{Prefix: p, NextHop: 3})
+	e, err := Build(tbl, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := e.Design(fpga.Grade2, fpga.BRAM18Mode, 300, pipeline.DefaultLayout())
+	if len(d.Engines) != 1 {
+		t.Errorf("design has %d engines, want 1 (only way 10 populated)", len(d.Engines))
+	}
+	a, _ := ip.ParseAddr("10.1.2.3")
+	if got := e.Lookup(a); got != 3 {
+		t.Errorf("Lookup = %d, want 3", got)
+	}
+	b, _ := ip.ParseAddr("11.0.0.1")
+	if got := e.Lookup(b); got != ip.NoRoute {
+		t.Errorf("empty-way Lookup = %d, want NoRoute", got)
+	}
+}

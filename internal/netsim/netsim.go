@@ -1,0 +1,326 @@
+// Package netsim runs end-to-end forwarding simulations over built routers:
+// a packet distributor (Assumption 3) steers VNID-tagged packets to the
+// right lookup engine, the cycle-accurate pipelines resolve them, and every
+// result is cross-checked against the per-network reference tables. It is
+// the correctness harness tying the whole system together.
+package netsim
+
+import (
+	"fmt"
+
+	"vrpower/internal/core"
+	"vrpower/internal/ip"
+	"vrpower/internal/packet"
+	"vrpower/internal/pipeline"
+	"vrpower/internal/rib"
+	"vrpower/internal/traffic"
+)
+
+// System is a router under simulation together with its reference tables.
+type System struct {
+	router *core.Router
+	refs   []*ip.Table
+	k      int
+}
+
+// New wraps a built router. tables must be the same K tables the router was
+// built from; they provide the forwarding oracle.
+func New(r *core.Router, tables []*rib.Table) (*System, error) {
+	if r.Images() == nil {
+		return nil, fmt.Errorf("netsim: router has no compiled engines (analytic build?)")
+	}
+	k := r.Config().K
+	if len(tables) != k {
+		return nil, fmt.Errorf("netsim: %d tables for K = %d", len(tables), k)
+	}
+	refs := make([]*ip.Table, k)
+	for i, t := range tables {
+		refs[i] = t.Reference()
+	}
+	return &System{router: r, refs: refs, k: k}, nil
+}
+
+// Report summarises a forwarding run.
+type Report struct {
+	// Packets is the number of packets forwarded.
+	Packets int
+	// Mismatches counts results that disagreed with the reference LPM
+	// (must be zero for a correct build).
+	Mismatches int
+	// NoRoute counts packets that matched no prefix.
+	NoRoute int
+	// PerEngine holds each engine's pipeline statistics.
+	PerEngine []pipeline.Stats
+	// EngineLoad is the fraction of packets handled per engine, the
+	// realised µ_i of Assumption 1.
+	EngineLoad []float64
+}
+
+// Forward distributes the packets to the router's engines, simulates every
+// pipeline cycle-accurately, and verifies each resolved next hop against
+// the reference tables.
+func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
+	images := s.router.Images()
+	scheme := s.router.Config().Scheme
+
+	// Distributor (Assumption 3): split the merged flow per engine. The
+	// merged scheme keeps one stream; NV/VS steer by VNID.
+	perEngine := make([][]pipeline.Request, len(images))
+	for _, p := range pkts {
+		if p.VN < 0 || p.VN >= s.k {
+			return Report{}, fmt.Errorf("netsim: packet VN %d outside [0,%d)", p.VN, s.k)
+		}
+		e, vn := 0, p.VN
+		if scheme != core.VM {
+			// Per-network engines hold a single table: the distributor
+			// strips the VNID after steering.
+			e, vn = p.VN, 0
+		}
+		perEngine[e] = append(perEngine[e], pipeline.Request{Addr: p.Addr, VN: vn})
+	}
+
+	rep := Report{
+		Packets:    len(pkts),
+		PerEngine:  make([]pipeline.Stats, len(images)),
+		EngineLoad: make([]float64, len(images)),
+	}
+	for e, reqs := range perEngine {
+		if len(pkts) > 0 {
+			rep.EngineLoad[e] = float64(len(reqs)) / float64(len(pkts))
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		sim := pipeline.NewSim(images[e])
+		results, st, err := sim.Run(reqs, 1)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.PerEngine[e] = st
+		for _, res := range results {
+			vn := res.VN
+			if scheme != core.VM {
+				vn = e // per-network engine: the engine index is the network
+			}
+			want := s.refs[vn].Lookup(res.Addr)
+			if res.NHI != want {
+				rep.Mismatches++
+			}
+			if want == ip.NoRoute {
+				rep.NoRoute++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// FrameReport summarises a frame-level forwarding run: the full data plane
+// of parse → distribute → lookup → edit, with per-cause drop counters.
+type FrameReport struct {
+	Frames     int
+	Forwarded  int
+	BadParse   int
+	UnknownVN  int
+	NoRoute    int
+	TTLExpired int
+	// Mismatches counts lookups that disagreed with the reference LPM.
+	Mismatches int
+}
+
+// ForwardFrames runs wire-format frames through the complete data plane:
+// each frame is parsed (Ethernet + VLAN VNID + IPv4, checksum verified),
+// steered by the distributor, resolved by the cycle-accurate pipelines,
+// and on success edited in place (TTL decrement, checksum update, MAC
+// rewrite toward the resolved next hop). Drops are counted by cause.
+func (s *System) ForwardFrames(frames [][]byte) (FrameReport, error) {
+	images := s.router.Images()
+	scheme := s.router.Config().Scheme
+	rep := FrameReport{Frames: len(frames)}
+
+	type pending struct {
+		frame *packet.Frame
+		vn    int
+	}
+	perEngineReqs := make([][]pipeline.Request, len(images))
+	perEnginePend := make([][]pending, len(images))
+	for _, buf := range frames {
+		f, err := packet.Parse(buf)
+		if err != nil {
+			rep.BadParse++
+			continue
+		}
+		if f.VNID >= s.k {
+			rep.UnknownVN++
+			continue
+		}
+		e, vn := 0, f.VNID
+		if scheme != core.VM {
+			e, vn = f.VNID, 0
+		}
+		perEngineReqs[e] = append(perEngineReqs[e], pipeline.Request{Addr: f.DstIP, VN: vn})
+		perEnginePend[e] = append(perEnginePend[e], pending{frame: f, vn: f.VNID})
+	}
+
+	for e, reqs := range perEngineReqs {
+		if len(reqs) == 0 {
+			continue
+		}
+		results, _, err := pipeline.NewSim(images[e]).Run(reqs, 1)
+		if err != nil {
+			return FrameReport{}, err
+		}
+		for i, res := range results {
+			p := perEnginePend[e][i]
+			if want := s.refs[p.vn].Lookup(res.Addr); res.NHI != want {
+				rep.Mismatches++
+			}
+			if res.NHI == ip.NoRoute {
+				rep.NoRoute++
+				continue
+			}
+			// Egress edit: next-hop MAC synthesised from the NHI port.
+			nh := packet.MAC{0x02, 0xFE, 0, 0, byte(res.NHI >> 8), byte(res.NHI)}
+			egress := packet.MAC{0x02, 0xFD, 0, 0, 0, byte(p.vn)}
+			switch err := p.frame.Forward(nh, egress); err {
+			case nil:
+				rep.Forwarded++
+			case packet.ErrTTLExpired:
+				rep.TTLExpired++
+			default:
+				return FrameReport{}, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// LoadReport summarises an open-loop offered-load run (the paper's merged
+// scalability limitation, Section IV-C: "the throughput is shared among the
+// virtual networks ... the lookup engine may fail to sustain the required
+// throughput").
+type LoadReport struct {
+	// Offered and Delivered are per-VN packet counts.
+	Offered   []int64
+	Delivered []int64
+	// Dropped counts arrivals lost to full input queues, per VN.
+	Dropped []int64
+	// MeanDelayCycles is the average arrival-to-exit latency over all
+	// delivered packets.
+	MeanDelayCycles float64
+	Cycles          int64
+}
+
+// DeliveredFraction returns delivered/offered over all networks.
+func (r LoadReport) DeliveredFraction() float64 {
+	var off, del int64
+	for i := range r.Offered {
+		off += r.Offered[i]
+		del += r.Delivered[i]
+	}
+	if off == 0 {
+		return 1
+	}
+	return float64(del) / float64(off)
+}
+
+// queued is one packet waiting at an engine's input.
+type queued struct {
+	req     pipeline.Request
+	vn      int
+	arrival int64
+}
+
+// LoadTest drives the router open-loop for the given number of cycles:
+// every cycle, each virtual network independently offers a packet with
+// probability perVNLoad (a Bernoulli arrival at that fraction of line
+// rate). Arrivals wait in per-network ingress queues of queueCap packets;
+// each engine accepts one packet per cycle, arbitrating its queues round-
+// robin (the merged engine serves all K, so it saturates — fairly — once
+// K·perVNLoad exceeds 1; the separate scheme gives every network its own
+// engine with per-VN capacity 1).
+func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int64, queueCap int) (LoadReport, error) {
+	if perVNLoad < 0 || perVNLoad > 1 {
+		return LoadReport{}, fmt.Errorf("netsim: per-VN load %g outside [0,1]", perVNLoad)
+	}
+	if queueCap < 1 {
+		return LoadReport{}, fmt.Errorf("netsim: queue capacity %d, want >= 1", queueCap)
+	}
+	images := s.router.Images()
+	scheme := s.router.Config().Scheme
+	sims := make([]*pipeline.Sim, len(images))
+	for e := range images {
+		sims[e] = pipeline.NewSim(images[e])
+	}
+	// Per-VN ingress queues; engineOf maps a VN's queue to its engine.
+	queues := make([][]queued, s.k)
+	engineOf := func(vn int) int {
+		if scheme == core.VM {
+			return 0
+		}
+		return vn
+	}
+	rep := LoadReport{
+		Offered:   make([]int64, s.k),
+		Delivered: make([]int64, s.k),
+		Dropped:   make([]int64, s.k),
+		Cycles:    cycles,
+	}
+	var delaySum float64
+	exitVN := make([][]queued, len(images)) // FIFO of in-flight metadata per engine
+	rrNext := make([]int, len(images))      // round-robin pointer per engine
+	for cyc := int64(0); cyc < cycles; cyc++ {
+		// Arrivals.
+		for vn := 0; vn < s.k; vn++ {
+			if !gen.Bernoulli(perVNLoad) {
+				continue
+			}
+			rep.Offered[vn]++
+			if len(queues[vn]) >= queueCap {
+				rep.Dropped[vn]++
+				continue
+			}
+			p := gen.NextFor(vn)
+			reqVN := 0
+			if scheme == core.VM {
+				reqVN = vn
+			}
+			queues[vn] = append(queues[vn], queued{
+				req:     pipeline.Request{Addr: p.Addr, VN: reqVN},
+				vn:      vn,
+				arrival: cyc,
+			})
+		}
+		// Service: one injection per engine per cycle, round-robin over
+		// the engine's ingress queues.
+		for e := range sims {
+			var req *pipeline.Request
+			for i := 0; i < s.k; i++ {
+				vn := (rrNext[e] + i) % s.k
+				if engineOf(vn) != e || len(queues[vn]) == 0 {
+					continue
+				}
+				q := queues[vn][0]
+				queues[vn] = queues[vn][1:]
+				req = &q.req
+				exitVN[e] = append(exitVN[e], q)
+				rrNext[e] = (vn + 1) % s.k
+				break
+			}
+			_, done := sims[e].Inject(req)
+			if done {
+				meta := exitVN[e][0]
+				exitVN[e] = exitVN[e][1:]
+				rep.Delivered[meta.vn]++
+				delaySum += float64(cyc - meta.arrival)
+			}
+		}
+	}
+	var delivered int64
+	for _, d := range rep.Delivered {
+		delivered += d
+	}
+	if delivered > 0 {
+		rep.MeanDelayCycles = delaySum / float64(delivered)
+	}
+	return rep, nil
+}

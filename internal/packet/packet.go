@@ -1,0 +1,187 @@
+// Package packet implements the wire formats the router's data plane parses
+// and edits around the Layer-3 lookup: Ethernet II framing, an 802.1Q-style
+// VLAN tag carrying the virtual network identifier (VNID, Section IV-C of
+// the paper), and the IPv4 header with checksum maintenance. The paper
+// scopes its power study to the lookup engine but notes a complete router
+// also performs "parsing, lookup, editing, scheduling"; this package
+// provides the parsing and editing steps so the end-to-end simulation
+// forwards real frames.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"vrpower/internal/ip"
+)
+
+// Header sizes and offsets (octets).
+const (
+	EthHeaderLen  = 14
+	VLANTagLen    = 4
+	IPv4HeaderLen = 20 // without options
+	MinFrameLen   = EthHeaderLen + VLANTagLen + IPv4HeaderLen
+
+	// EtherTypeVLAN is the 802.1Q TPID.
+	EtherTypeVLAN = 0x8100
+	// EtherTypeIPv4 is the IPv4 ethertype.
+	EtherTypeIPv4 = 0x0800
+)
+
+// Errors returned by Parse.
+var (
+	ErrTruncated   = errors.New("packet: frame truncated")
+	ErrNotVLAN     = errors.New("packet: missing VLAN tag (VNID)")
+	ErrNotIPv4     = errors.New("packet: not an IPv4 payload")
+	ErrBadVersion  = errors.New("packet: IP version is not 4")
+	ErrBadIHL      = errors.New("packet: IPv4 IHL below 5")
+	ErrBadChecksum = errors.New("packet: IPv4 header checksum mismatch")
+	ErrTTLExpired  = errors.New("packet: TTL expired")
+)
+
+// MAC is an Ethernet address.
+type MAC [6]byte
+
+// String renders the MAC in colon notation.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Frame is a parsed VLAN-tagged IPv4 frame. Offsets reference the backing
+// buffer so edits write through to the wire bytes.
+type Frame struct {
+	buf []byte
+
+	Dst, Src MAC
+	// VNID is the virtual network identifier carried in the VLAN VID
+	// field (12 bits).
+	VNID int
+	// Priority is the 3-bit PCP field.
+	Priority int
+
+	// IPv4 fields.
+	TotalLen int
+	TTL      int
+	Protocol int
+	SrcIP    ip.Addr
+	DstIP    ip.Addr
+}
+
+// Bytes returns the backing wire bytes (shared, not copied).
+func (f *Frame) Bytes() []byte { return f.buf }
+
+// Build serialises a VLAN-tagged IPv4 frame. payloadLen pads the IP total
+// length; the payload bytes themselves are zero. ttl must be in [0,255] and
+// vnid in [0,4095].
+func Build(dst, src MAC, vnid, priority int, srcIP, dstIP ip.Addr, ttl, payloadLen int) ([]byte, error) {
+	if vnid < 0 || vnid > 0xFFF {
+		return nil, fmt.Errorf("packet: VNID %d outside [0,4095]", vnid)
+	}
+	if priority < 0 || priority > 7 {
+		return nil, fmt.Errorf("packet: priority %d outside [0,7]", priority)
+	}
+	if ttl < 0 || ttl > 255 {
+		return nil, fmt.Errorf("packet: TTL %d outside [0,255]", ttl)
+	}
+	if payloadLen < 0 || payloadLen > 0xFFFF-IPv4HeaderLen {
+		return nil, fmt.Errorf("packet: payload length %d out of range", payloadLen)
+	}
+	buf := make([]byte, MinFrameLen+payloadLen)
+	copy(buf[0:6], dst[:])
+	copy(buf[6:12], src[:])
+	binary.BigEndian.PutUint16(buf[12:14], EtherTypeVLAN)
+	tci := uint16(priority)<<13 | uint16(vnid)
+	binary.BigEndian.PutUint16(buf[14:16], tci)
+	binary.BigEndian.PutUint16(buf[16:18], EtherTypeIPv4)
+
+	iph := buf[EthHeaderLen+VLANTagLen:]
+	iph[0] = 0x45 // version 4, IHL 5
+	totalLen := IPv4HeaderLen + payloadLen
+	binary.BigEndian.PutUint16(iph[2:4], uint16(totalLen))
+	iph[8] = byte(ttl)
+	iph[9] = 0 // protocol: reserved/test
+	binary.BigEndian.PutUint32(iph[12:16], uint32(srcIP))
+	binary.BigEndian.PutUint32(iph[16:20], uint32(dstIP))
+	binary.BigEndian.PutUint16(iph[10:12], Checksum(iph[:IPv4HeaderLen]))
+	return buf, nil
+}
+
+// Parse validates a VLAN-tagged IPv4 frame and returns its parsed view.
+// The checksum is verified; TTL expiry is not checked here (Forward does).
+func Parse(buf []byte) (*Frame, error) {
+	if len(buf) < MinFrameLen {
+		return nil, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(buf[12:14]) != EtherTypeVLAN {
+		return nil, ErrNotVLAN
+	}
+	if binary.BigEndian.Uint16(buf[16:18]) != EtherTypeIPv4 {
+		return nil, ErrNotIPv4
+	}
+	iph := buf[EthHeaderLen+VLANTagLen:]
+	if iph[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	if iph[0]&0x0F < 5 {
+		return nil, ErrBadIHL
+	}
+	if Checksum(iph[:IPv4HeaderLen]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	totalLen := int(binary.BigEndian.Uint16(iph[2:4]))
+	if totalLen < IPv4HeaderLen || EthHeaderLen+VLANTagLen+totalLen > len(buf) {
+		return nil, ErrTruncated
+	}
+	f := &Frame{buf: buf}
+	copy(f.Dst[:], buf[0:6])
+	copy(f.Src[:], buf[6:12])
+	tci := binary.BigEndian.Uint16(buf[14:16])
+	f.VNID = int(tci & 0xFFF)
+	f.Priority = int(tci >> 13)
+	f.TotalLen = totalLen
+	f.TTL = int(iph[8])
+	f.Protocol = int(iph[9])
+	f.SrcIP = ip.Addr(binary.BigEndian.Uint32(iph[12:16]))
+	f.DstIP = ip.Addr(binary.BigEndian.Uint32(iph[16:20]))
+	return f, nil
+}
+
+// Forward performs the per-hop edit after a successful lookup: decrement
+// TTL (incrementally updating the checksum per RFC 1141) and rewrite the
+// Ethernet source/destination for the next hop. It fails with ErrTTLExpired
+// when the TTL is already <= 1, in which case the frame is unmodified.
+func (f *Frame) Forward(nextHopMAC, egressMAC MAC) error {
+	if f.TTL <= 1 {
+		return ErrTTLExpired
+	}
+	iph := f.buf[EthHeaderLen+VLANTagLen:]
+	iph[8]--
+	f.TTL--
+	// RFC 1141 incremental update: TTL sits in the high byte of word 4.
+	sum := binary.BigEndian.Uint16(iph[10:12])
+	updated := uint32(sum) + 0x0100
+	updated = (updated & 0xFFFF) + (updated >> 16)
+	binary.BigEndian.PutUint16(iph[10:12], uint16(updated))
+	copy(f.buf[0:6], nextHopMAC[:])
+	copy(f.buf[6:12], egressMAC[:])
+	f.Dst = nextHopMAC
+	f.Src = egressMAC
+	return nil
+}
+
+// Checksum computes the Internet checksum over data (RFC 1071). Computing
+// it over a header with its checksum field in place yields 0 iff valid.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,240 @@
+package packet
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vrpower/internal/ip"
+)
+
+var (
+	macA = MAC{0x02, 0, 0, 0, 0, 0xAA}
+	macB = MAC{0x02, 0, 0, 0, 0, 0xBB}
+	macC = MAC{0x02, 0, 0, 0, 0, 0xCC}
+)
+
+func build(t *testing.T, vnid, ttl, payload int) []byte {
+	t.Helper()
+	src, _ := ip.ParseAddr("10.0.0.1")
+	dst, _ := ip.ParseAddr("192.168.5.9")
+	buf, err := Build(macA, macB, vnid, 3, src, dst, ttl, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	buf := build(t, 42, 64, 26) // 26-byte payload -> 40 B min packet + frame
+	f, err := Parse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.VNID != 42 || f.Priority != 3 {
+		t.Errorf("VNID/prio = %d/%d, want 42/3", f.VNID, f.Priority)
+	}
+	if f.TTL != 64 {
+		t.Errorf("TTL = %d, want 64", f.TTL)
+	}
+	if f.TotalLen != IPv4HeaderLen+26 {
+		t.Errorf("TotalLen = %d, want %d", f.TotalLen, IPv4HeaderLen+26)
+	}
+	if f.Dst != macA || f.Src != macB {
+		t.Errorf("MACs = %s/%s", f.Dst, f.Src)
+	}
+	if f.DstIP.String() != "192.168.5.9" || f.SrcIP.String() != "10.0.0.1" {
+		t.Errorf("IPs = %s -> %s", f.SrcIP, f.DstIP)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	srcIP, dstIP := ip.Addr(1), ip.Addr(2)
+	cases := []struct {
+		vnid, prio, ttl, payload int
+	}{
+		{-1, 0, 64, 0},
+		{4096, 0, 64, 0},
+		{1, 8, 64, 0},
+		{1, -1, 64, 0},
+		{1, 0, 256, 0},
+		{1, 0, -1, 0},
+		{1, 0, 64, -1},
+		{1, 0, 64, 0x10000},
+	}
+	for _, c := range cases {
+		if _, err := Build(macA, macB, c.vnid, c.prio, srcIP, dstIP, c.ttl, c.payload); err == nil {
+			t.Errorf("Build(%+v) succeeded, want error", c)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	good := build(t, 1, 64, 6)
+
+	if _, err := Parse(good[:10]); err != ErrTruncated {
+		t.Errorf("truncated: %v", err)
+	}
+
+	noVlan := append([]byte(nil), good...)
+	binary.BigEndian.PutUint16(noVlan[12:14], EtherTypeIPv4)
+	if _, err := Parse(noVlan); err != ErrNotVLAN {
+		t.Errorf("no VLAN: %v", err)
+	}
+
+	notIP := append([]byte(nil), good...)
+	binary.BigEndian.PutUint16(notIP[16:18], 0x86DD)
+	if _, err := Parse(notIP); err != ErrNotIPv4 {
+		t.Errorf("not IPv4: %v", err)
+	}
+
+	badVer := append([]byte(nil), good...)
+	badVer[EthHeaderLen+VLANTagLen] = 0x65
+	if _, err := Parse(badVer); err != ErrBadVersion {
+		t.Errorf("bad version: %v", err)
+	}
+
+	badIHL := append([]byte(nil), good...)
+	badIHL[EthHeaderLen+VLANTagLen] = 0x44
+	if _, err := Parse(badIHL); err != ErrBadIHL {
+		t.Errorf("bad IHL: %v", err)
+	}
+
+	corrupt := append([]byte(nil), good...)
+	corrupt[EthHeaderLen+VLANTagLen+16] ^= 0xFF // flip a DstIP byte
+	if _, err := Parse(corrupt); err != ErrBadChecksum {
+		t.Errorf("corrupted header: %v", err)
+	}
+
+	short := append([]byte(nil), good...)
+	iph := short[EthHeaderLen+VLANTagLen:]
+	binary.BigEndian.PutUint16(iph[2:4], 0xFFF0) // total length beyond buffer
+	binary.BigEndian.PutUint16(iph[10:12], 0)
+	binary.BigEndian.PutUint16(iph[10:12], Checksum(iph[:IPv4HeaderLen]))
+	if _, err := Parse(short); err != ErrTruncated {
+		t.Errorf("overlong total length: %v", err)
+	}
+}
+
+func TestForwardEditsFrame(t *testing.T) {
+	buf := build(t, 7, 64, 0)
+	f, err := Parse(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Forward(macC, macA); err != nil {
+		t.Fatal(err)
+	}
+	// Re-parse the edited wire bytes: checksum must still verify.
+	g, err := Parse(buf)
+	if err != nil {
+		t.Fatalf("re-parse after Forward: %v", err)
+	}
+	if g.TTL != 63 {
+		t.Errorf("TTL = %d, want 63", g.TTL)
+	}
+	if g.Dst != macC || g.Src != macA {
+		t.Errorf("MACs after forward = %s/%s", g.Dst, g.Src)
+	}
+	if g.VNID != 7 {
+		t.Errorf("VNID changed to %d", g.VNID)
+	}
+}
+
+func TestForwardTTLExpiry(t *testing.T) {
+	for _, ttl := range []int{0, 1} {
+		buf := build(t, 1, ttl, 0)
+		f, err := Parse(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := append([]byte(nil), buf...)
+		if err := f.Forward(macC, macA); err != ErrTTLExpired {
+			t.Errorf("TTL %d: Forward = %v, want ErrTTLExpired", ttl, err)
+		}
+		for i := range buf {
+			if buf[i] != before[i] {
+				t.Fatalf("TTL %d: frame modified at byte %d despite expiry", ttl, i)
+			}
+		}
+	}
+}
+
+// Property: Forward's RFC 1141 incremental checksum always matches a full
+// recomputation, for any TTL > 1 and any addresses.
+func TestForwardChecksumProperty(t *testing.T) {
+	f := func(srcIP, dstIP uint32, ttlSeed uint8, vnidSeed uint16) bool {
+		ttl := 2 + int(ttlSeed)%254
+		vnid := int(vnidSeed) % 4096
+		buf, err := Build(macA, macB, vnid, 0, ip.Addr(srcIP), ip.Addr(dstIP), ttl, 0)
+		if err != nil {
+			return false
+		}
+		fr, err := Parse(buf)
+		if err != nil {
+			return false
+		}
+		if err := fr.Forward(macC, macA); err != nil {
+			return false
+		}
+		iph := buf[EthHeaderLen+VLANTagLen:]
+		return Checksum(iph[:IPv4HeaderLen]) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: repeated forwarding decrements TTL once per hop until expiry,
+// with the checksum valid after every hop.
+func TestMultiHopForward(t *testing.T) {
+	buf := build(t, 9, 5, 0)
+	hops := 0
+	for {
+		f, err := Parse(buf)
+		if err != nil {
+			t.Fatalf("hop %d: %v", hops, err)
+		}
+		if err := f.Forward(macC, macA); err == ErrTTLExpired {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		hops++
+		if hops > 10 {
+			t.Fatal("TTL never expired")
+		}
+	}
+	if hops != 4 { // TTL 5 -> forwards at 5,4,3,2; expires at 1
+		t.Errorf("hops = %d, want 4", hops)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 0001 f203 f4f5 f6f7 -> checksum 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Errorf("Checksum = %#04x, want 0x220d", got)
+	}
+	// Odd length pads with zero.
+	if got := Checksum([]byte{0xFF}); got != ^uint16(0xFF00) {
+		t.Errorf("odd-length checksum = %#04x", got)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	if got := macA.String(); got != "02:00:00:00:00:aa" {
+		t.Errorf("MAC string = %q", got)
+	}
+}
+
+func TestParseFuzzDoesNotPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(80)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		Parse(buf) // must not panic regardless of outcome
+	}
+}

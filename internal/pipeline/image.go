@@ -1,0 +1,266 @@
+// Package pipeline implements the linear pipelined IP lookup engine of
+// Section V-D: each trie level is mapped onto a pipeline stage with an
+// independently accessible memory, a packet traverses the stages like a trie
+// walk, and the last stage emits the next-hop information (NHI). The package
+// provides a compiler from (merged) tries to stage memory images, a
+// cycle-accurate simulator with clock-gating activity counters, and a
+// goroutine-per-stage concurrent execution mode.
+package pipeline
+
+import (
+	"fmt"
+
+	"vrpower/internal/ip"
+	"vrpower/internal/merge"
+	"vrpower/internal/trie"
+)
+
+// Entry is one stage-memory word: either an internal node holding two child
+// indices into the next stage's memory, or a leaf holding the NHI vector.
+type Entry struct {
+	Leaf bool
+	// Level is the trie node level this entry belongs to; with folded
+	// shallow levels a stage may hold entries of several levels.
+	Level int
+	// Child indexes the two children. For entries whose level maps to the
+	// same stage (folding) the index is within this stage; otherwise it is
+	// within the next stage.
+	Child [2]uint32
+	// NHI is the per-VN next-hop vector of a leaf (length K).
+	NHI []ip.NextHop
+}
+
+// StageMem is the memory of one pipeline stage.
+type StageMem struct {
+	Entries []Entry
+}
+
+// Image is a compiled pipeline memory image.
+type Image struct {
+	// Stage memories, one per pipeline stage.
+	Stages []StageMem
+	// K is the number of virtual networks (NHI vector width).
+	K int
+	// Map is the level→stage mapping used at compile time.
+	Map trie.StageMap
+}
+
+// node abstracts trie.Node and merge.Node for compilation.
+type node interface {
+	leaf() bool
+	child(b int) node
+	nhi() []ip.NextHop
+}
+
+type uniNode struct{ n *trie.Node }
+
+func (u uniNode) leaf() bool { return u.n.IsLeaf() }
+func (u uniNode) child(b int) node {
+	if u.n.Child[b] == nil {
+		return nil
+	}
+	return uniNode{u.n.Child[b]}
+}
+func (u uniNode) nhi() []ip.NextHop { return []ip.NextHop{u.n.NextHop} }
+
+type mergedNode struct{ n *merge.Node }
+
+func (m mergedNode) leaf() bool { return m.n.IsLeaf() }
+func (m mergedNode) child(b int) node {
+	if m.n.Child[b] == nil {
+		return nil
+	}
+	return mergedNode{m.n.Child[b]}
+}
+func (m mergedNode) nhi() []ip.NextHop { return m.n.NHI }
+
+// Compile maps a leaf-pushed single-network trie onto stages pipeline
+// stages with the plain fold-into-stage-0 level mapping. Leaf pushing is
+// required: only then does every lookup terminate at a leaf, which is what
+// lets the hardware resolve the NHI in the last touched stage.
+func Compile(tr *trie.Trie, stages int) (*Image, error) {
+	if !tr.LeafPushed() {
+		return nil, fmt.Errorf("pipeline: trie must be leaf-pushed before compilation")
+	}
+	sm, err := trie.NewStageMap(stages, tr.Stats().Height)
+	if err != nil {
+		return nil, err
+	}
+	return compile(uniNode{tr.Root()}, 1, sm)
+}
+
+// CompileMapped is Compile with an explicit level→stage mapping, e.g. a
+// memory-balanced one from trie.NewBalancedStageMap.
+func CompileMapped(tr *trie.Trie, sm trie.StageMap) (*Image, error) {
+	if !tr.LeafPushed() {
+		return nil, fmt.Errorf("pipeline: trie must be leaf-pushed before compilation")
+	}
+	return compile(uniNode{tr.Root()}, 1, sm)
+}
+
+// CompileMerged maps a leaf-pushed merged trie onto stages pipeline stages
+// with the plain level mapping.
+func CompileMerged(m *merge.Trie, stages int) (*Image, error) {
+	if !m.LeafPushed() {
+		return nil, fmt.Errorf("pipeline: merged trie must be leaf-pushed before compilation")
+	}
+	sm, err := trie.NewStageMap(stages, m.Stats().Height)
+	if err != nil {
+		return nil, err
+	}
+	return compile(mergedNode{m.Root()}, m.K(), sm)
+}
+
+// CompileMergedMapped is CompileMerged with an explicit level→stage mapping.
+func CompileMergedMapped(m *merge.Trie, sm trie.StageMap) (*Image, error) {
+	if !m.LeafPushed() {
+		return nil, fmt.Errorf("pipeline: merged trie must be leaf-pushed before compilation")
+	}
+	return compile(mergedNode{m.Root()}, m.K(), sm)
+}
+
+func compile(root node, k int, sm trie.StageMap) (*Image, error) {
+	stages := sm.Stages
+	img := &Image{Stages: make([]StageMem, stages), K: k, Map: sm}
+
+	// Two-pass breadth-first layout: first assign every node an index in
+	// its stage, then emit entries with resolved child indices.
+	type placed struct {
+		n     node
+		level int
+		idx   uint32
+	}
+	index := make(map[node]uint32)
+	var order []placed
+	queue := []placed{{n: root, level: 0}}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		s := sm.Stage(p.level)
+		p.idx = uint32(len(img.Stages[s].Entries))
+		img.Stages[s].Entries = append(img.Stages[s].Entries, Entry{}) // reserve
+		index[p.n] = p.idx
+		order = append(order, p)
+		if !p.n.leaf() {
+			for b := 0; b < 2; b++ {
+				c := p.n.child(b)
+				if c == nil {
+					return nil, fmt.Errorf("pipeline: internal node with missing child at level %d (trie not fully leaf-pushed?)", p.level)
+				}
+				queue = append(queue, placed{n: c, level: p.level + 1})
+			}
+		}
+	}
+	for _, p := range order {
+		s := sm.Stage(p.level)
+		e := &img.Stages[s].Entries[p.idx]
+		e.Level = p.level
+		if p.n.leaf() {
+			e.Leaf = true
+			v := p.n.nhi()
+			e.NHI = make([]ip.NextHop, len(v))
+			copy(e.NHI, v)
+			continue
+		}
+		for b := 0; b < 2; b++ {
+			e.Child[b] = index[p.n.child(b)]
+		}
+	}
+	return img, nil
+}
+
+// MemLayout sizes stage memories in bits. PtrBits is the width of one child
+// pointer (the paper reads 18-bit-wide data, Section V-B); NHIBits is the
+// width of one network's next-hop entry.
+//
+// IndirectNHI selects the alternative leaf layout of the DESIGN.md ablation:
+// instead of storing the K-wide NHI vector inline at every leaf (the
+// paper's Section V-D layout), each leaf stores a PtrBits-wide index into a
+// shared table of distinct vectors. When many leaves share the same vector
+// (high-overlap merges), indirection trades one extra memory for much
+// smaller leaf entries.
+type MemLayout struct {
+	PtrBits     int
+	NHIBits     int
+	IndirectNHI bool
+}
+
+// DefaultLayout matches the paper's 18-bit read width with byte-wide NHI.
+func DefaultLayout() MemLayout { return MemLayout{PtrBits: 18, NHIBits: 8} }
+
+// EntryBits returns the storage cost of one entry for a K-network image:
+// internal nodes store two child pointers, leaves store the K-wide NHI
+// vector (Section V-D) or an index into the shared vector table.
+func (l MemLayout) EntryBits(e Entry, k int) int64 {
+	if e.Leaf {
+		if l.IndirectNHI {
+			return int64(l.PtrBits)
+		}
+		return int64(k) * int64(l.NHIBits)
+	}
+	return 2 * int64(l.PtrBits)
+}
+
+// NHITableBits returns the size of the shared distinct-vector table used by
+// the indirect layout (0 for the inline layout).
+func (l MemLayout) NHITableBits(img *Image) int64 {
+	if !l.IndirectNHI {
+		return 0
+	}
+	distinct := make(map[string]bool)
+	var key []byte
+	for s := range img.Stages {
+		for _, e := range img.Stages[s].Entries {
+			if !e.Leaf {
+				continue
+			}
+			key = key[:0]
+			for _, nh := range e.NHI {
+				key = append(key, byte(nh), byte(nh>>8))
+			}
+			distinct[string(key)] = true
+		}
+	}
+	return int64(len(distinct)) * int64(img.K) * int64(l.NHIBits)
+}
+
+// StageBits returns the memory size of stage s in bits. With the indirect
+// layout the shared vector table is charged to the last stage, where the
+// hardware resolves the final NHI.
+func (l MemLayout) StageBits(img *Image, s int) int64 {
+	var bits int64
+	for _, e := range img.Stages[s].Entries {
+		bits += l.EntryBits(e, img.K)
+	}
+	if s == len(img.Stages)-1 {
+		bits += l.NHITableBits(img)
+	}
+	return bits
+}
+
+// AllStageBits returns per-stage memory sizes for the whole image, the
+// M_{i,j} vector the power models consume.
+func (l MemLayout) AllStageBits(img *Image) []int64 {
+	out := make([]int64, len(img.Stages))
+	for s := range img.Stages {
+		out[s] = l.StageBits(img, s)
+	}
+	return out
+}
+
+// PointerAndNHIBits splits the image's memory into pointer bits (internal
+// nodes) and NHI bits (leaf entries plus any shared vector table), the two
+// panels of Fig. 4.
+func (l MemLayout) PointerAndNHIBits(img *Image) (ptr, nhi int64) {
+	for s := range img.Stages {
+		for _, e := range img.Stages[s].Entries {
+			if e.Leaf {
+				nhi += l.EntryBits(e, img.K)
+			} else {
+				ptr += l.EntryBits(e, img.K)
+			}
+		}
+	}
+	nhi += l.NHITableBits(img)
+	return ptr, nhi
+}

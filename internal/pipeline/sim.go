@@ -1,0 +1,275 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"vrpower/internal/ip"
+)
+
+// Request is one lookup entering the pipeline: the destination address plus
+// the virtual network identifier carried in the packet header (VNID,
+// Section IV-C). Single-network engines use VN 0.
+type Request struct {
+	Addr ip.Addr
+	VN   int
+}
+
+// Result is a completed lookup.
+type Result struct {
+	Request
+	NHI ip.NextHop
+	// EnterCycle and ExitCycle stamp pipeline entry and exit; their
+	// difference is the pipeline latency in cycles.
+	EnterCycle int64
+	ExitCycle  int64
+}
+
+// Stats aggregates a simulation run.
+type Stats struct {
+	// Cycles is the total simulated cycle count.
+	Cycles int64
+	// Lookups is the number of completed requests.
+	Lookups int64
+	// StageActive counts, per stage, cycles in which the stage performed a
+	// memory access. With clock gating, idle cycles burn no dynamic power;
+	// shallow lookups leave deep stages unaccessed.
+	StageActive []int64
+	// StageOccupied counts, per stage, cycles in which the stage register
+	// held a packet (resolved or not). Occupied/Cycles is the duty-cycle
+	// utilization µ of the paper's Assumption 1.
+	StageOccupied []int64
+}
+
+// Utilization returns the mean fraction of memory-access-active cycles
+// across stages.
+func (s Stats) Utilization() float64 {
+	return meanFraction(s.StageActive, s.Cycles)
+}
+
+// Occupancy returns the mean fraction of cycles stages held a packet — the
+// duty-cycle µ of Assumption 1 (1 under back-to-back traffic).
+func (s Stats) Occupancy() float64 {
+	return meanFraction(s.StageOccupied, s.Cycles)
+}
+
+func meanFraction(counts []int64, cycles int64) float64 {
+	if cycles == 0 || len(counts) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, a := range counts {
+		sum += a
+	}
+	return float64(sum) / float64(cycles) / float64(len(counts))
+}
+
+// flight is a packet in a stage register.
+type flight struct {
+	req      Request
+	idx      uint32 // entry index in the current stage
+	resolved bool
+	nhi      ip.NextHop
+	enter    int64
+}
+
+// Sim is the cycle-accurate pipeline simulator. One packet can occupy each
+// stage register, so a full pipeline completes one lookup per cycle — the
+// throughput model behind the paper's Gbps numbers (Section VI-B).
+type Sim struct {
+	img  *Image
+	regs []*flight
+	now  int64
+	st   Stats
+}
+
+// NewSim builds a simulator over a compiled image.
+func NewSim(img *Image) *Sim {
+	return &Sim{
+		img:  img,
+		regs: make([]*flight, len(img.Stages)),
+		st: Stats{
+			StageActive:   make([]int64, len(img.Stages)),
+			StageOccupied: make([]int64, len(img.Stages)),
+		},
+	}
+}
+
+// step advances one clock cycle; in is the packet entering stage 0 (nil for
+// an idle input cycle). It returns the packet leaving the last stage, if any.
+func (s *Sim) step(in *flight) *flight {
+	n := len(s.regs)
+	out := s.regs[n-1]
+	// Shift the pipeline from the back so each packet advances one stage.
+	for i := n - 1; i > 0; i-- {
+		s.regs[i] = s.regs[i-1]
+	}
+	s.regs[0] = in
+	// Each stage processes the packet now in its register.
+	for i, f := range s.regs {
+		if f == nil {
+			continue
+		}
+		s.st.StageOccupied[i]++
+		if f.resolved {
+			continue
+		}
+		s.st.StageActive[i]++
+		s.process(i, f)
+	}
+	s.now++
+	s.st.Cycles++
+	if out != nil {
+		s.st.Lookups++
+	}
+	return out
+}
+
+// process performs stage i's memory accesses for packet f, following folded
+// levels within the stage in the same cycle.
+func (s *Sim) process(stage int, f *flight) {
+	for {
+		e := s.img.Stages[stage].Entries[f.idx]
+		if e.Leaf {
+			f.resolved = true
+			vn := f.req.VN
+			if vn < 0 || vn >= len(e.NHI) {
+				f.nhi = ip.NoRoute
+			} else {
+				f.nhi = e.NHI[vn]
+			}
+			return
+		}
+		bit := f.req.Addr.Bit(e.Level)
+		next := e.Child[bit]
+		if s.img.Map.Stage(e.Level+1) == stage {
+			// Folded level: the child lives in this same stage memory,
+			// walked within the same stage visit.
+			f.idx = next
+			continue
+		}
+		f.idx = next
+		return
+	}
+}
+
+// Run feeds the requests into the pipeline, one per interarrival cycles
+// (interarrival 1 = back-to-back traffic at full line rate), then drains.
+// Results are returned in completion order, which equals request order.
+func (s *Sim) Run(reqs []Request, interarrival int) ([]Result, Stats, error) {
+	if interarrival < 1 {
+		return nil, Stats{}, fmt.Errorf("pipeline: interarrival %d, want >= 1", interarrival)
+	}
+	results := make([]Result, 0, len(reqs))
+	collect := func(f *flight) {
+		if f == nil {
+			return
+		}
+		results = append(results, Result{
+			Request:    f.req,
+			NHI:        f.nhi,
+			EnterCycle: f.enter,
+			ExitCycle:  s.now - 1, // cycle at which the packet left the last stage
+		})
+	}
+	for i, r := range reqs {
+		collect(s.step(&flight{req: r, idx: 0, enter: s.now}))
+		for g := 1; g < interarrival && i < len(reqs)-1; g++ {
+			collect(s.step(nil))
+		}
+	}
+	// Drain.
+	for i := 0; i < len(s.img.Stages); i++ {
+		collect(s.step(nil))
+	}
+	return results, s.st, nil
+}
+
+// Stats returns the accumulated counters.
+func (s *Sim) Stats() Stats { return s.st }
+
+// Lookup runs a single request through a throwaway pipeline and returns its
+// NHI — a convenience for correctness checks.
+func Lookup(img *Image, req Request) ip.NextHop {
+	sim := NewSim(img)
+	res, _, err := sim.Run([]Request{req}, 1)
+	if err != nil || len(res) != 1 {
+		return ip.NoRoute
+	}
+	return res[0].NHI
+}
+
+// RunConcurrent executes the same semantics as Run(reqs, 1) with one
+// goroutine per pipeline stage connected by channels — the share-memory-by-
+// communicating construction of the same hardware structure. Results arrive
+// in request order. Cycle stamps are not meaningful in this mode; activity
+// counters are not collected.
+func RunConcurrent(img *Image, reqs []Request) []Result {
+	type token struct {
+		f *flight
+	}
+	in := make(chan token, 1)
+	cur := in
+	for i := range img.Stages {
+		next := make(chan token, 1)
+		go func(stage int, from, to chan token) {
+			for t := range from {
+				f := t.f
+				if !f.resolved {
+					// Same per-stage work as Sim.process.
+					for {
+						e := img.Stages[stage].Entries[f.idx]
+						if e.Leaf {
+							f.resolved = true
+							if f.req.VN < 0 || f.req.VN >= len(e.NHI) {
+								f.nhi = ip.NoRoute
+							} else {
+								f.nhi = e.NHI[f.req.VN]
+							}
+							break
+						}
+						bit := f.req.Addr.Bit(e.Level)
+						f.idx = e.Child[bit]
+						if img.Map.Stage(e.Level+1) != stage {
+							break
+						}
+					}
+				}
+				to <- t
+			}
+			close(to)
+		}(i, cur, next)
+		cur = next
+	}
+	go func() {
+		for i := range reqs {
+			in <- token{&flight{req: reqs[i], idx: 0}}
+		}
+		close(in)
+	}()
+	results := make([]Result, 0, len(reqs))
+	for t := range cur {
+		results = append(results, Result{Request: t.f.req, NHI: t.f.nhi})
+	}
+	return results
+}
+
+// Inject advances the pipeline one cycle, feeding req into stage 0 (nil for
+// an idle cycle), and reports the lookup that left the last stage, if any.
+// It is the building block for open-loop load experiments where arrivals
+// queue outside the pipeline.
+func (s *Sim) Inject(req *Request) (Result, bool) {
+	var in *flight
+	if req != nil {
+		in = &flight{req: *req, idx: 0, enter: s.now}
+	}
+	out := s.step(in)
+	if out == nil {
+		return Result{}, false
+	}
+	return Result{
+		Request:    out.req,
+		NHI:        out.nhi,
+		EnterCycle: out.enter,
+		ExitCycle:  s.now - 1,
+	}, true
+}

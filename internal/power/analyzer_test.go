@@ -1,0 +1,154 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"vrpower/internal/fpga"
+)
+
+func vsDesign(k int, grade fpga.SpeedGrade, bitsPerStage int64) SystemDesign {
+	engines := make([]EngineDesign, k)
+	for i := range engines {
+		engines[i] = EngineDesign{StageBits: stage28(bitsPerStage), Utilization: 1 / float64(k)}
+	}
+	return SystemDesign{Grade: grade, Mode: fpga.BRAM18Mode, FMHz: 300,
+		Devices: 1, Engines: engines, ClockGating: true}
+}
+
+func nvDesign(k int, grade fpga.SpeedGrade, bitsPerStage int64) SystemDesign {
+	d := vsDesign(k, grade, bitsPerStage)
+	d.Devices = k
+	return d
+}
+
+func vmDesign(k int, grade fpga.SpeedGrade, bitsPerStage int64) SystemDesign {
+	// Merged: one engine whose per-stage memory grows with K — pointer
+	// sharing saves some, but the K-wide leaf NHI vectors dominate, so the
+	// realistic scale is roughly 2·K times a single table's stage memory
+	// at low merging efficiency.
+	return SystemDesign{Grade: grade, Mode: fpga.BRAM18Mode, FMHz: 300, Devices: 1,
+		Engines:     []EngineDesign{{StageBits: stage28(bitsPerStage * 2 * int64(k)), Utilization: 1}},
+		ClockGating: true,
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	a := NewAnalyzer()
+	d := vsDesign(5, fpga.Grade2, 10*fpga.Kb)
+	m1, err := a.Measure(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := a.Measure(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Errorf("Measure not deterministic: %+v vs %+v", m1, m2)
+	}
+}
+
+func TestMeasurePropagatesValidation(t *testing.T) {
+	a := NewAnalyzer()
+	if _, err := a.Measure(SystemDesign{}); err == nil {
+		t.Error("Measure(zero design) succeeded, want error")
+	}
+}
+
+// TestErrorEnvelope reproduces the Fig. 7 bound: across the full K sweep for
+// all three schemes and both grades, model-vs-measured error stays within
+// ±3 %.
+func TestErrorEnvelope(t *testing.T) {
+	a := NewAnalyzer()
+	maxAbs := 0.0
+	for _, grade := range fpga.Grades() {
+		for k := 1; k <= 15; k++ {
+			for _, d := range []SystemDesign{
+				nvDesign(k, grade, 10*fpga.Kb),
+				vsDesign(k, grade, 10*fpga.Kb),
+				vmDesign(k, grade, 10*fpga.Kb),
+			} {
+				model, err := Estimate(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exp, err := a.Measure(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e := PercentError(model.Total(), exp.Total())
+				if math.Abs(e) > maxAbs {
+					maxAbs = math.Abs(e)
+				}
+				if math.Abs(e) > 3.0 {
+					t.Errorf("grade %s K=%d: error %.2f%% exceeds ±3%%", grade, k, e)
+				}
+			}
+		}
+	}
+	if maxAbs < 0.2 {
+		t.Errorf("max error %.2f%% suspiciously small; Analyzer effects not engaged", maxAbs)
+	}
+}
+
+// TestVSExperimentalDecreases reproduces the Fig. 6 observation: measured
+// power of the separate scheme decreases as engines share one device, while
+// the model stays flat.
+func TestVSExperimentalDecreases(t *testing.T) {
+	a := NewAnalyzer()
+	m1, err := a.Measure(vsDesign(1, fpga.Grade2, 10*fpga.Kb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m15, err := a.Measure(vsDesign(15, fpga.Grade2, 10*fpga.Kb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m15.Total() >= m1.Total() {
+		t.Errorf("measured VS power at K=15 (%g) not below K=1 (%g)", m15.Total(), m1.Total())
+	}
+	e1, _ := Estimate(vsDesign(1, fpga.Grade2, 10*fpga.Kb))
+	e15, _ := Estimate(vsDesign(15, fpga.Grade2, 10*fpga.Kb))
+	if math.Abs(e15.Total()-e1.Total()) > 1e-9 {
+		t.Errorf("model VS power should be K-invariant: %g vs %g", e1.Total(), e15.Total())
+	}
+}
+
+// TestMergedErrorLargest reproduces the Fig. 7 structure: the merged scheme,
+// with its block-heavy stages, shows larger model error than NV/VS.
+func TestMergedErrorLargest(t *testing.T) {
+	a := NewAnalyzer()
+	worst := func(mk func(int, fpga.SpeedGrade, int64) SystemDesign) float64 {
+		w := 0.0
+		for k := 2; k <= 15; k++ {
+			d := mk(k, fpga.Grade2, 10*fpga.Kb)
+			model, _ := Estimate(d)
+			exp, err := a.Measure(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := math.Abs(PercentError(model.Total(), exp.Total())); e > w {
+				w = e
+			}
+		}
+		return w
+	}
+	nv := worst(nvDesign)
+	vm := worst(vmDesign)
+	if vm <= nv {
+		t.Errorf("merged worst error %.2f%% not above NV worst %.2f%%", vm, nv)
+	}
+}
+
+func TestPercentError(t *testing.T) {
+	if got := PercentError(103, 100); math.Abs(got-3) > 1e-12 {
+		t.Errorf("PercentError(103,100) = %g, want 3", got)
+	}
+	if got := PercentError(97, 100); math.Abs(got+3) > 1e-12 {
+		t.Errorf("PercentError(97,100) = %g, want -3", got)
+	}
+	if PercentError(1, 0) != 0 {
+		t.Error("zero experimental should return 0")
+	}
+}

@@ -1,0 +1,110 @@
+// Package power implements the paper's Layer-3 power models: the component
+// models calibrated in Section V (static power, the BRAM model of Table III,
+// the per-stage logic+signal model of Fig. 3), the scheme-level analytical
+// models of Section IV (Eq. 2, 4, 6), and an XPower-Analyzer-like Analyzer
+// that plays the role of the paper's post place-and-route "experimental"
+// measurement, including the synthesis-optimisation effects the paper
+// identifies as its ±3 % error source (Section VI-A).
+//
+// Units: totals are Watts; published coefficients are µW per MHz.
+package power
+
+import "vrpower/internal/fpga"
+
+// StaticWatts returns the device static (leakage) power P_L in Watts
+// (Section V-A): 4.5 W for grade -2, 3.1 W for -1L, before the ±5 % area
+// dependence the Analyzer applies.
+func StaticWatts(g fpga.SpeedGrade) float64 {
+	if g == fpga.Grade1L {
+		return 3.1
+	}
+	return 4.5
+}
+
+// StaticAreaSpread is the published variation of static power with the area
+// covered by used resources (±5 %, Section V-A).
+const StaticAreaSpread = 0.05
+
+// BRAMCoeffMicroW returns the Table III coefficient in µW per MHz per block:
+//
+//	18Kb (-2):  13.65    36Kb (-2):  24.60
+//	18Kb (-1L): 11.00    36Kb (-1L): 19.70
+func BRAMCoeffMicroW(g fpga.SpeedGrade, m fpga.BRAMMode) float64 {
+	switch {
+	case g == fpga.Grade2 && m == fpga.BRAM18Mode:
+		return 13.65
+	case g == fpga.Grade2 && m == fpga.BRAM36Mode:
+		return 24.60
+	case g == fpga.Grade1L && m == fpga.BRAM18Mode:
+		return 11.00
+	default:
+		return 19.70
+	}
+}
+
+// BRAMBlockWatts returns the dynamic power of a single BRAM block at fMHz.
+func BRAMBlockWatts(g fpga.SpeedGrade, m fpga.BRAMMode, fMHz float64) float64 {
+	return BRAMCoeffMicroW(g, m) * fMHz * 1e-6
+}
+
+// BRAMWatts returns the Table III model for a memory of the given size:
+// ⌈bits/blockBits⌉ × coeff × f. Block quantisation is the defining feature
+// of the model (Section V-B).
+func BRAMWatts(g fpga.SpeedGrade, m fpga.BRAMMode, bits int64, fMHz float64) float64 {
+	return float64(m.BlocksFor(bits)) * BRAMBlockWatts(g, m, fMHz)
+}
+
+// DistRAMCoeffMicroWPerKb returns the distributed-RAM dynamic coefficient
+// in µW per Kb per MHz. LUT-based memory has no block floor, so tiny stage
+// memories beat BRAM's ⌈M/18K⌉ quantisation, but per stored bit it burns
+// more than a well-filled block (0.76 µW/Kb/MHz for a full 18 Kb block).
+func DistRAMCoeffMicroWPerKb(g fpga.SpeedGrade) float64 {
+	if g == fpga.Grade1L {
+		return 1.55
+	}
+	return 2.0
+}
+
+// DistRAMQuantumBits is the allocation quantum of LUT RAM (one 64-bit LUT).
+const DistRAMQuantumBits = 64
+
+// DistRAMWatts returns distributed-RAM dynamic power for a memory of the
+// given size at fMHz, quantised to 64-bit LUTs.
+func DistRAMWatts(g fpga.SpeedGrade, bits int64, fMHz float64) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	quanta := (bits + DistRAMQuantumBits - 1) / DistRAMQuantumBits
+	kb := float64(quanta*DistRAMQuantumBits) / 1024
+	return kb * DistRAMCoeffMicroWPerKb(g) * fMHz * 1e-6
+}
+
+// LogicCoeffMicroW returns the per-pipeline-stage logic+signal coefficient
+// in µW per MHz (Section V-C): 5.180 for -2, 3.937 for -1L.
+func LogicCoeffMicroW(g fpga.SpeedGrade) float64 {
+	if g == fpga.Grade1L {
+		return 3.937
+	}
+	return 5.180
+}
+
+// LogicStageWatts returns per-stage logic+signal dynamic power at fMHz.
+func LogicStageWatts(g fpga.SpeedGrade, fMHz float64) float64 {
+	return LogicCoeffMicroW(g) * fMHz * 1e-6
+}
+
+// LogicSignalSplit is the fraction of the per-stage coefficient attributed
+// to logic proper; the remainder is signal (interconnect) power. The paper
+// reports the two "as a whole" (Section V-C) but plots them separately in
+// Fig. 3; this split reconstructs the two series.
+const LogicSignalSplit = 0.55
+
+// LogicOnlyStageWatts returns the logic-only component of the Fig. 3 series.
+func LogicOnlyStageWatts(g fpga.SpeedGrade, fMHz float64) float64 {
+	return LogicStageWatts(g, fMHz) * LogicSignalSplit
+}
+
+// SignalStageWatts returns the signal-only component of the Fig. 3 series.
+func SignalStageWatts(g fpga.SpeedGrade, fMHz float64) float64 {
+	return LogicStageWatts(g, fMHz) * (1 - LogicSignalSplit)
+}

@@ -1,0 +1,220 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"vrpower/internal/fpga"
+)
+
+func TestStaticWatts(t *testing.T) {
+	if got := StaticWatts(fpga.Grade2); got != 4.5 {
+		t.Errorf("static -2 = %g, want 4.5 (Section V-A)", got)
+	}
+	if got := StaticWatts(fpga.Grade1L); got != 3.1 {
+		t.Errorf("static -1L = %g, want 3.1 (Section V-A)", got)
+	}
+}
+
+func TestBRAMCoefficientsTableIII(t *testing.T) {
+	cases := []struct {
+		g    fpga.SpeedGrade
+		m    fpga.BRAMMode
+		want float64
+	}{
+		{fpga.Grade2, fpga.BRAM18Mode, 13.65},
+		{fpga.Grade2, fpga.BRAM36Mode, 24.60},
+		{fpga.Grade1L, fpga.BRAM18Mode, 11.00},
+		{fpga.Grade1L, fpga.BRAM36Mode, 19.70},
+	}
+	for _, c := range cases {
+		if got := BRAMCoeffMicroW(c.g, c.m); got != c.want {
+			t.Errorf("coeff(%s,%s) = %g, want %g", c.g, c.m, got, c.want)
+		}
+	}
+}
+
+func TestBRAMWattsQuantisation(t *testing.T) {
+	// Table III: power counts blocks, not bits — 1 bit costs a full block.
+	oneBit := BRAMWatts(fpga.Grade2, fpga.BRAM18Mode, 1, 300)
+	fullBlock := BRAMWatts(fpga.Grade2, fpga.BRAM18Mode, 18*fpga.Kb, 300)
+	if oneBit != fullBlock {
+		t.Errorf("1 bit %g W != full block %g W; BRAM power must be block-quantised", oneBit, fullBlock)
+	}
+	want := 13.65 * 300 * 1e-6
+	if math.Abs(fullBlock-want) > 1e-12 {
+		t.Errorf("18Kb(-2) block at 300 MHz = %g W, want %g", fullBlock, want)
+	}
+	if BRAMWatts(fpga.Grade2, fpga.BRAM18Mode, 0, 300) != 0 {
+		t.Error("0 bits should cost 0 W")
+	}
+}
+
+func TestBRAMPowerMonotone(t *testing.T) {
+	// Fig. 2: BRAM power increases monotonically with size and frequency.
+	prev := 0.0
+	for _, f := range []float64{100, 150, 200, 250, 300, 350, 400} {
+		p := BRAMBlockWatts(fpga.Grade2, fpga.BRAM36Mode, f)
+		if p <= prev {
+			t.Errorf("power at %g MHz (%g) not > previous (%g)", f, p, prev)
+		}
+		prev = p
+	}
+	for f := 100.0; f <= 400; f += 100 {
+		if BRAMBlockWatts(fpga.Grade1L, fpga.BRAM18Mode, f) >= BRAMBlockWatts(fpga.Grade2, fpga.BRAM18Mode, f) {
+			t.Errorf("-1L should be below -2 at %g MHz", f)
+		}
+		if BRAMBlockWatts(fpga.Grade2, fpga.BRAM18Mode, f) >= BRAMBlockWatts(fpga.Grade2, fpga.BRAM36Mode, f) {
+			t.Errorf("18Kb should be below 36Kb at %g MHz", f)
+		}
+	}
+}
+
+func TestLogicCoefficients(t *testing.T) {
+	if got := LogicCoeffMicroW(fpga.Grade2); got != 5.180 {
+		t.Errorf("logic coeff -2 = %g, want 5.180 (Section V-C)", got)
+	}
+	if got := LogicCoeffMicroW(fpga.Grade1L); got != 3.937 {
+		t.Errorf("logic coeff -1L = %g, want 3.937 (Section V-C)", got)
+	}
+	// Fig. 3 split components must sum to the published total.
+	f := 250.0
+	total := LogicStageWatts(fpga.Grade2, f)
+	sum := LogicOnlyStageWatts(fpga.Grade2, f) + SignalStageWatts(fpga.Grade2, f)
+	if math.Abs(total-sum) > 1e-12 {
+		t.Errorf("logic+signal split %g != total %g", sum, total)
+	}
+}
+
+func stage28(bitsPerStage int64) []int64 {
+	s := make([]int64, 28)
+	for i := range s {
+		s[i] = bitsPerStage
+	}
+	return s
+}
+
+func TestEstimateValidation(t *testing.T) {
+	bad := []SystemDesign{
+		{Devices: 0, FMHz: 300, Engines: []EngineDesign{{StageBits: stage28(1000), Utilization: 1}}},
+		{Devices: 1, FMHz: 0, Engines: []EngineDesign{{StageBits: stage28(1000), Utilization: 1}}},
+		{Devices: 1, FMHz: 300},
+		{Devices: 1, FMHz: 300, Engines: []EngineDesign{{StageBits: nil, Utilization: 1}}},
+		{Devices: 1, FMHz: 300, Engines: []EngineDesign{{StageBits: stage28(1000), Utilization: 1.5}}},
+		{Devices: 1, FMHz: 300, Engines: []EngineDesign{{StageBits: stage28(1000), Utilization: -0.1}}},
+	}
+	for i, d := range bad {
+		if _, err := Estimate(d); err == nil {
+			t.Errorf("design %d accepted, want error", i)
+		}
+	}
+}
+
+func TestEstimateSingleEngine(t *testing.T) {
+	d := SystemDesign{
+		Grade:       fpga.Grade2,
+		Mode:        fpga.BRAM18Mode,
+		FMHz:        300,
+		Devices:     1,
+		Engines:     []EngineDesign{{StageBits: stage28(10 * fpga.Kb), Utilization: 1}},
+		ClockGating: true,
+	}
+	b, err := Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Static != 4.5 {
+		t.Errorf("Static = %g, want 4.5", b.Static)
+	}
+	wantLogic := 28 * 5.180 * 300 * 1e-6
+	if math.Abs(b.Logic-wantLogic) > 1e-9 {
+		t.Errorf("Logic = %g, want %g", b.Logic, wantLogic)
+	}
+	wantMem := 28 * 13.65 * 300 * 1e-6 // one 18Kb block per stage
+	if math.Abs(b.Memory-wantMem) > 1e-9 {
+		t.Errorf("Memory = %g, want %g", b.Memory, wantMem)
+	}
+	if math.Abs(b.Total()-(b.Static+b.Logic+b.Memory)) > 1e-12 {
+		t.Error("Total != sum of parts")
+	}
+}
+
+func TestEstimateUtilizationScalesDynamicOnly(t *testing.T) {
+	full := SystemDesign{
+		Grade: fpga.Grade2, Mode: fpga.BRAM18Mode, FMHz: 300, Devices: 1,
+		Engines:     []EngineDesign{{StageBits: stage28(10 * fpga.Kb), Utilization: 1}},
+		ClockGating: true,
+	}
+	half := full
+	half.Engines = []EngineDesign{{StageBits: stage28(10 * fpga.Kb), Utilization: 0.5}}
+	fb, _ := Estimate(full)
+	hb, _ := Estimate(half)
+	if hb.Static != fb.Static {
+		t.Error("utilization must not affect static power")
+	}
+	if math.Abs(hb.Logic-fb.Logic/2) > 1e-12 || math.Abs(hb.Memory-fb.Memory/2) > 1e-12 {
+		t.Errorf("half utilization: logic %g memory %g, want half of %g/%g", hb.Logic, hb.Memory, fb.Logic, fb.Memory)
+	}
+}
+
+func TestEstimateClockGatingOff(t *testing.T) {
+	d := SystemDesign{
+		Grade: fpga.Grade2, Mode: fpga.BRAM18Mode, FMHz: 300, Devices: 1,
+		Engines:     []EngineDesign{{StageBits: stage28(10 * fpga.Kb), Utilization: 0.25}},
+		ClockGating: false,
+	}
+	b, _ := Estimate(d)
+	gated := d
+	gated.ClockGating = true
+	gb, _ := Estimate(gated)
+	if b.Logic <= gb.Logic || b.Memory <= gb.Memory {
+		t.Error("without clock gating, idle cycles must still burn dynamic power")
+	}
+}
+
+func TestEstimateNVScalesWithDevices(t *testing.T) {
+	// Eq. 2: K devices, each with one engine at utilization 1/K. Static
+	// scales with K; total dynamic stays constant.
+	mk := func(k int) SystemDesign {
+		engines := make([]EngineDesign, k)
+		for i := range engines {
+			engines[i] = EngineDesign{StageBits: stage28(10 * fpga.Kb), Utilization: 1 / float64(k)}
+		}
+		return SystemDesign{Grade: fpga.Grade2, Mode: fpga.BRAM18Mode, FMHz: 300,
+			Devices: k, Engines: engines, ClockGating: true}
+	}
+	b1, _ := Estimate(mk(1))
+	b8, _ := Estimate(mk(8))
+	if math.Abs(b8.Static-8*b1.Static) > 1e-9 {
+		t.Errorf("NV static at K=8 = %g, want %g", b8.Static, 8*b1.Static)
+	}
+	if math.Abs(b8.Logic-b1.Logic) > 1e-9 || math.Abs(b8.Memory-b1.Memory) > 1e-9 {
+		t.Error("NV total dynamic should be K-invariant under uniform utilization")
+	}
+}
+
+func TestTotalBlocks(t *testing.T) {
+	d := SystemDesign{
+		Grade: fpga.Grade2, Mode: fpga.BRAM18Mode, FMHz: 300, Devices: 1,
+		Engines: []EngineDesign{
+			{StageBits: []int64{1, 19 * fpga.Kb, 0}, Utilization: 1},
+			{StageBits: []int64{40 * fpga.Kb}, Utilization: 1},
+		},
+	}
+	total, max := d.TotalBlocks()
+	if total != 1+2+0+3 {
+		t.Errorf("total blocks = %d, want 6", total)
+	}
+	if max != 3 {
+		t.Errorf("max blocks/stage = %d, want 3", max)
+	}
+}
+
+func TestMilliwattsPerGbps(t *testing.T) {
+	if got := MilliwattsPerGbps(4.5, 100); math.Abs(got-45) > 1e-9 {
+		t.Errorf("4.5 W at 100 Gbps = %g mW/Gbps, want 45", got)
+	}
+	if MilliwattsPerGbps(4.5, 0) != 0 {
+		t.Error("zero throughput should return 0, not Inf")
+	}
+}

@@ -1,0 +1,147 @@
+// Package rib implements the Routing Information Base substrate of the
+// reproduction: routing tables, a synthetic BGP-like table generator that
+// stands in for the Potaroo snapshots used by the paper (Section V-E), text
+// serialisation, and overlap-controlled generation of K virtual-network
+// tables for a target trie merging efficiency.
+package rib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vrpower/internal/ip"
+)
+
+// Table is a named routing table for one (virtual) network.
+type Table struct {
+	// Name identifies the table (e.g. "vn3" or a file name).
+	Name string
+	// Routes holds the table's routes. Prefixes are unique.
+	Routes []ip.Route
+}
+
+// Len returns the number of routes.
+func (t *Table) Len() int { return len(t.Routes) }
+
+// Add appends a route, replacing any existing route with the same prefix.
+func (t *Table) Add(r ip.Route) {
+	for i := range t.Routes {
+		if t.Routes[i].Prefix == r.Prefix {
+			t.Routes[i].NextHop = r.NextHop
+			return
+		}
+	}
+	t.Routes = append(t.Routes, r)
+}
+
+// Sort orders routes by prefix (address, then length) in place.
+func (t *Table) Sort() {
+	sort.Slice(t.Routes, func(i, j int) bool {
+		return ip.Compare(t.Routes[i].Prefix, t.Routes[j].Prefix) < 0
+	})
+}
+
+// Reference returns an exhaustive-scan lookup table over the same routes,
+// used as the correctness oracle in tests and netsim.
+func (t *Table) Reference() *ip.Table {
+	var ref ip.Table
+	for _, r := range t.Routes {
+		ref.Add(r)
+	}
+	return &ref
+}
+
+// LengthHistogram returns counts of routes per prefix length (index 0..32).
+func (t *Table) LengthHistogram() [33]int {
+	var h [33]int
+	for _, r := range t.Routes {
+		h[r.Prefix.Len]++
+	}
+	return h
+}
+
+// Write serialises the table as one "prefix nexthop" pair per line.
+func (t *Table) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# table %s, %d routes\n", t.Name, len(t.Routes)); err != nil {
+		return err
+	}
+	for _, r := range t.Routes {
+		if _, err := fmt.Fprintf(bw, "%s %d\n", r.Prefix, r.NextHop); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the serialisation produced by Write. Blank lines and lines
+// starting with '#' are ignored.
+func Read(name string, r io.Reader) (*Table, error) {
+	t := &Table{Name: name}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("rib: %s:%d: want \"prefix nexthop\", got %q", name, lineno, line)
+		}
+		p, err := ip.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("rib: %s:%d: %v", name, lineno, err)
+		}
+		nh, err := strconv.ParseUint(fields[1], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("rib: %s:%d: bad next hop %q", name, lineno, fields[1])
+		}
+		t.Add(ip.Route{Prefix: p, NextHop: ip.NextHop(nh)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rib: reading %s: %v", name, err)
+	}
+	return t, nil
+}
+
+// ReadPrefixList parses a bare prefix list — one CIDR prefix per line, the
+// format of public BGP snapshot dumps (e.g. Potaroo's CIDR reports) — and
+// assigns synthetic next hops round-robin over ports. Blank lines and '#'
+// comments are ignored; duplicate prefixes collapse.
+func ReadPrefixList(name string, r io.Reader, ports int) (*Table, error) {
+	if ports < 1 {
+		return nil, fmt.Errorf("rib: ports = %d, want >= 1", ports)
+	}
+	t := &Table{Name: name}
+	sc := bufio.NewScanner(r)
+	lineno, next := 0, 1
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := ip.ParsePrefix(line)
+		if err != nil {
+			return nil, fmt.Errorf("rib: %s:%d: %v", name, lineno, err)
+		}
+		before := t.Len()
+		t.Add(ip.Route{Prefix: p, NextHop: ip.NextHop(next)})
+		if t.Len() > before {
+			next++
+			if next > ports {
+				next = 1
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rib: reading %s: %v", name, err)
+	}
+	return t, nil
+}

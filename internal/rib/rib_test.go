@@ -1,0 +1,316 @@
+package rib
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vrpower/internal/ip"
+)
+
+func TestTableAddReplace(t *testing.T) {
+	var tbl Table
+	p, _ := ip.ParsePrefix("10.0.0.0/8")
+	tbl.Add(ip.Route{Prefix: p, NextHop: 1})
+	tbl.Add(ip.Route{Prefix: p, NextHop: 2})
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+	if tbl.Routes[0].NextHop != 2 {
+		t.Errorf("NextHop = %d, want 2 after replace", tbl.Routes[0].NextHop)
+	}
+}
+
+func TestTableSort(t *testing.T) {
+	var tbl Table
+	for _, s := range []string{"10.0.0.0/16", "9.0.0.0/8", "10.0.0.0/8"} {
+		p, _ := ip.ParsePrefix(s)
+		tbl.Add(ip.Route{Prefix: p, NextHop: 1})
+	}
+	tbl.Sort()
+	want := []string{"9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16"}
+	for i, w := range want {
+		if got := tbl.Routes[i].Prefix.String(); got != w {
+			t.Errorf("Routes[%d] = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tbl, err := Generate("rt", DefaultGen(500, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tbl.Len() {
+		t.Fatalf("round trip Len = %d, want %d", got.Len(), tbl.Len())
+	}
+	got.Sort()
+	for i := range tbl.Routes {
+		if tbl.Routes[i] != got.Routes[i] {
+			t.Fatalf("route %d: %v != %v", i, tbl.Routes[i], got.Routes[i])
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"10.0.0.0/8",            // missing next hop
+		"10.0.0.0/8 1 extra",    // too many fields
+		"10.0.0.0/99 1",         // bad prefix
+		"10.0.0.0/8 notanumber", // bad next hop
+		"10.0.0.0/8 70000",      // next hop out of uint16 range
+	}
+	for _, c := range cases {
+		if _, err := Read("bad", strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	tbl, err := Read("ok", strings.NewReader("# comment\n\n10.0.0.0/8 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 || tbl.Routes[0].NextHop != 3 {
+		t.Errorf("parsed table wrong: %+v", tbl.Routes)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("a", DefaultGen(1000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("b", DefaultGen(1000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different sizes: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Routes {
+		if a.Routes[i] != b.Routes[i] {
+			t.Fatalf("same seed, route %d differs", i)
+		}
+	}
+	c, err := Generate("c", DefaultGen(1000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Routes {
+		if i >= len(c.Routes) || a.Routes[i] != c.Routes[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tables")
+	}
+}
+
+func TestGenerateExactCountAndUnique(t *testing.T) {
+	for _, n := range []int{1, 17, 500, 3725} {
+		tbl, err := Generate("t", DefaultGen(n, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Len() != n {
+			t.Fatalf("n=%d: got %d routes", n, tbl.Len())
+		}
+		seen := make(map[ip.Prefix]bool, n)
+		for _, r := range tbl.Routes {
+			if seen[r.Prefix] {
+				t.Fatalf("duplicate prefix %s", r.Prefix)
+			}
+			seen[r.Prefix] = true
+			if r.NextHop == ip.NoRoute {
+				t.Fatalf("route %s has NoRoute next hop", r.Prefix)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenConfig{
+		{Prefixes: 0, Ports: 1, MeanBlock: 1, BaseLen: 16, SubLen: 24},
+		{Prefixes: 1, Ports: 0, MeanBlock: 1, BaseLen: 16, SubLen: 24},
+		{Prefixes: 1, Ports: 1, MeanBlock: 0, BaseLen: 16, SubLen: 24},
+		{Prefixes: 1, Ports: 1, MeanBlock: 1, BaseLen: 0, SubLen: 24},
+		{Prefixes: 1, Ports: 1, MeanBlock: 1, BaseLen: 16, SubLen: 16},
+		{Prefixes: 1, Ports: 1, MeanBlock: 1, BaseLen: 16, SubLen: 33},
+		{Prefixes: 1, Ports: 1, MeanBlock: 1, BaseLen: 16, SubLen: 24, ScatterShare: 1.5},
+		{Prefixes: 1, Ports: 1, MeanBlock: 1, BaseLen: 16, SubLen: 24, GapRate: 1},
+		{Prefixes: 1, Ports: 1, MeanBlock: 1, BaseLen: 16, SubLen: 24, AggregateProb: -0.1},
+		{Prefixes: 1, Ports: 1, MeanBlock: 1, BaseLen: 16, SubLen: 24, BasePool8: 300},
+		{Prefixes: 1, Ports: 1, MeanBlock: 1, BaseLen: 16, SubLen: 24, NestProb: 2},
+		{Prefixes: 1, Ports: 1, MeanBlock: 1, BaseLen: 16, SubLen: 24, NestContinue: 1},
+		{Prefixes: 1, Ports: 1, MeanBlock: 1, BaseLen: 16, SubLen: 24, NestProb: 0.5, NestDelta: 0},
+	}
+	for i, c := range bad {
+		if _, err := Generate("t", c); err == nil {
+			t.Errorf("config %d accepted, want error: %+v", i, c)
+		}
+	}
+}
+
+func TestLengthHistogram(t *testing.T) {
+	tbl, err := Generate("t", DefaultGen(2000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tbl.LengthHistogram()
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != tbl.Len() {
+		t.Fatalf("histogram sums to %d, want %d", total, tbl.Len())
+	}
+	// The model announces /24 runs, so /24 should dominate.
+	maxLen, maxCount := 0, 0
+	for l, n := range h {
+		if n > maxCount {
+			maxLen, maxCount = l, n
+		}
+	}
+	if maxLen != 24 {
+		t.Errorf("modal prefix length = %d, want 24 (histogram %v)", maxLen, h)
+	}
+}
+
+func TestGenerateVirtualSetShapes(t *testing.T) {
+	set, err := GenerateVirtualSet(4, 300, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Tables) != 4 {
+		t.Fatalf("got %d tables, want 4", len(set.Tables))
+	}
+	for i, tbl := range set.Tables {
+		if tbl.Len() < 300 || tbl.Len() > 300+150 {
+			t.Errorf("table %d size %d outside [300,450]", i, tbl.Len())
+		}
+	}
+	// Shared prefixes must appear in every table.
+	inAll := make(map[ip.Prefix]int)
+	for _, tbl := range set.Tables {
+		for _, r := range tbl.Routes {
+			inAll[r.Prefix]++
+		}
+	}
+	shared := 0
+	for _, n := range inAll {
+		if n == 4 {
+			shared++
+		}
+	}
+	if shared < 100 {
+		t.Errorf("only %d prefixes shared by all 4 tables; share=0.5 of 300 should give >= 100", shared)
+	}
+}
+
+func TestGenerateVirtualSetShareExtremes(t *testing.T) {
+	// share=1: all tables have identical prefix sets.
+	set, err := GenerateVirtualSet(3, 200, 1.0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := set.Tables[0]
+	for i := 1; i < 3; i++ {
+		if set.Tables[i].Len() != ref.Len() {
+			t.Fatalf("share=1 table %d has %d routes, want %d", i, set.Tables[i].Len(), ref.Len())
+		}
+		for j := range ref.Routes {
+			if set.Tables[i].Routes[j].Prefix != ref.Routes[j].Prefix {
+				t.Fatalf("share=1 table %d prefix %d differs", i, j)
+			}
+		}
+	}
+	// share=0: disjoint generation (tables may still collide rarely, but
+	// the vast majority of prefixes must be unique to one table).
+	set, err = GenerateVirtualSet(3, 200, 0.0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := make(map[ip.Prefix]int)
+	for _, tbl := range set.Tables {
+		for _, r := range tbl.Routes {
+			count[r.Prefix]++
+		}
+	}
+	sharedAll := 0
+	for _, n := range count {
+		if n == 3 {
+			sharedAll++
+		}
+	}
+	if sharedAll > 20 {
+		t.Errorf("share=0 produced %d fully shared prefixes, want near 0", sharedAll)
+	}
+}
+
+func TestGenerateVirtualSetValidation(t *testing.T) {
+	if _, err := GenerateVirtualSet(0, 100, 0.5, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := GenerateVirtualSet(2, 100, -0.1, 1); err == nil {
+		t.Error("share<0 accepted")
+	}
+	if _, err := GenerateVirtualSet(2, 100, 1.1, 1); err == nil {
+		t.Error("share>1 accepted")
+	}
+}
+
+func TestReferenceOracle(t *testing.T) {
+	tbl, err := Generate("t", DefaultGen(200, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := tbl.Reference()
+	if ref.Len() != tbl.Len() {
+		t.Fatalf("reference Len = %d, want %d", ref.Len(), tbl.Len())
+	}
+	// Every route's own address must resolve to at least as long a match.
+	for _, r := range tbl.Routes {
+		nh := ref.Lookup(r.Prefix.Addr)
+		if nh == ip.NoRoute {
+			t.Fatalf("route %s address resolves to NoRoute", r.Prefix)
+		}
+	}
+}
+
+func TestReadPrefixList(t *testing.T) {
+	in := "# potaroo-style dump\n10.0.0.0/8\n\n10.1.0.0/16\n10.0.0.0/8\n192.168.0.0/24\n"
+	tbl, err := ReadPrefixList("dump", strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (duplicate collapsed)", tbl.Len())
+	}
+	// Next hops cycle over the port pool and are never NoRoute.
+	seen := map[ip.NextHop]bool{}
+	for _, r := range tbl.Routes {
+		if r.NextHop == ip.NoRoute || r.NextHop > 2 {
+			t.Errorf("route %s next hop %d outside pool", r.Prefix, r.NextHop)
+		}
+		seen[r.NextHop] = true
+	}
+	if len(seen) != 2 {
+		t.Errorf("round-robin used %d ports, want 2", len(seen))
+	}
+	if _, err := ReadPrefixList("bad", strings.NewReader("10.0.0.0/99\n"), 4); err == nil {
+		t.Error("bad prefix accepted")
+	}
+	if _, err := ReadPrefixList("bad", strings.NewReader(""), 0); err == nil {
+		t.Error("ports=0 accepted")
+	}
+}

@@ -1,0 +1,277 @@
+// Package sched implements the egress scheduling stage of the data plane.
+// The paper's transparency requirement — consolidation "must be transparent
+// to the user ... ensuring the throughput and latency requirements
+// guaranteed originally" (Section I) — is enforced here: each virtual
+// network gets its own egress queue and a Deficit Round Robin (DRR)
+// scheduler serves them in proportion to their subscribed weights, so one
+// tenant's burst cannot starve another. A plain round-robin and a strict-
+// priority discipline are included for comparison.
+package sched
+
+import (
+	"fmt"
+)
+
+// Packet is one queued packet: its virtual network and wire size.
+type Packet struct {
+	VN    int
+	Bytes int
+}
+
+// Discipline selects the service order.
+type Discipline int
+
+const (
+	// DRR is Deficit Round Robin: byte-accurate weighted fairness with
+	// O(1) dequeue, the classic router egress scheduler.
+	DRR Discipline = iota
+	// RR is packet-granularity round robin (unfair under mixed sizes).
+	RR
+	// Priority serves the lowest VN index first (no isolation).
+	Priority
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	switch d {
+	case DRR:
+		return "DRR"
+	case RR:
+		return "RR"
+	case Priority:
+		return "priority"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// Config parameterises a Scheduler.
+type Config struct {
+	K          int
+	Discipline Discipline
+	// Weights are the per-VN service shares (DRR quanta are derived from
+	// them). Nil means equal shares.
+	Weights []float64
+	// QueueCap bounds each VN's queue in packets; 0 means 256.
+	QueueCap int
+}
+
+// Stats reports a scheduling run.
+type Stats struct {
+	// ServedBytes and ServedPackets per VN.
+	ServedBytes   []int64
+	ServedPackets []int64
+	// Dropped counts tail-dropped packets per VN.
+	Dropped []int64
+}
+
+// Shares returns each VN's fraction of served bytes.
+func (s Stats) Shares() []float64 {
+	var total int64
+	for _, b := range s.ServedBytes {
+		total += b
+	}
+	out := make([]float64, len(s.ServedBytes))
+	if total == 0 {
+		return out
+	}
+	for i, b := range s.ServedBytes {
+		out[i] = float64(b) / float64(total)
+	}
+	return out
+}
+
+// JainIndex returns Jain's fairness index over the per-VN service
+// normalised by weight: 1 is perfectly weighted-fair, 1/K is maximally
+// unfair.
+func (s Stats) JainIndex(weights []float64) float64 {
+	n := len(s.ServedBytes)
+	if n == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for i, b := range s.ServedBytes {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		if w <= 0 {
+			continue
+		}
+		x := float64(b) / w
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// Scheduler is a K-queue egress scheduler.
+type Scheduler struct {
+	cfg     Config
+	queues  [][]Packet
+	quantum []int
+	deficit []int
+	next    int
+	// granted marks that the queue at next already received its quantum
+	// for the current visit.
+	granted bool
+	stats   Stats
+}
+
+// advance moves the round pointer to the next queue, opening a new visit.
+func (s *Scheduler) advance() {
+	s.next = (s.next + 1) % s.cfg.K
+	s.granted = false
+}
+
+// New validates the configuration and builds a Scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("sched: K = %d, want > 0", cfg.K)
+	}
+	if cfg.Weights != nil && len(cfg.Weights) != cfg.K {
+		return nil, fmt.Errorf("sched: %d weights for K = %d", len(cfg.Weights), cfg.K)
+	}
+	switch cfg.Discipline {
+	case DRR, RR, Priority:
+	default:
+		return nil, fmt.Errorf("sched: unknown discipline %d", cfg.Discipline)
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.QueueCap < 1 {
+		return nil, fmt.Errorf("sched: queue capacity %d, want >= 1", cfg.QueueCap)
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		queues:  make([][]Packet, cfg.K),
+		quantum: make([]int, cfg.K),
+		deficit: make([]int, cfg.K),
+		stats: Stats{
+			ServedBytes:   make([]int64, cfg.K),
+			ServedPackets: make([]int64, cfg.K),
+			Dropped:       make([]int64, cfg.K),
+		},
+	}
+	// DRR quantum: proportional to weight, floored at one MTU-ish unit so
+	// every active queue progresses each round.
+	const baseQuantum = 1500
+	for i := 0; i < cfg.K; i++ {
+		w := 1.0
+		if cfg.Weights != nil {
+			w = cfg.Weights[i]
+			if w <= 0 {
+				return nil, fmt.Errorf("sched: weight %g for VN %d, want > 0", w, i)
+			}
+		}
+		s.quantum[i] = int(w * baseQuantum)
+	}
+	return s, nil
+}
+
+// Enqueue queues one packet, tail-dropping when the VN's queue is full.
+func (s *Scheduler) Enqueue(p Packet) error {
+	if p.VN < 0 || p.VN >= s.cfg.K {
+		return fmt.Errorf("sched: VN %d outside [0,%d)", p.VN, s.cfg.K)
+	}
+	if p.Bytes <= 0 {
+		return fmt.Errorf("sched: packet size %d, want > 0", p.Bytes)
+	}
+	if len(s.queues[p.VN]) >= s.cfg.QueueCap {
+		s.stats.Dropped[p.VN]++
+		return nil
+	}
+	s.queues[p.VN] = append(s.queues[p.VN], p)
+	return nil
+}
+
+// Backlogged reports whether any queue holds packets.
+func (s *Scheduler) Backlogged() bool {
+	for _, q := range s.queues {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Dequeue removes and returns the next packet to transmit. ok is false when
+// every queue is empty.
+func (s *Scheduler) Dequeue() (Packet, bool) {
+	switch s.cfg.Discipline {
+	case Priority:
+		for vn := 0; vn < s.cfg.K; vn++ {
+			if len(s.queues[vn]) > 0 {
+				return s.pop(vn), true
+			}
+		}
+		return Packet{}, false
+	case RR:
+		for i := 0; i < s.cfg.K; i++ {
+			vn := (s.next + i) % s.cfg.K
+			if len(s.queues[vn]) > 0 {
+				s.next = (vn + 1) % s.cfg.K
+				return s.pop(vn), true
+			}
+		}
+		return Packet{}, false
+	default: // DRR
+		if !s.Backlogged() {
+			return Packet{}, false
+		}
+		for {
+			vn := s.next
+			if len(s.queues[vn]) == 0 {
+				s.deficit[vn] = 0 // inactive queues accumulate nothing
+				s.advance()
+				continue
+			}
+			// Grant the quantum once per visit; within the visit the
+			// queue drains as far as its deficit reaches.
+			if !s.granted {
+				s.deficit[vn] += s.quantum[vn]
+				s.granted = true
+			}
+			if s.deficit[vn] < s.queues[vn][0].Bytes {
+				s.advance() // deficit carries over to the next round
+				continue
+			}
+			p := s.pop(vn)
+			s.deficit[vn] -= p.Bytes
+			if len(s.queues[vn]) == 0 {
+				s.deficit[vn] = 0
+				s.advance()
+			}
+			return p, true
+		}
+	}
+}
+
+// pop removes the head of vn's queue and accounts it.
+func (s *Scheduler) pop(vn int) Packet {
+	p := s.queues[vn][0]
+	s.queues[vn] = s.queues[vn][1:]
+	s.stats.ServedBytes[vn] += int64(p.Bytes)
+	s.stats.ServedPackets[vn]++
+	return p
+}
+
+// Stats returns the accumulated counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Drain runs the scheduler until every queue is empty, returning the
+// packets in service order.
+func (s *Scheduler) Drain() []Packet {
+	var out []Packet
+	for {
+		p, ok := s.Dequeue()
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+}

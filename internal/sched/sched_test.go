@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{K: 0},
+		{K: 2, Weights: []float64{1}},
+		{K: 2, Weights: []float64{1, 0}},
+		{K: 2, Weights: []float64{1, -1}},
+		{K: 2, Discipline: Discipline(9)},
+		{K: 2, QueueCap: -1},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	s, err := New(Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Enqueue(Packet{VN: 5, Bytes: 40}); err == nil {
+		t.Error("out-of-range VN accepted")
+	}
+	if err := s.Enqueue(Packet{VN: 0, Bytes: 0}); err == nil {
+		t.Error("zero-size packet accepted")
+	}
+}
+
+func TestTailDrop(t *testing.T) {
+	s, err := New(Config{K: 1, QueueCap: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Enqueue(Packet{VN: 0, Bytes: 40}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().Dropped[0]; got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+	if got := len(s.Drain()); got != 3 {
+		t.Errorf("drained %d, want 3", got)
+	}
+}
+
+func TestDRREqualWeightsFair(t *testing.T) {
+	s, err := New(Config{K: 4, QueueCap: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Heavy backlog with variable sizes; measure while all stay backlogged.
+	for i := 0; i < 8000; i++ {
+		s.Enqueue(Packet{VN: i % 4, Bytes: 40 + rng.Intn(1460)})
+	}
+	for i := 0; i < 6000; i++ {
+		if _, ok := s.Dequeue(); !ok {
+			t.Fatal("ran dry while backlogged")
+		}
+	}
+	st := s.Stats()
+	if j := st.JainIndex(nil); j < 0.999 {
+		t.Errorf("Jain index %.4f, want ≈ 1 for equal weights", j)
+	}
+	shares := st.Shares()
+	for vn, sh := range shares {
+		if math.Abs(sh-0.25) > 0.01 {
+			t.Errorf("vn %d share %.3f, want 0.25", vn, sh)
+		}
+	}
+}
+
+func TestDRRWeightedShares(t *testing.T) {
+	weights := []float64{4, 2, 1, 1}
+	s, err := New(Config{K: 4, Weights: weights, QueueCap: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 8000; i++ {
+		s.Enqueue(Packet{VN: i % 4, Bytes: 40 + rng.Intn(1460)})
+	}
+	// Serve while every queue stays backlogged (the lightest-weighted VN
+	// has ~2000 packets; 4000 dequeues cannot exhaust it).
+	for i := 0; i < 4000; i++ {
+		if _, ok := s.Dequeue(); !ok {
+			t.Fatal("ran dry while backlogged")
+		}
+	}
+	shares := s.Stats().Shares()
+	want := []float64{0.5, 0.25, 0.125, 0.125}
+	for vn := range want {
+		if math.Abs(shares[vn]-want[vn]) > 0.02 {
+			t.Errorf("vn %d share %.3f, want %.3f", vn, shares[vn], want[vn])
+		}
+	}
+	if j := s.Stats().JainIndex(weights); j < 0.995 {
+		t.Errorf("weighted Jain index %.4f, want ≈ 1", j)
+	}
+}
+
+// TestQoSIsolation is the paper's transparency requirement: a flooding
+// tenant must not take more than its weighted share while others are
+// backlogged.
+func TestQoSIsolation(t *testing.T) {
+	s, err := New(Config{K: 3, QueueCap: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VN 0 floods 10x the offered load of VN 1 and 2.
+	for i := 0; i < 30000; i++ {
+		s.Enqueue(Packet{VN: 0, Bytes: 1500})
+	}
+	for i := 0; i < 3000; i++ {
+		s.Enqueue(Packet{VN: 1, Bytes: 1500})
+		s.Enqueue(Packet{VN: 2, Bytes: 1500})
+	}
+	// Serve only as long as everyone is backlogged: the first 9000
+	// packets' worth of service must split evenly.
+	var served [3]int64
+	for i := 0; i < 8900; i++ {
+		p, ok := s.Dequeue()
+		if !ok {
+			t.Fatal("scheduler ran dry while backlogged")
+		}
+		served[p.VN] += int64(p.Bytes)
+	}
+	total := served[0] + served[1] + served[2]
+	for vn, b := range served {
+		share := float64(b) / float64(total)
+		if math.Abs(share-1.0/3) > 0.01 {
+			t.Errorf("vn %d got %.3f of service under backlog, want 1/3 (flood must not pay)", vn, share)
+		}
+	}
+}
+
+func TestRRUnfairUnderMixedSizes(t *testing.T) {
+	// Round robin serves packets, not bytes: a VN sending jumbo frames
+	// grabs more bandwidth — which is why DRR exists.
+	mk := func(d Discipline) Stats {
+		s, err := New(Config{K: 2, Discipline: d, QueueCap: 10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4000; i++ {
+			s.Enqueue(Packet{VN: 0, Bytes: 1500})
+			s.Enqueue(Packet{VN: 1, Bytes: 64})
+		}
+		// Measure service while BOTH queues stay backlogged; a full drain
+		// would only reflect the offered load.
+		for i := 0; i < 3000; i++ {
+			if _, ok := s.Dequeue(); !ok {
+				t.Fatal("ran dry while backlogged")
+			}
+		}
+		return s.Stats()
+	}
+	rr := mk(RR).Shares()
+	drr := mk(DRR).Shares()
+	if rr[0] < 0.9 {
+		t.Errorf("RR: jumbo VN share %.3f, want ≈ 0.96 (packet fairness != byte fairness)", rr[0])
+	}
+	if math.Abs(drr[0]-0.5) > 0.02 {
+		t.Errorf("DRR: jumbo VN share %.3f, want 0.5 (byte fairness)", drr[0])
+	}
+}
+
+func TestPriorityStarves(t *testing.T) {
+	s, err := New(Config{K: 2, Discipline: Priority, QueueCap: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Enqueue(Packet{VN: 0, Bytes: 40})
+		s.Enqueue(Packet{VN: 1, Bytes: 40})
+	}
+	for i := 0; i < 100; i++ {
+		p, ok := s.Dequeue()
+		if !ok || p.VN != 0 {
+			t.Fatalf("dequeue %d: got vn %d, want strict priority to vn 0", i, p.VN)
+		}
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	s, err := New(Config{K: 3, QueueCap: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only VN 2 has traffic; the scheduler must serve it at full rate.
+	for i := 0; i < 500; i++ {
+		s.Enqueue(Packet{VN: 2, Bytes: 777})
+	}
+	out := s.Drain()
+	if len(out) != 500 {
+		t.Fatalf("drained %d, want 500", len(out))
+	}
+	if _, ok := s.Dequeue(); ok {
+		t.Error("Dequeue on empty scheduler returned a packet")
+	}
+	if s.Backlogged() {
+		t.Error("Backlogged true after drain")
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	if DRR.String() != "DRR" || RR.String() != "RR" || Priority.String() != "priority" {
+		t.Error("discipline names wrong")
+	}
+}

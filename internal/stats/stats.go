@@ -1,0 +1,93 @@
+// Package stats provides the small numeric helpers the calibration tests
+// and benchmark harness use: summaries, percent error and least-squares
+// line fits (for verifying the linear power-vs-frequency relationships of
+// Figures 2 and 3).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MinMax returns the extrema; zeros for an empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// MaxAbs returns the largest absolute value; 0 for an empty slice.
+func MaxAbs(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// PercentError returns (got-want)/want*100; 0 when want is 0.
+func PercentError(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	return (got - want) / want * 100
+}
+
+// LinFit fits y = a + b·x by least squares and returns the coefficients and
+// the coefficient of determination R².
+func LinFit(x, y []float64) (a, b, r2 float64, err error) {
+	n := len(x)
+	if n != len(y) {
+		return 0, 0, 0, fmt.Errorf("stats: length mismatch %d vs %d", n, len(y))
+	}
+	if n < 2 {
+		return 0, 0, 0, fmt.Errorf("stats: need >= 2 points, got %d", n)
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, fmt.Errorf("stats: degenerate x (zero variance)")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		return a, b, 1, nil // constant y fits exactly
+	}
+	var ssRes float64
+	for i := range x {
+		r := y[i] - (a + b*x[i])
+		ssRes += r * r
+	}
+	r2 = 1 - ssRes/syy
+	return a, b, r2, nil
+}

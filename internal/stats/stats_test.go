@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %g,%g", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Error("MinMax(nil) != 0,0")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs([]float64{-3, 2}); got != 3 {
+		t.Errorf("MaxAbs = %g, want 3", got)
+	}
+	if MaxAbs(nil) != 0 {
+		t.Error("MaxAbs(nil) != 0")
+	}
+}
+
+func TestPercentError(t *testing.T) {
+	if got := PercentError(103, 100); got != 3 {
+		t.Errorf("PercentError = %g, want 3", got)
+	}
+	if PercentError(5, 0) != 0 {
+		t.Error("PercentError(_,0) != 0")
+	}
+}
+
+func TestLinFitExact(t *testing.T) {
+	x := []float64{100, 200, 300, 400}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 2.5 + 13.65*v
+	}
+	a, b, r2, err := LinFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2.5) > 1e-9 || math.Abs(b-13.65) > 1e-9 {
+		t.Errorf("fit = %g + %g x", a, b)
+	}
+	if r2 < 0.999999 {
+		t.Errorf("R² = %g, want 1", r2)
+	}
+}
+
+func TestLinFitErrors(t *testing.T) {
+	if _, _, _, err := LinFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, _, err := LinFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, _, err := LinFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("zero-variance x accepted")
+	}
+}
+
+func TestLinFitConstantY(t *testing.T) {
+	a, b, r2, err := LinFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 5 || b != 0 || r2 != 1 {
+		t.Errorf("constant fit = %g + %g x, R²=%g", a, b, r2)
+	}
+}
+
+// Property: the least-squares residual of the fitted line never exceeds the
+// residual of the mean-only model (R² >= 0).
+func TestLinFitR2NonNegative(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := 3 + int(seed%8)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		s := float64(seed)
+		for i := range x {
+			x[i] = float64(i) + 1
+			s = math.Mod(s*9301+49297, 233280)
+			y[i] = s / 1000
+		}
+		_, _, r2, err := LinFit(x, y)
+		if err != nil {
+			return false
+		}
+		return r2 >= -1e-9 && r2 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package tcam implements the Ternary CAM lookup baseline the paper
+// positions trie pipelines against (Section II): a priority-ordered
+// ternary match array whose every cell participates in every search —
+// which is exactly why "TCAMs are known to be power hungry due to its
+// massively parallel search". The package provides the plain full-search
+// TCAM, the block-partitioned variant of Zheng et al. [20] (only the
+// indexed block fires per search), and a per-search energy model, so the
+// repo can reproduce the trie-vs-TCAM power argument quantitatively.
+package tcam
+
+import (
+	"fmt"
+	"sort"
+
+	"vrpower/internal/ip"
+	"vrpower/internal/rib"
+)
+
+// Entry is one ternary row: a value/mask pair with its next hop. Priority
+// is implicit in storage order (first match wins), so longest prefixes are
+// stored first.
+type Entry struct {
+	Value   ip.Addr
+	Mask    ip.Addr
+	Len     int
+	NextHop ip.NextHop
+}
+
+// Matches reports whether addr matches the entry's value under its mask.
+func (e Entry) Matches(addr ip.Addr) bool {
+	return addr&e.Mask == e.Value
+}
+
+// TCAM is a priority-ordered ternary match array over IPv4 prefixes.
+type TCAM struct {
+	entries []Entry
+}
+
+// Build loads a routing table, ordering entries longest-prefix-first so
+// that first-match equals longest-prefix match.
+func Build(tbl *rib.Table) *TCAM {
+	t := &TCAM{entries: make([]Entry, 0, tbl.Len())}
+	for _, r := range tbl.Routes {
+		t.entries = append(t.entries, Entry{
+			Value:   r.Prefix.Addr,
+			Mask:    ip.Mask(r.Prefix.Len),
+			Len:     r.Prefix.Len,
+			NextHop: r.NextHop,
+		})
+	}
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		return t.entries[i].Len > t.entries[j].Len
+	})
+	return t
+}
+
+// Len returns the number of entries.
+func (t *TCAM) Len() int { return len(t.entries) }
+
+// Lookup returns the first (highest-priority) matching entry's next hop —
+// the hardware's parallel match followed by a priority encoder.
+func (t *TCAM) Lookup(addr ip.Addr) ip.NextHop {
+	for _, e := range t.entries {
+		if e.Matches(addr) {
+			return e.NextHop
+		}
+	}
+	return ip.NoRoute
+}
+
+// CellsPerEntry is the ternary cell count of one IPv4 entry (32 bits of
+// value+mask match logic).
+const CellsPerEntry = 32
+
+// ActiveCells returns the number of ternary cells that fire on every
+// search: all of them, in the plain TCAM.
+func (t *TCAM) ActiveCells() int { return len(t.entries) * CellsPerEntry }
+
+// Partitioned is the load-balanced multi-block organisation of [20]: the
+// entry space is split into 2^IndexBits blocks by the first address bits,
+// and a search fires only the indexed block, cutting dynamic power by
+// roughly the block count. Prefixes shorter than the index are expanded
+// (controlled prefix expansion) so that indexing never misses a match.
+type Partitioned struct {
+	indexBits int
+	blocks    [][]Entry
+	entries   int
+}
+
+// BuildPartitioned loads a table into 2^indexBits blocks.
+func BuildPartitioned(tbl *rib.Table, indexBits int) (*Partitioned, error) {
+	if indexBits < 1 || indexBits > 16 {
+		return nil, fmt.Errorf("tcam: index bits %d outside [1,16]", indexBits)
+	}
+	p := &Partitioned{
+		indexBits: indexBits,
+		blocks:    make([][]Entry, 1<<indexBits),
+	}
+	for _, r := range tbl.Routes {
+		// Controlled prefix expansion to at least indexBits.
+		if r.Prefix.Len >= indexBits {
+			idx := int(r.Prefix.Addr >> (32 - uint(indexBits)))
+			p.blocks[idx] = append(p.blocks[idx], Entry{
+				Value:   r.Prefix.Addr,
+				Mask:    ip.Mask(r.Prefix.Len),
+				Len:     r.Prefix.Len,
+				NextHop: r.NextHop,
+			})
+			p.entries++
+			continue
+		}
+		span := 1 << uint(indexBits-r.Prefix.Len)
+		base := int(r.Prefix.Addr >> (32 - uint(indexBits)))
+		for i := 0; i < span; i++ {
+			idx := base + i
+			expanded := ip.Addr(uint32(idx) << (32 - uint(indexBits)))
+			p.blocks[idx] = append(p.blocks[idx], Entry{
+				Value: expanded,
+				Mask:  ip.Mask(indexBits),
+				// Keep the ORIGINAL length for priority: an expanded /8
+				// must still lose to a genuine /20 in its block.
+				Len:     r.Prefix.Len,
+				NextHop: r.NextHop,
+			})
+			p.entries++
+		}
+	}
+	for idx := range p.blocks {
+		b := p.blocks[idx]
+		sort.SliceStable(b, func(i, j int) bool { return b[i].Len > b[j].Len })
+	}
+	return p, nil
+}
+
+// Len returns the stored entry count, including expansion copies.
+func (p *Partitioned) Len() int { return p.entries }
+
+// Blocks returns the number of blocks.
+func (p *Partitioned) Blocks() int { return len(p.blocks) }
+
+// Lookup fires only the indexed block.
+func (p *Partitioned) Lookup(addr ip.Addr) ip.NextHop {
+	idx := int(addr >> (32 - uint(p.indexBits)))
+	for _, e := range p.blocks[idx] {
+		if e.Matches(addr) {
+			return e.NextHop
+		}
+	}
+	return ip.NoRoute
+}
+
+// ActiveCells returns the worst-case cells fired per search: the largest
+// block (the hardware sizes every block's power rail for it).
+func (p *Partitioned) ActiveCells() int {
+	max := 0
+	for _, b := range p.blocks {
+		if len(b) > max {
+			max = len(b)
+		}
+	}
+	return max * CellsPerEntry
+}
+
+// MaxBlockLoad returns the population of the fullest block relative to a
+// perfectly balanced split — the load-balancing quality metric of [20].
+func (p *Partitioned) MaxBlockLoad() float64 {
+	if p.entries == 0 {
+		return 0
+	}
+	max := 0
+	for _, b := range p.blocks {
+		if len(b) > max {
+			max = len(b)
+		}
+	}
+	mean := float64(p.entries) / float64(len(p.blocks))
+	return float64(max) / mean
+}
+
+// PowerModel converts fired ternary cells into Watts.
+type PowerModel struct {
+	// SearchJoulePerCell is the dynamic energy of one ternary cell per
+	// search. The default is calibrated so an 18 Mb TCAM at 143 M
+	// searches/s draws ≈ 15 W, the class of figures [20]-era parts
+	// report ("TCAMs are known to be power hungry").
+	SearchJoulePerCell float64
+	// IdleWattsPerMbit is the static burn of powered TCAM array.
+	IdleWattsPerMbit float64
+}
+
+// DefaultPowerModel returns the calibrated TCAM energy coefficients.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{
+		SearchJoulePerCell: 5.8e-15,
+		IdleWattsPerMbit:   0.15,
+	}
+}
+
+// Searcher is any TCAM organisation that reports fired cells per search
+// and stored entries.
+type Searcher interface {
+	ActiveCells() int
+	Len() int
+}
+
+var (
+	_ Searcher = (*TCAM)(nil)
+	_ Searcher = (*Partitioned)(nil)
+)
+
+// DynamicWatts returns search power at fMHz million searches per second.
+func (m PowerModel) DynamicWatts(t Searcher, fMHz float64) float64 {
+	return float64(t.ActiveCells()) * m.SearchJoulePerCell * fMHz * 1e6
+}
+
+// StaticWatts returns the array's idle power from its stored size.
+func (m PowerModel) StaticWatts(t Searcher) float64 {
+	mbit := float64(t.Len()*CellsPerEntry) / 1e6
+	return mbit * m.IdleWattsPerMbit
+}
+
+// TotalWatts returns static plus dynamic power.
+func (m PowerModel) TotalWatts(t Searcher, fMHz float64) float64 {
+	return m.StaticWatts(t) + m.DynamicWatts(t, fMHz)
+}

@@ -1,0 +1,189 @@
+package tcam
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrpower/internal/ip"
+	"vrpower/internal/rib"
+)
+
+func genTable(t *testing.T, n int, seed int64) *rib.Table {
+	t.Helper()
+	tbl, err := rib.Generate("t", rib.DefaultGen(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestLookupMatchesReference(t *testing.T) {
+	tbl := genTable(t, 800, 1)
+	tc := Build(tbl)
+	ref := tbl.Reference()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		addr := ip.Addr(rng.Uint32())
+		if got, want := tc.Lookup(addr), ref.Lookup(addr); got != want {
+			t.Fatalf("Lookup(%s) = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestLookupTargeted(t *testing.T) {
+	// Nested prefixes stress priority ordering.
+	tbl := &rib.Table{Name: "nest"}
+	for _, r := range []struct {
+		p  string
+		nh ip.NextHop
+	}{
+		{"0.0.0.0/0", 1},
+		{"10.0.0.0/8", 2},
+		{"10.1.0.0/16", 3},
+		{"10.1.2.0/24", 4},
+	} {
+		p, _ := ip.ParsePrefix(r.p)
+		tbl.Add(ip.Route{Prefix: p, NextHop: r.nh})
+	}
+	tc := Build(tbl)
+	cases := []struct {
+		addr string
+		want ip.NextHop
+	}{
+		{"10.1.2.3", 4},
+		{"10.1.9.9", 3},
+		{"10.9.9.9", 2},
+		{"11.0.0.1", 1},
+	}
+	for _, c := range cases {
+		addr, _ := ip.ParseAddr(c.addr)
+		if got := tc.Lookup(addr); got != c.want {
+			t.Errorf("Lookup(%s) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestPartitionedMatchesPlain(t *testing.T) {
+	tbl := genTable(t, 1000, 3)
+	tc := Build(tbl)
+	for _, bits := range []int{4, 8, 12} {
+		p, err := BuildPartitioned(tbl, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 4000; i++ {
+			addr := ip.Addr(rng.Uint32())
+			if got, want := p.Lookup(addr), tc.Lookup(addr); got != want {
+				t.Fatalf("bits=%d: Lookup(%s) = %d, want %d", bits, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestPartitionedShortPrefixExpansion(t *testing.T) {
+	tbl := &rib.Table{Name: "short"}
+	p0, _ := ip.ParsePrefix("0.0.0.0/0")
+	p8, _ := ip.ParsePrefix("10.0.0.0/8")
+	p24, _ := ip.ParsePrefix("10.1.2.0/24")
+	tbl.Add(ip.Route{Prefix: p0, NextHop: 1})
+	tbl.Add(ip.Route{Prefix: p8, NextHop: 2})
+	tbl.Add(ip.Route{Prefix: p24, NextHop: 3})
+	pt, err := BuildPartitioned(tbl, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// /0 expands to 4096 copies, /8 to 16, /24 stays single.
+	if want := 4096 + 16 + 1; pt.Len() != want {
+		t.Errorf("expanded entries = %d, want %d", pt.Len(), want)
+	}
+	for _, c := range []struct {
+		addr string
+		want ip.NextHop
+	}{
+		{"10.1.2.200", 3},
+		{"10.200.0.1", 2},
+		{"200.0.0.1", 1},
+	} {
+		addr, _ := ip.ParseAddr(c.addr)
+		if got := pt.Lookup(addr); got != c.want {
+			t.Errorf("Lookup(%s) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestBuildPartitionedValidation(t *testing.T) {
+	tbl := genTable(t, 10, 5)
+	if _, err := BuildPartitioned(tbl, 0); err == nil {
+		t.Error("indexBits 0 accepted")
+	}
+	if _, err := BuildPartitioned(tbl, 17); err == nil {
+		t.Error("indexBits 17 accepted")
+	}
+}
+
+func TestPartitionedCutsActiveCells(t *testing.T) {
+	tbl := genTable(t, 2000, 6)
+	tc := Build(tbl)
+	pt, err := BuildPartitioned(tbl, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.ActiveCells() >= tc.ActiveCells()/4 {
+		t.Errorf("partitioned fires %d cells, plain %d; want a large cut",
+			pt.ActiveCells(), tc.ActiveCells())
+	}
+	if pt.Blocks() != 256 {
+		t.Errorf("Blocks = %d, want 256", pt.Blocks())
+	}
+	if load := pt.MaxBlockLoad(); load < 1 {
+		t.Errorf("MaxBlockLoad = %.2f, want >= 1", load)
+	}
+}
+
+func TestPowerModelScalesWithTableAndRate(t *testing.T) {
+	m := DefaultPowerModel()
+	small := Build(genTable(t, 500, 7))
+	large := Build(genTable(t, 3725, 7))
+	if m.DynamicWatts(large, 150) <= m.DynamicWatts(small, 150) {
+		t.Error("TCAM dynamic power must grow with table size (full parallel search)")
+	}
+	if m.DynamicWatts(small, 300) <= m.DynamicWatts(small, 150) {
+		t.Error("TCAM dynamic power must grow with search rate")
+	}
+	if m.StaticWatts(large) <= m.StaticWatts(small) {
+		t.Error("TCAM static power must grow with stored bits")
+	}
+	tot := m.TotalWatts(small, 150)
+	if tot != m.StaticWatts(small)+m.DynamicWatts(small, 150) {
+		t.Error("TotalWatts != static + dynamic")
+	}
+}
+
+func TestPowerCalibration18Mb(t *testing.T) {
+	// The calibration anchor: an 18 Mb array at 143 M searches/s should
+	// land near the ~15 W reported for the era's parts ([20]).
+	m := DefaultPowerModel()
+	entries := 18_000_000 / CellsPerEntry
+	fake := &TCAM{entries: make([]Entry, entries)}
+	w := m.DynamicWatts(fake, 143)
+	if w < 10 || w > 20 {
+		t.Errorf("18 Mb TCAM at 143 MHz = %.1f W, want 10-20 W", w)
+	}
+}
+
+func TestPartitionedPowerAdvantage(t *testing.T) {
+	// Reproduce the [20] argument: partitioning cuts dynamic power by
+	// roughly the block count over the balanced portion.
+	tbl := genTable(t, 3725, 8)
+	m := DefaultPowerModel()
+	plain := Build(tbl)
+	pt, err := BuildPartitioned(tbl, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := m.DynamicWatts(plain, 150) / m.DynamicWatts(pt, 150)
+	if ratio < 5 {
+		t.Errorf("partitioning saves only %.1fx dynamic power, want > 5x", ratio)
+	}
+}

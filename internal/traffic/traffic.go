@@ -1,0 +1,276 @@
+// Package traffic generates the packet workloads that drive the lookup
+// engines: VNID-tagged packets distributed across K virtual networks
+// (uniform per Assumption 1, or weighted/Zipf for the more complex
+// distributions the paper mentions can be modelled by changing µ_i),
+// destination addresses drawn either uniformly or from the routed space,
+// and duty-cycled arrival slots for the clock-gating experiments.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vrpower/internal/ip"
+	"vrpower/internal/packet"
+	"vrpower/internal/pipeline"
+	"vrpower/internal/rib"
+)
+
+// Packet is one generated packet.
+type Packet struct {
+	Addr ip.Addr
+	VN   int
+	// SizeBytes is the wire size; the paper's throughput metric assumes
+	// 40-byte minimum packets (Section VI-B).
+	SizeBytes int
+}
+
+// VNDist selects how packets spread over the K virtual networks.
+type VNDist int
+
+const (
+	// Uniform is Assumption 1: µ_i = 1/K.
+	Uniform VNDist = iota
+	// Weighted uses explicit per-VN weights.
+	Weighted
+	// Zipf skews traffic toward low-numbered VNs.
+	Zipf
+)
+
+// AddrModel selects how destination addresses are drawn.
+type AddrModel int
+
+const (
+	// UniformAddr draws addresses uniformly from the IPv4 space; most
+	// miss the routed space and resolve at shallow leaves.
+	UniformAddr AddrModel = iota
+	// RoutedAddr draws addresses covered by the VN's routing table,
+	// exercising deep trie paths.
+	RoutedAddr
+)
+
+// Config parameterises a Generator.
+type Config struct {
+	K    int
+	Seed int64
+	Dist VNDist
+	// Weights are the per-VN selection weights for Weighted.
+	Weights []float64
+	// ZipfS is the Zipf skew parameter (> 1) for Zipf.
+	ZipfS float64
+	Addr  AddrModel
+	// Tables provides the routed space for RoutedAddr (one per VN).
+	Tables []*rib.Table
+	// MinBytes and MaxBytes bound packet sizes; both default to the
+	// 40-byte minimum when zero.
+	MinBytes, MaxBytes int
+	// DutyCycle is the probability a slot carries a packet (Slots only),
+	// in (0, 1]. Zero defaults to 1.
+	DutyCycle float64
+}
+
+// Generator produces a deterministic packet stream.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	cum  []float64
+}
+
+// New validates the configuration and builds a Generator.
+func New(cfg Config) (*Generator, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("traffic: K = %d, want > 0", cfg.K)
+	}
+	if cfg.MinBytes == 0 {
+		cfg.MinBytes = 40
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = cfg.MinBytes
+	}
+	if cfg.MinBytes < 1 || cfg.MaxBytes < cfg.MinBytes {
+		return nil, fmt.Errorf("traffic: bad packet size bounds [%d,%d]", cfg.MinBytes, cfg.MaxBytes)
+	}
+	if cfg.DutyCycle == 0 {
+		cfg.DutyCycle = 1
+	}
+	if cfg.DutyCycle < 0 || cfg.DutyCycle > 1 {
+		return nil, fmt.Errorf("traffic: duty cycle %g outside (0,1]", cfg.DutyCycle)
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	switch cfg.Dist {
+	case Weighted:
+		if len(cfg.Weights) != cfg.K {
+			return nil, fmt.Errorf("traffic: %d weights for K = %d", len(cfg.Weights), cfg.K)
+		}
+		var sum float64
+		for i, w := range cfg.Weights {
+			if w < 0 {
+				return nil, fmt.Errorf("traffic: negative weight %g at %d", w, i)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("traffic: weights sum to %g, want > 0", sum)
+		}
+		g.cum = make([]float64, cfg.K)
+		acc := 0.0
+		for i, w := range cfg.Weights {
+			acc += w / sum
+			g.cum[i] = acc
+		}
+	case Zipf:
+		s := cfg.ZipfS
+		if s == 0 {
+			s = 1.2
+		}
+		if s <= 1 {
+			return nil, fmt.Errorf("traffic: Zipf s = %g, want > 1", s)
+		}
+		g.zipf = rand.NewZipf(g.rng, s, 1, uint64(cfg.K-1))
+	case Uniform:
+	default:
+		return nil, fmt.Errorf("traffic: unknown distribution %d", cfg.Dist)
+	}
+	if cfg.Addr == RoutedAddr {
+		if len(cfg.Tables) != cfg.K {
+			return nil, fmt.Errorf("traffic: RoutedAddr needs %d tables, got %d", cfg.K, len(cfg.Tables))
+		}
+		for i, t := range cfg.Tables {
+			if t.Len() == 0 {
+				return nil, fmt.Errorf("traffic: table %d is empty", i)
+			}
+		}
+	}
+	return g, nil
+}
+
+// pickVN draws the packet's virtual network.
+func (g *Generator) pickVN() int {
+	switch g.cfg.Dist {
+	case Weighted:
+		r := g.rng.Float64()
+		for i, c := range g.cum {
+			if r <= c {
+				return i
+			}
+		}
+		return g.cfg.K - 1
+	case Zipf:
+		return int(g.zipf.Uint64())
+	default:
+		return g.rng.Intn(g.cfg.K)
+	}
+}
+
+// pickAddr draws the destination address for the chosen VN.
+func (g *Generator) pickAddr(vn int) ip.Addr {
+	if g.cfg.Addr == RoutedAddr {
+		t := g.cfg.Tables[vn]
+		r := t.Routes[g.rng.Intn(t.Len())]
+		host := ip.Addr(g.rng.Uint32()) &^ ip.Mask(r.Prefix.Len)
+		return r.Prefix.Addr | host
+	}
+	return ip.Addr(g.rng.Uint32())
+}
+
+// Next generates one packet.
+func (g *Generator) Next() Packet {
+	vn := g.pickVN()
+	size := g.cfg.MinBytes
+	if g.cfg.MaxBytes > g.cfg.MinBytes {
+		size += g.rng.Intn(g.cfg.MaxBytes - g.cfg.MinBytes + 1)
+	}
+	return Packet{Addr: g.pickAddr(vn), VN: vn, SizeBytes: size}
+}
+
+// Batch generates n packets.
+func (g *Generator) Batch(n int) []Packet {
+	out := make([]Packet, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Requests generates n pipeline lookup requests.
+func (g *Generator) Requests(n int) []pipeline.Request {
+	out := make([]pipeline.Request, n)
+	for i := range out {
+		p := g.Next()
+		out[i] = pipeline.Request{Addr: p.Addr, VN: p.VN}
+	}
+	return out
+}
+
+// Slots generates n arrival slots honouring the configured duty cycle: a
+// nil slot is an idle cycle. The fraction of non-nil slots converges to
+// DutyCycle.
+func (g *Generator) Slots(n int) []*Packet {
+	out := make([]*Packet, n)
+	for i := range out {
+		if g.rng.Float64() <= g.cfg.DutyCycle {
+			p := g.Next()
+			out[i] = &p
+		}
+	}
+	return out
+}
+
+// Share returns the measured fraction of packets per VN, for checking a
+// stream against the intended µ_i.
+func Share(pkts []Packet, k int) []float64 {
+	counts := make([]float64, k)
+	for _, p := range pkts {
+		if p.VN >= 0 && p.VN < k {
+			counts[p.VN]++
+		}
+	}
+	if len(pkts) > 0 {
+		for i := range counts {
+			counts[i] /= float64(len(pkts))
+		}
+	}
+	return counts
+}
+
+// Frames generates n wire-format frames (Ethernet + VLAN VNID + IPv4) for
+// the frame-level forwarding path. TTLs vary over [2, 64]; the VLAN VID
+// carries the packet's virtual network.
+func (g *Generator) Frames(n int) ([][]byte, error) {
+	out := make([][]byte, n)
+	for i := range out {
+		p := g.Next()
+		src := ip.Addr(g.rng.Uint32())
+		ttl := 2 + g.rng.Intn(63)
+		payload := p.SizeBytes - packet.IPv4HeaderLen
+		if payload < 0 {
+			payload = 0
+		}
+		f, err := packet.Build(
+			packet.MAC{0x02, 0, 0, 0, 0, 0x01},
+			packet.MAC{0x02, 0, 0, 0, 0, 0x02},
+			p.VN, 0, src, p.Addr, ttl, payload)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// Bernoulli draws one deterministic coin with probability p from the
+// generator's stream, for open-loop arrival processes.
+func (g *Generator) Bernoulli(p float64) bool {
+	return g.rng.Float64() < p
+}
+
+// NextFor generates one packet pinned to the given virtual network,
+// bypassing the VN distribution (for per-VN arrival processes).
+func (g *Generator) NextFor(vn int) Packet {
+	size := g.cfg.MinBytes
+	if g.cfg.MaxBytes > g.cfg.MinBytes {
+		size += g.rng.Intn(g.cfg.MaxBytes - g.cfg.MinBytes + 1)
+	}
+	return Packet{Addr: g.pickAddr(vn), VN: vn, SizeBytes: size}
+}

@@ -1,0 +1,182 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"vrpower/internal/ip"
+	"vrpower/internal/rib"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{K: 0},
+		{K: 2, MinBytes: -1},
+		{K: 2, MinBytes: 100, MaxBytes: 50},
+		{K: 2, DutyCycle: 1.5},
+		{K: 2, DutyCycle: -0.5},
+		{K: 2, Dist: Weighted}, // missing weights
+		{K: 2, Dist: Weighted, Weights: []float64{1, -1}},  // negative
+		{K: 2, Dist: Weighted, Weights: []float64{0, 0}},   // zero sum
+		{K: 2, Dist: Zipf, ZipfS: 0.5},                     // s <= 1
+		{K: 2, Dist: VNDist(99)},                           // unknown
+		{K: 2, Addr: RoutedAddr},                           // missing tables
+		{K: 1, Addr: RoutedAddr, Tables: []*rib.Table{{}}}, // empty table
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %d accepted, want error: %+v", i, c)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	mk := func() *Generator {
+		g, err := New(Config{K: 4, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := mk().Batch(100), mk().Batch(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d differs with same seed", i)
+		}
+	}
+}
+
+func TestUniformShares(t *testing.T) {
+	g, err := New(Config{K: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := Share(g.Batch(40000), 8)
+	for vn, s := range shares {
+		if math.Abs(s-0.125) > 0.02 {
+			t.Errorf("vn %d share %.3f, want 0.125 ± 0.02 (Assumption 1)", vn, s)
+		}
+	}
+}
+
+func TestWeightedShares(t *testing.T) {
+	g, err := New(Config{K: 3, Seed: 2, Dist: Weighted, Weights: []float64{6, 3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := Share(g.Batch(60000), 3)
+	want := []float64{0.6, 0.3, 0.1}
+	for vn := range want {
+		if math.Abs(shares[vn]-want[vn]) > 0.02 {
+			t.Errorf("vn %d share %.3f, want %.2f", vn, shares[vn], want[vn])
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g, err := New(Config{K: 6, Seed: 3, Dist: Zipf, ZipfS: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := Share(g.Batch(30000), 6)
+	if shares[0] <= shares[5] {
+		t.Errorf("Zipf: vn0 share %.3f not above vn5 share %.3f", shares[0], shares[5])
+	}
+	if shares[0] < 0.4 {
+		t.Errorf("Zipf s=1.5: head share %.3f, want dominant", shares[0])
+	}
+}
+
+func TestPacketSizes(t *testing.T) {
+	g, err := New(Config{K: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range g.Batch(100) {
+		if p.SizeBytes != 40 {
+			t.Fatalf("default packet size %d, want 40 (paper minimum)", p.SizeBytes)
+		}
+	}
+	g, err = New(Config{K: 1, Seed: 4, MinBytes: 40, MaxBytes: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBig := false
+	for _, p := range g.Batch(1000) {
+		if p.SizeBytes < 40 || p.SizeBytes > 1500 {
+			t.Fatalf("packet size %d outside [40,1500]", p.SizeBytes)
+		}
+		if p.SizeBytes > 700 {
+			sawBig = true
+		}
+	}
+	if !sawBig {
+		t.Error("no packets above 700 B in a [40,1500] range")
+	}
+}
+
+func TestRoutedAddrHitsTables(t *testing.T) {
+	set, err := rib.GenerateVirtualSet(3, 200, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{K: 3, Seed: 8, Addr: RoutedAddr, Tables: set.Tables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*ip.Table, 3)
+	for i, tbl := range set.Tables {
+		refs[i] = tbl.Reference()
+	}
+	for _, p := range g.Batch(2000) {
+		if refs[p.VN].Lookup(p.Addr) == ip.NoRoute {
+			t.Fatalf("routed address %s (vn %d) missed its table", p.Addr, p.VN)
+		}
+	}
+}
+
+func TestSlotsDutyCycle(t *testing.T) {
+	g, err := New(Config{K: 2, Seed: 9, DutyCycle: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := g.Slots(40000)
+	busy := 0
+	for _, s := range slots {
+		if s != nil {
+			busy++
+		}
+	}
+	frac := float64(busy) / float64(len(slots))
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("duty fraction %.3f, want 0.25 ± 0.02", frac)
+	}
+}
+
+func TestRequestsMatchPackets(t *testing.T) {
+	g, err := New(Config{K: 4, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := g.Requests(50)
+	if len(reqs) != 50 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	for _, r := range reqs {
+		if r.VN < 0 || r.VN >= 4 {
+			t.Fatalf("request VN %d out of range", r.VN)
+		}
+	}
+}
+
+func TestShareEmptyAndOutOfRange(t *testing.T) {
+	if s := Share(nil, 3); s[0] != 0 || s[1] != 0 || s[2] != 0 {
+		t.Error("Share(nil) not all zero")
+	}
+	s := Share([]Packet{{VN: 7}}, 3) // out-of-range VN ignored
+	for _, v := range s {
+		if v != 0 {
+			t.Error("out-of-range VN counted")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrpower/internal/ip"
+)
+
+// oracle builds the exhaustive-scan LPM for a route slice.
+func oracle(routes []ip.Route) *ip.Table {
+	var t ip.Table
+	for _, r := range routes {
+		t.Add(r)
+	}
+	return &t
+}
+
+// TestCompactEquivalence is the defining property: the compacted table
+// forwards every address exactly like the original.
+func TestCompactEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		routes := randomRoutes(400, seed)
+		compact := Compact(routes)
+		ref, cref := oracle(routes), oracle(compact)
+		rng := rand.New(rand.NewSource(seed * 100))
+		for i := 0; i < 5000; i++ {
+			addr := ip.Addr(rng.Uint32())
+			if a, b := ref.Lookup(addr), cref.Lookup(addr); a != b {
+				t.Fatalf("seed %d: Lookup(%s) = %d original vs %d compacted", seed, addr, a, b)
+			}
+		}
+		// Probe boundaries of every original route too.
+		for _, r := range routes {
+			for _, addr := range []ip.Addr{r.Prefix.Addr, r.Prefix.Addr | ^ip.Mask(r.Prefix.Len)} {
+				if a, b := ref.Lookup(addr), cref.Lookup(addr); a != b {
+					t.Fatalf("seed %d: boundary %s: %d vs %d", seed, addr, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestCompactNeverGrows: ORTC output is minimal, so never larger than input
+// (after the input's own duplicates are removed by the trie).
+func TestCompactNeverGrows(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		routes := randomRoutes(500, seed+10)
+		if got := len(Compact(routes)); got > len(routes) {
+			t.Errorf("seed %d: compacted %d routes from %d", seed, got, len(routes))
+		}
+	}
+}
+
+// TestCompactCollapsesSiblings: two sibling prefixes with the same next hop
+// compact to their parent.
+func TestCompactCollapsesSiblings(t *testing.T) {
+	routes := []ip.Route{
+		{Prefix: ip.MustPrefix(ip.AddrFrom4(10, 0, 0, 0), 9), NextHop: 1},
+		{Prefix: ip.MustPrefix(ip.AddrFrom4(10, 128, 0, 0), 9), NextHop: 1},
+	}
+	compact := Compact(routes)
+	if len(compact) != 1 {
+		t.Fatalf("compacted to %d routes, want 1: %v", len(compact), compact)
+	}
+	if compact[0].Prefix.String() != "10.0.0.0/8" || compact[0].NextHop != 1 {
+		t.Errorf("compacted route = %v, want 10.0.0.0/8 -> 1", compact[0])
+	}
+}
+
+// TestCompactRemovesRedundantSpecific: a more-specific route with the same
+// next hop as its covering route is dropped.
+func TestCompactRemovesRedundantSpecific(t *testing.T) {
+	routes := []ip.Route{
+		{Prefix: ip.MustPrefix(ip.AddrFrom4(10, 0, 0, 0), 8), NextHop: 3},
+		{Prefix: ip.MustPrefix(ip.AddrFrom4(10, 1, 0, 0), 16), NextHop: 3},
+		{Prefix: ip.MustPrefix(ip.AddrFrom4(10, 2, 0, 0), 16), NextHop: 4},
+	}
+	compact := Compact(routes)
+	if len(compact) != 2 {
+		t.Fatalf("compacted to %d routes, want 2: %v", len(compact), compact)
+	}
+}
+
+// TestCompactDropRegionStaysDropped: the NoRoute-preferring choice must not
+// leak a covering route over an uncovered region.
+func TestCompactDropRegionStaysDropped(t *testing.T) {
+	routes := []ip.Route{
+		{Prefix: ip.MustPrefix(0, 1), NextHop: 1}, // 0.0.0.0/1 only
+	}
+	compact := Compact(routes)
+	cref := oracle(compact)
+	if nh := cref.Lookup(ip.AddrFrom4(200, 0, 0, 1)); nh != ip.NoRoute {
+		t.Errorf("upper half forwards to %d, want NoRoute", nh)
+	}
+	if nh := cref.Lookup(ip.AddrFrom4(10, 0, 0, 1)); nh != 1 {
+		t.Errorf("lower half forwards to %d, want 1", nh)
+	}
+}
+
+func TestCompactEmptyAndSingle(t *testing.T) {
+	if got := Compact(nil); len(got) != 0 {
+		t.Errorf("Compact(nil) = %v", got)
+	}
+	one := []ip.Route{{Prefix: ip.MustPrefix(ip.AddrFrom4(10, 0, 0, 0), 8), NextHop: 7}}
+	got := Compact(one)
+	if len(got) != 1 || got[0] != one[0] {
+		t.Errorf("Compact(single) = %v", got)
+	}
+}
+
+// TestCompactIdempotent: compacting a compacted table changes nothing.
+func TestCompactIdempotent(t *testing.T) {
+	routes := randomRoutes(300, 77)
+	once := Compact(routes)
+	twice := Compact(once)
+	if len(once) != len(twice) {
+		t.Fatalf("second compaction changed size %d -> %d", len(once), len(twice))
+	}
+	for i := range once {
+		if once[i] != twice[i] {
+			t.Fatalf("route %d changed across compactions", i)
+		}
+	}
+}

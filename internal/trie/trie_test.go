@@ -1,0 +1,420 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrpower/internal/ip"
+)
+
+func mustPfx(t *testing.T, s string) ip.Prefix {
+	t.Helper()
+	p, err := ip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInsertLookupBasic(t *testing.T) {
+	tr := New()
+	tr.Insert(mustPfx(t, "10.0.0.0/8"), 1)
+	tr.Insert(mustPfx(t, "10.1.0.0/16"), 2)
+	tr.Insert(mustPfx(t, "0.0.0.0/0"), 9)
+
+	addr, _ := ip.ParseAddr("10.1.5.5")
+	if nh := tr.Lookup(addr); nh != 2 {
+		t.Errorf("Lookup longest = %d, want 2", nh)
+	}
+	addr, _ = ip.ParseAddr("10.9.5.5")
+	if nh := tr.Lookup(addr); nh != 1 {
+		t.Errorf("Lookup mid = %d, want 1", nh)
+	}
+	addr, _ = ip.ParseAddr("172.16.0.1")
+	if nh := tr.Lookup(addr); nh != 9 {
+		t.Errorf("Lookup default = %d, want 9", nh)
+	}
+	if tr.Routes() != 3 {
+		t.Errorf("Routes = %d, want 3", tr.Routes())
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr := New()
+	p := mustPfx(t, "10.0.0.0/8")
+	tr.Insert(p, 1)
+	tr.Insert(p, 5)
+	if tr.Routes() != 1 {
+		t.Errorf("Routes = %d, want 1 after replace", tr.Routes())
+	}
+	addr, _ := ip.ParseAddr("10.0.0.1")
+	if nh := tr.Lookup(addr); nh != 5 {
+		t.Errorf("Lookup = %d, want replaced 5", nh)
+	}
+}
+
+func TestDeletePrunes(t *testing.T) {
+	tr := New()
+	tr.Insert(mustPfx(t, "10.1.2.0/24"), 1)
+	before := tr.Stats().Nodes
+	if before != 25 { // root + 24 path nodes
+		t.Fatalf("nodes after insert = %d, want 25", before)
+	}
+	if !tr.Delete(mustPfx(t, "10.1.2.0/24")) {
+		t.Fatal("Delete returned false for existing route")
+	}
+	if got := tr.Stats().Nodes; got != 1 {
+		t.Errorf("nodes after delete = %d, want 1 (root only)", got)
+	}
+	if tr.Delete(mustPfx(t, "10.1.2.0/24")) {
+		t.Error("Delete of absent route returned true")
+	}
+}
+
+func TestDeleteKeepsSharedPath(t *testing.T) {
+	tr := New()
+	tr.Insert(mustPfx(t, "10.1.0.0/16"), 1)
+	tr.Insert(mustPfx(t, "10.1.2.0/24"), 2)
+	tr.Delete(mustPfx(t, "10.1.2.0/24"))
+	addr, _ := ip.ParseAddr("10.1.2.3")
+	if nh := tr.Lookup(addr); nh != 1 {
+		t.Errorf("Lookup after delete = %d, want covering /16 route 1", nh)
+	}
+	// The /16 node must survive pruning.
+	if got := tr.Stats().Nodes; got != 17 {
+		t.Errorf("nodes = %d, want 17", got)
+	}
+}
+
+func TestDeleteNonexistentPath(t *testing.T) {
+	tr := New()
+	tr.Insert(mustPfx(t, "10.0.0.0/8"), 1)
+	if tr.Delete(mustPfx(t, "10.1.0.0/16")) {
+		t.Error("Delete along missing path returned true")
+	}
+}
+
+func TestLeafPushFullBinary(t *testing.T) {
+	tbl := randomRoutes(500, 3)
+	tr := Build(tbl)
+	tr.LeafPush()
+	if !tr.LeafPushed() {
+		t.Fatal("LeafPushed false after LeafPush")
+	}
+	s := tr.Stats()
+	// Full binary tree invariant: leaves = internal + 1.
+	if s.Leaves != s.Internal+1 {
+		t.Errorf("leaves = %d, internal = %d; want leaves = internal+1", s.Leaves, s.Internal)
+	}
+	// No internal node may carry a route after pushing.
+	tr.Walk(func(n *Node, _ int) bool {
+		if !n.IsLeaf() && n.HasRoute {
+			t.Error("internal node carries route after leaf push")
+			return false
+		}
+		return true
+	})
+}
+
+func TestLeafPushIdempotent(t *testing.T) {
+	tr := Build(randomRoutes(100, 11))
+	tr.LeafPush()
+	n1 := tr.Stats().Nodes
+	tr.LeafPush()
+	if n2 := tr.Stats().Nodes; n2 != n1 {
+		t.Errorf("second LeafPush changed node count %d -> %d", n1, n2)
+	}
+}
+
+func TestLeafPushPreservesLookups(t *testing.T) {
+	routes := randomRoutes(800, 5)
+	plain := Build(routes)
+	pushed := Build(routes)
+	pushed.LeafPush()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		addr := ip.Addr(rng.Uint32())
+		if a, b := plain.Lookup(addr), pushed.Lookup(addr); a != b {
+			t.Fatalf("Lookup(%s): plain %d != pushed %d", addr, a, b)
+		}
+	}
+}
+
+func TestLookupMatchesReference(t *testing.T) {
+	routes := randomRoutes(600, 21)
+	tr := Build(routes)
+	var ref ip.Table
+	for _, r := range routes {
+		ref.Add(r)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		addr := ip.Addr(rng.Uint32())
+		if got, want := tr.Lookup(addr), ref.Lookup(addr); got != want {
+			t.Fatalf("Lookup(%s) = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestInsertOnLeafPushedPanics(t *testing.T) {
+	tr := Build(randomRoutes(10, 1))
+	tr.LeafPush()
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert on leaf-pushed trie did not panic")
+		}
+	}()
+	tr.Insert(mustPfx(t, "10.0.0.0/8"), 1)
+}
+
+func TestStatsPerLevel(t *testing.T) {
+	tr := New()
+	tr.Insert(mustPfx(t, "128.0.0.0/1"), 1)
+	tr.Insert(mustPfx(t, "0.0.0.0/1"), 2)
+	s := tr.Stats()
+	if s.Nodes != 3 || s.Height != 1 {
+		t.Fatalf("Nodes=%d Height=%d, want 3,1", s.Nodes, s.Height)
+	}
+	if s.PerLevel[0].Internal != 1 || s.PerLevel[1].Leaves != 2 {
+		t.Errorf("per-level counts wrong: %+v", s.PerLevel)
+	}
+	sum := 0
+	for _, lv := range s.PerLevel {
+		sum += lv.Nodes
+	}
+	if sum != s.Nodes {
+		t.Errorf("per-level sum %d != total %d", sum, s.Nodes)
+	}
+}
+
+func TestStageMapFolding(t *testing.T) {
+	m, err := NewStageMap(28, 32) // 33 levels onto 28 stages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Folded() != 5 {
+		t.Fatalf("Folded = %d, want 5", m.Folded())
+	}
+	if m.Stage(0) != 0 || m.Stage(5) != 0 {
+		t.Error("shallow levels must fold into stage 0")
+	}
+	if m.Stage(6) != 1 {
+		t.Errorf("Stage(6) = %d, want 1", m.Stage(6))
+	}
+	if m.Stage(32) != 27 {
+		t.Errorf("Stage(32) = %d, want 27", m.Stage(32))
+	}
+	// Monotone non-decreasing and within range.
+	prev := 0
+	for lv := 0; lv <= 32; lv++ {
+		s := m.Stage(lv)
+		if s < prev || s < 0 || s >= 28 {
+			t.Fatalf("Stage(%d) = %d not monotone/in-range", lv, s)
+		}
+		prev = s
+	}
+}
+
+func TestStageMapNoFoldAndErrors(t *testing.T) {
+	m, err := NewStageMap(33, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Folded() != 0 {
+		t.Errorf("Folded = %d, want 0", m.Folded())
+	}
+	if m.Stage(10) != 10 {
+		t.Errorf("identity mapping broken: Stage(10) = %d", m.Stage(10))
+	}
+	if _, err := NewStageMap(0, 32); err == nil {
+		t.Error("NewStageMap(0, …) succeeded, want error")
+	}
+}
+
+// randomRoutes builds n unique random routes with non-zero next hops.
+func randomRoutes(n int, seed int64) []ip.Route {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[ip.Prefix]bool)
+	routes := make([]ip.Route, 0, n)
+	for len(routes) < n {
+		p := ip.MustPrefix(ip.Addr(rng.Uint32()), 1+rng.Intn(32))
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		routes = append(routes, ip.Route{Prefix: p, NextHop: ip.NextHop(1 + rng.Intn(63))})
+	}
+	return routes
+}
+
+func TestBalancedStageMapMinimisesMax(t *testing.T) {
+	// Heavily skewed level memories: linear mapping would leave one huge
+	// stage; the balanced map must split the load.
+	bits := []int64{1, 1, 1, 1, 100, 100, 100, 100, 1, 1, 1, 1}
+	m, err := NewBalancedStageMap(4, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute per-stage sums under the balanced assignment.
+	sums := make([]int64, m.Stages)
+	for lv, b := range bits {
+		sums[m.Stage(lv)] += b
+	}
+	var max int64
+	for _, s := range sums {
+		if s > max {
+			max = s
+		}
+	}
+	// Total 408 over 4 stages: perfect balance 102; the heavy levels force
+	// at least one stage to hold a single 100-unit level plus neighbours.
+	if max > 104 {
+		t.Errorf("balanced max stage load %d, want <= 104 (near-perfect)", max)
+	}
+	// Monotone contiguous assignment.
+	prev := 0
+	for lv := range bits {
+		s := m.Stage(lv)
+		if s < prev || s > prev+1 {
+			t.Fatalf("assignment not monotone/contiguous at level %d: %d after %d", lv, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestBalancedStageMapDegenerate(t *testing.T) {
+	if _, err := NewBalancedStageMap(0, []int64{1}); err == nil {
+		t.Error("stages=0 accepted")
+	}
+	if _, err := NewBalancedStageMap(4, nil); err == nil {
+		t.Error("empty levels accepted")
+	}
+	if _, err := NewBalancedStageMap(4, []int64{1, -1}); err == nil {
+		t.Error("negative level memory accepted")
+	}
+	// More stages than levels: one level per stage, no panic.
+	m, err := NewBalancedStageMap(10, []int64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lv := 0; lv < 3; lv++ {
+		if s := m.Stage(lv); s != lv {
+			t.Errorf("Stage(%d) = %d, want identity", lv, s)
+		}
+	}
+	// All-zero memories still produce a valid map.
+	if _, err := NewBalancedStageMap(3, []int64{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedBeatsLinearOnSkew(t *testing.T) {
+	// A leaf-pushed trie's level memories: compare the fold-into-0 linear
+	// map against the balanced map on max stage load.
+	tr := Build(randomRoutes(2000, 31))
+	tr.LeafPush()
+	st := tr.Stats()
+	bits := make([]int64, len(st.PerLevel))
+	for lv, l := range st.PerLevel {
+		bits[lv] = int64(l.Internal)*36 + int64(l.Leaves)*8
+	}
+	stages := 8
+	linear, err := NewStageMap(stages, st.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, err := NewBalancedStageMap(stages, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLoad := func(m StageMap) int64 {
+		sums := make([]int64, stages)
+		for lv, b := range bits {
+			sums[m.Stage(lv)] += b
+		}
+		var max int64
+		for _, s := range sums {
+			if s > max {
+				max = s
+			}
+		}
+		return max
+	}
+	lin, bal := maxLoad(linear), maxLoad(balanced)
+	if bal > lin {
+		t.Errorf("balanced max load %d exceeds linear %d", bal, lin)
+	}
+	if bal == lin {
+		t.Logf("note: balanced == linear (%d); acceptable but unusual", bal)
+	}
+	if balanced.MaxLevelsPerStage() < 1 {
+		t.Error("MaxLevelsPerStage < 1")
+	}
+}
+
+// TestRandomOpSequenceVsOracle interleaves inserts, deletes and lookups,
+// checking the trie against the exhaustive-scan oracle after every step.
+func TestRandomOpSequenceVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	tr := New()
+	var oracle ip.Table
+	live := make([]ip.Prefix, 0, 256)
+	for step := 0; step < 4000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(live) == 0: // insert
+			p := ip.MustPrefix(ip.Addr(rng.Uint32()), rng.Intn(33))
+			nh := ip.NextHop(1 + rng.Intn(200))
+			already := false
+			for _, q := range live {
+				if q == p {
+					already = true
+					break
+				}
+			}
+			tr.Insert(p, nh)
+			oracle.Add(ip.Route{Prefix: p, NextHop: nh})
+			if !already {
+				live = append(live, p)
+			}
+		case op < 8: // delete a live prefix
+			i := rng.Intn(len(live))
+			p := live[i]
+			if !tr.Delete(p) {
+				t.Fatalf("step %d: Delete(%s) of live prefix failed", step, p)
+			}
+			oracle.Remove(p)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default: // delete something absent
+			p := ip.MustPrefix(ip.Addr(rng.Uint32()), 1+rng.Intn(32))
+			absent := true
+			for _, q := range live {
+				if q == p {
+					absent = false
+					break
+				}
+			}
+			if absent && tr.Delete(p) {
+				t.Fatalf("step %d: Delete(%s) of absent prefix succeeded", step, p)
+			}
+		}
+		if tr.Routes() != oracle.Len() {
+			t.Fatalf("step %d: route count %d != oracle %d", step, tr.Routes(), oracle.Len())
+		}
+		if step%7 == 0 {
+			addr := ip.Addr(rng.Uint32())
+			if got, want := tr.Lookup(addr), oracle.Lookup(addr); got != want {
+				t.Fatalf("step %d: Lookup(%s) = %d, want %d", step, addr, got, want)
+			}
+		}
+	}
+	// The trie must prune back to just the root when everything is deleted.
+	for _, p := range live {
+		if !tr.Delete(p) {
+			t.Fatalf("final Delete(%s) failed", p)
+		}
+	}
+	if got := tr.Stats().Nodes; got != 1 {
+		t.Errorf("after deleting everything: %d nodes, want 1 (root)", got)
+	}
+}

@@ -1,0 +1,222 @@
+// Package update models routing-table churn and its cost on pipelined
+// lookup engines. The paper's companion work ([6]: "Towards on-the-fly
+// incremental updates for virtualized routers on FPGA", the same authors)
+// applies updates by injecting *write bubbles* into the pipeline: a bubble
+// occupies one input cycle and performs one memory write in each stage it
+// traverses, so lookups stall for one cycle per bubble. This package
+// generates deterministic churn streams, diffs compiled pipeline images to
+// count the writes an update batch needs, converts writes to bubbles, and
+// reports the throughput retained — quantifying the separate scheme's
+// update advantage over the merged scheme (one table touched vs the whole
+// merged structure).
+package update
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vrpower/internal/ip"
+	"vrpower/internal/pipeline"
+	"vrpower/internal/rib"
+)
+
+// OpKind is the BGP-style update type.
+type OpKind int
+
+const (
+	// Announce adds a new route.
+	Announce OpKind = iota
+	// Withdraw removes an existing route.
+	Withdraw
+	// Change rewrites an existing route's next hop.
+	Change
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case Announce:
+		return "announce"
+	case Withdraw:
+		return "withdraw"
+	case Change:
+		return "change"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one route update.
+type Op struct {
+	Kind    OpKind
+	Prefix  ip.Prefix
+	NextHop ip.NextHop // Announce/Change only
+}
+
+// ChurnConfig parameterises the update generator.
+type ChurnConfig struct {
+	Seed int64
+	// AnnounceFrac, WithdrawFrac select the op mix; the remainder is
+	// next-hop changes. Defaults (zero values) give the BGP-typical
+	// 40/30/30 mix.
+	AnnounceFrac, WithdrawFrac float64
+}
+
+// Churn generates n updates against the table, mutating its own shadow copy
+// so withdraws always name live routes. The input table is not modified.
+func Churn(tbl *rib.Table, n int, cfg ChurnConfig) ([]Op, error) {
+	if tbl.Len() == 0 {
+		return nil, fmt.Errorf("update: churn against an empty table")
+	}
+	af, wf := cfg.AnnounceFrac, cfg.WithdrawFrac
+	if af == 0 && wf == 0 {
+		af, wf = 0.4, 0.3
+	}
+	if af < 0 || wf < 0 || af+wf > 1 {
+		return nil, fmt.Errorf("update: bad op mix announce=%g withdraw=%g", af, wf)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shadow := &rib.Table{Name: tbl.Name + "-shadow"}
+	shadow.Routes = append(shadow.Routes, tbl.Routes...)
+	present := make(map[ip.Prefix]bool, shadow.Len())
+	for _, r := range shadow.Routes {
+		present[r.Prefix] = true
+	}
+
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		r := rng.Float64()
+		switch {
+		case r < af:
+			// Announce: a more-specific under a random existing route.
+			base := shadow.Routes[rng.Intn(shadow.Len())]
+			length := base.Prefix.Len + 1 + rng.Intn(3)
+			if length > 32 {
+				length = 32
+			}
+			ext := ip.Addr(rng.Uint32()) &^ ip.Mask(base.Prefix.Len)
+			p, err := ip.PrefixFrom(base.Prefix.Addr|ext, length)
+			if err != nil {
+				return nil, err
+			}
+			if present[p] {
+				continue
+			}
+			nh := ip.NextHop(1 + rng.Intn(16))
+			ops = append(ops, Op{Kind: Announce, Prefix: p, NextHop: nh})
+			shadow.Add(ip.Route{Prefix: p, NextHop: nh})
+			present[p] = true
+		case r < af+wf && shadow.Len() > 1:
+			i := rng.Intn(shadow.Len())
+			p := shadow.Routes[i].Prefix
+			ops = append(ops, Op{Kind: Withdraw, Prefix: p})
+			shadow.Routes[i] = shadow.Routes[shadow.Len()-1]
+			shadow.Routes = shadow.Routes[:shadow.Len()-1]
+			delete(present, p)
+		default:
+			i := rng.Intn(shadow.Len())
+			nh := ip.NextHop(1 + rng.Intn(16))
+			ops = append(ops, Op{Kind: Change, Prefix: shadow.Routes[i].Prefix, NextHop: nh})
+			shadow.Routes[i].NextHop = nh
+		}
+	}
+	return ops, nil
+}
+
+// Apply returns a new table with the ops applied in order. Withdraws of
+// absent prefixes and duplicate announces are tolerated (idempotent).
+func Apply(tbl *rib.Table, ops []Op) *rib.Table {
+	out := &rib.Table{Name: tbl.Name}
+	out.Routes = append(out.Routes, tbl.Routes...)
+	for _, op := range ops {
+		switch op.Kind {
+		case Announce, Change:
+			out.Add(ip.Route{Prefix: op.Prefix, NextHop: op.NextHop})
+		case Withdraw:
+			for i := range out.Routes {
+				if out.Routes[i].Prefix == op.Prefix {
+					out.Routes[i] = out.Routes[len(out.Routes)-1]
+					out.Routes = out.Routes[:len(out.Routes)-1]
+					break
+				}
+			}
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// Write is one stage-memory word write.
+type Write struct {
+	Stage int
+	Index uint32
+}
+
+// Diff computes the stage-memory writes that transform the old compiled
+// image into the new one: positionally differing entries plus appended
+// entries. (Hardware would in practice allocate free slots; positional diff
+// is the conservative upper bound the write-bubble budget must cover.)
+func Diff(oldImg, newImg *pipeline.Image) ([]Write, error) {
+	if len(oldImg.Stages) != len(newImg.Stages) {
+		return nil, fmt.Errorf("update: stage counts differ (%d vs %d)", len(oldImg.Stages), len(newImg.Stages))
+	}
+	var writes []Write
+	for s := range newImg.Stages {
+		oldE, newE := oldImg.Stages[s].Entries, newImg.Stages[s].Entries
+		n := len(oldE)
+		if len(newE) < n {
+			n = len(newE)
+		}
+		for i := 0; i < n; i++ {
+			if !entryEqual(oldE[i], newE[i]) {
+				writes = append(writes, Write{Stage: s, Index: uint32(i)})
+			}
+		}
+		for i := n; i < len(newE); i++ {
+			writes = append(writes, Write{Stage: s, Index: uint32(i)})
+		}
+	}
+	return writes, nil
+}
+
+func entryEqual(a, b pipeline.Entry) bool {
+	if a.Leaf != b.Leaf || a.Level != b.Level || a.Child != b.Child || len(a.NHI) != len(b.NHI) {
+		return false
+	}
+	for i := range a.NHI {
+		if a.NHI[i] != b.NHI[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bubbles converts a write set into the number of write bubbles needed: a
+// bubble performs at most one write per stage as it traverses the pipeline,
+// so the bubble count is the largest per-stage write count.
+func Bubbles(writes []Write) int {
+	perStage := map[int]int{}
+	max := 0
+	for _, w := range writes {
+		perStage[w.Stage]++
+		if perStage[w.Stage] > max {
+			max = perStage[w.Stage]
+		}
+	}
+	return max
+}
+
+// ThroughputRetained returns the fraction of lookup slots left after
+// spending bubbles update cycles out of every second at fMHz million
+// cycles per second.
+func ThroughputRetained(bubblesPerSecond int, fMHz float64) float64 {
+	if fMHz <= 0 {
+		return 0
+	}
+	cycles := fMHz * 1e6
+	loss := float64(bubblesPerSecond) / cycles
+	if loss > 1 {
+		return 0
+	}
+	return 1 - loss
+}

@@ -1,0 +1,278 @@
+package update
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrpower/internal/ip"
+	"vrpower/internal/merge"
+	"vrpower/internal/pipeline"
+	"vrpower/internal/rib"
+	"vrpower/internal/trie"
+)
+
+func genTable(t *testing.T, n int, seed int64) *rib.Table {
+	t.Helper()
+	tbl, err := rib.Generate("t", rib.DefaultGen(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func compile(t *testing.T, tbl *rib.Table) *pipeline.Image {
+	t.Helper()
+	tr := trie.Build(tbl.Routes)
+	tr.LeafPush()
+	// Fixed 28 stages with a fixed 33-level map so diffs across rebuilds
+	// compare like with like even if the new trie is shallower/deeper.
+	sm, err := trie.NewStageMap(28, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := pipeline.CompileMapped(tr, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestChurnValidation(t *testing.T) {
+	if _, err := Churn(&rib.Table{}, 5, ChurnConfig{}); err == nil {
+		t.Error("empty table accepted")
+	}
+	tbl := genTable(t, 50, 1)
+	if _, err := Churn(tbl, 5, ChurnConfig{AnnounceFrac: 0.9, WithdrawFrac: 0.9}); err == nil {
+		t.Error("op mix > 1 accepted")
+	}
+	if _, err := Churn(tbl, 5, ChurnConfig{AnnounceFrac: -0.1}); err == nil {
+		t.Error("negative mix accepted")
+	}
+}
+
+func TestChurnDeterministicAndMixed(t *testing.T) {
+	tbl := genTable(t, 500, 2)
+	a, err := Churn(tbl, 300, ChurnConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Churn(tbl, 300, ChurnConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[OpKind]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs with same seed", i)
+		}
+		counts[a[i].Kind]++
+	}
+	for _, k := range []OpKind{Announce, Withdraw, Change} {
+		if counts[k] == 0 {
+			t.Errorf("no %s ops in a 300-op stream", k)
+		}
+	}
+}
+
+func TestChurnWithdrawsNameLiveRoutes(t *testing.T) {
+	tbl := genTable(t, 200, 3)
+	ops, err := Churn(tbl, 400, ChurnConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay: every withdraw must hit a present prefix.
+	present := make(map[ip.Prefix]bool)
+	for _, r := range tbl.Routes {
+		present[r.Prefix] = true
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case Announce:
+			if present[op.Prefix] {
+				t.Fatalf("op %d announces already-present %s", i, op.Prefix)
+			}
+			present[op.Prefix] = true
+		case Withdraw:
+			if !present[op.Prefix] {
+				t.Fatalf("op %d withdraws absent %s", i, op.Prefix)
+			}
+			delete(present, op.Prefix)
+		case Change:
+			if !present[op.Prefix] {
+				t.Fatalf("op %d changes absent %s", i, op.Prefix)
+			}
+		}
+	}
+}
+
+func TestApplySemantics(t *testing.T) {
+	tbl := &rib.Table{Name: "t"}
+	p1, _ := ip.ParsePrefix("10.0.0.0/8")
+	p2, _ := ip.ParsePrefix("20.0.0.0/8")
+	tbl.Add(ip.Route{Prefix: p1, NextHop: 1})
+	out := Apply(tbl, []Op{
+		{Kind: Announce, Prefix: p2, NextHop: 2},
+		{Kind: Change, Prefix: p1, NextHop: 5},
+		{Kind: Withdraw, Prefix: p2},
+		{Kind: Withdraw, Prefix: p2}, // idempotent
+	})
+	if out.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", out.Len())
+	}
+	if out.Routes[0].Prefix != p1 || out.Routes[0].NextHop != 5 {
+		t.Errorf("route = %+v", out.Routes[0])
+	}
+	// Original untouched.
+	if tbl.Routes[0].NextHop != 1 {
+		t.Error("Apply mutated the input table")
+	}
+}
+
+func TestAppliedTableForwardsCorrectly(t *testing.T) {
+	tbl := genTable(t, 400, 4)
+	ops, err := Churn(tbl, 200, ChurnConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated := Apply(tbl, ops)
+	img := compile(t, updated)
+	ref := updated.Reference()
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 2000; i++ {
+		addr := ip.Addr(rng.Uint32())
+		if got, want := pipeline.Lookup(img, pipeline.Request{Addr: addr}), ref.Lookup(addr); got != want {
+			t.Fatalf("post-update lookup(%s) = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestDiffIdenticalImagesIsEmpty(t *testing.T) {
+	tbl := genTable(t, 300, 5)
+	a, b := compile(t, tbl), compile(t, tbl)
+	writes, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(writes) != 0 {
+		t.Errorf("identical images diff to %d writes", len(writes))
+	}
+}
+
+func TestDiffGrowsWithChurn(t *testing.T) {
+	tbl := genTable(t, 500, 6)
+	base := compile(t, tbl)
+	prev := 0
+	for _, n := range []int{10, 100, 400} {
+		ops, err := Churn(tbl, n, ChurnConfig{Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := compile(t, Apply(tbl, ops))
+		writes, err := Diff(base, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(writes) <= prev {
+			t.Errorf("%d ops produced %d writes, not above %d", n, len(writes), prev)
+		}
+		prev = len(writes)
+	}
+}
+
+func TestDiffStageMismatch(t *testing.T) {
+	tbl := genTable(t, 50, 7)
+	tr := trie.Build(tbl.Routes)
+	tr.LeafPush()
+	img8, err := pipeline.Compile(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img28 := compile(t, tbl)
+	if _, err := Diff(img8, img28); err == nil {
+		t.Error("stage count mismatch accepted")
+	}
+}
+
+// TestMergedUpdateCostlier reproduces the core claim of the authors'
+// companion work [6]: one network's churn forces far more memory writes in
+// the merged structure (shared nodes, K-wide leaf vectors shift) than in
+// that network's separate engine.
+func TestMergedUpdateCostlier(t *testing.T) {
+	set, err := rib.GenerateVirtualSet(4, 400, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := Churn(set.Tables[0], 50, ChurnConfig{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated := Apply(set.Tables[0], ops)
+
+	// Separate: only engine 0 changes.
+	sepWrites, err := Diff(compile(t, set.Tables[0]), compile(t, updated))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Merged: rebuild the shared structure.
+	sm, err := trie.NewStageMap(28, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compileMerged := func(tables []*rib.Table) *pipeline.Image {
+		m, err := merge.Build(tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.LeafPush()
+		img, err := pipeline.CompileMergedMapped(m, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	before := compileMerged(set.Tables)
+	after := compileMerged([]*rib.Table{updated, set.Tables[1], set.Tables[2], set.Tables[3]})
+	mergedWrites, err := Diff(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mergedWrites) <= len(sepWrites) {
+		t.Errorf("merged update writes %d not above separate %d", len(mergedWrites), len(sepWrites))
+	}
+	if Bubbles(mergedWrites) <= Bubbles(sepWrites) {
+		t.Errorf("merged bubbles %d not above separate %d", Bubbles(mergedWrites), Bubbles(sepWrites))
+	}
+}
+
+func TestBubbles(t *testing.T) {
+	if Bubbles(nil) != 0 {
+		t.Error("Bubbles(nil) != 0")
+	}
+	writes := []Write{{0, 1}, {0, 2}, {0, 3}, {5, 1}}
+	if got := Bubbles(writes); got != 3 {
+		t.Errorf("Bubbles = %d, want 3 (stage 0 has 3 writes)", got)
+	}
+}
+
+func TestThroughputRetained(t *testing.T) {
+	if got := ThroughputRetained(0, 200); got != 1 {
+		t.Errorf("no updates: retained %g, want 1", got)
+	}
+	got := ThroughputRetained(100_000_000, 200) // 100M bubbles at 200 MHz
+	if got < 0.49 || got > 0.51 {
+		t.Errorf("half-rate bubbles: retained %g, want 0.5", got)
+	}
+	if ThroughputRetained(1_000_000_000, 200) != 0 {
+		t.Error("oversubscribed bubbles should clamp to 0")
+	}
+	if ThroughputRetained(1, 0) != 0 {
+		t.Error("zero clock should return 0")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if Announce.String() != "announce" || Withdraw.String() != "withdraw" || Change.String() != "change" {
+		t.Error("op kind names wrong")
+	}
+}
