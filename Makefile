@@ -1,0 +1,27 @@
+# Tier-1 verification and the common dev loops in one place.
+#   make            = build + test (the tier-1 gate)
+#   make race       = full suite under the race detector
+#   make bench      = every benchmark with allocation counts
+GO ?= go
+
+.PHONY: all build test race vet bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 tests plus a race-detector pass over the concurrent packages (the
+# sweep pool, its consumers, and the instrumentation layer).
+test: build
+	$(GO) test ./...
+	$(GO) test -race ./internal/experiments/... ./internal/sweep/... ./internal/obs/... ./internal/netsim/...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -1,10 +1,12 @@
 // Command figures regenerates every table and figure of the paper's
 // evaluation (Tables II–III, Figures 2–8, and the Section V-E trie
-// calibration) and prints them as aligned tables or CSV.
+// calibration) and prints them as aligned tables or CSV. The Fig. 5–8
+// sweeps fan out over a bounded worker pool; -j sizes it.
 //
 // Usage:
 //
-//	figures [-exp all|tableII|tableIII|triecal|fig2|fig3|fig4|fig5|fig6|fig7|fig8] [-grade both|-2|-1L] [-csv]
+//	figures [-exp all|tableII|tableIII|triecal|fig2|fig3|fig4|fig5|fig6|fig7|fig8]
+//	        [-grade both|-2|-1L] [-csv] [-outdir DIR] [-j N] [-stats]
 package main
 
 import (
@@ -13,177 +15,156 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"vrpower/internal/experiments"
 	"vrpower/internal/fpga"
+	"vrpower/internal/obs"
 	"vrpower/internal/report"
+	"vrpower/internal/sweep"
 )
+
+// emitter renders experiment output. The experiment name reaches emit as an
+// argument instead of through shared mutable state, and the -outdir naming
+// map is mutex-guarded, so concurrently running experiments cannot misfile
+// each other's CSVs.
+type emitter struct {
+	csv    bool
+	outdir string
+
+	mu      sync.Mutex
+	written map[string]int
+}
+
+// emit prints one experiment table and, with -outdir, writes its CSV. A
+// second table from the same experiment (e.g. fig4's two panels) gets a
+// _1, _2, ... suffix.
+func (em *emitter) emit(name string, t *report.Table) error {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if em.csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.String())
+	}
+	if em.outdir == "" {
+		return nil
+	}
+	file := name
+	if n := em.written[name]; n > 0 {
+		file = fmt.Sprintf("%s_%d", name, n)
+	}
+	em.written[name]++
+	return os.WriteFile(filepath.Join(em.outdir, file+".csv"), []byte(t.CSV()), 0o644)
+}
+
+// emitFn emits tables for one named experiment.
+type emitFn func(*report.Table) error
+
+// tableExp adapts a table-producing experiment to the run map.
+func tableExp(gen func() (*report.Table, error)) func(emitFn) error {
+	return func(emit emitFn) error {
+		t, err := gen()
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
+}
+
+// figExp adapts a figure-producing experiment to the run map.
+func figExp(gen func() (*report.Figure, error)) func(emitFn) error {
+	return func(emit emitFn) error {
+		f, err := gen()
+		if err != nil {
+			return err
+		}
+		return emit(f.Table())
+	}
+}
+
+// perGrade adapts a per-speed-grade figure sweep to the run map.
+func perGrade(grades []fpga.SpeedGrade, gen func(fpga.SpeedGrade) (*report.Figure, error)) func(emitFn) error {
+	return func(emit emitFn) error {
+		for _, g := range grades {
+			f, err := gen(g)
+			if err != nil {
+				return err
+			}
+			if err := emit(f.Table()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
-	exp := flag.String("exp", "all", "experiment to regenerate (all, tableII, tableIII, triecal, fig2..fig8, stride, tcam, updates, devicefit, multiway, qos, braiding, loadsweep, ortc, calspread)")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, tableII, tableIII, triecal, fig2..fig8, stride, tcam, updates, devicefit, multiway, qos, braiding, loadsweep, ortc, calspread, grouped)")
 	gradeFlag := flag.String("grade", "both", "speed grade for fig5-fig8: both, -2 or -1L")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	outdir := flag.String("outdir", "", "also write each experiment's CSV into this directory")
+	jobs := flag.Int("j", 0, "sweep worker-pool size (0 = GOMAXPROCS); output is byte-identical at any value")
+	stats := flag.Bool("stats", false, "print run instrumentation to stderr on exit")
 	flag.Parse()
 
+	sweep.SetWorkers(*jobs)
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
 			log.Fatal(err)
 		}
 	}
-	written := map[string]int{}
+	em := &emitter{csv: *csv, outdir: *outdir, written: map[string]int{}}
 
 	grades, err := parseGrades(*gradeFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	currentExp := ""
-	emitTable := func(t *report.Table) {
-		if *csv {
-			fmt.Print(t.CSV())
-		} else {
-			fmt.Println(t.String())
-		}
-		if *outdir != "" {
-			name := currentExp
-			if written[currentExp] > 0 {
-				name = fmt.Sprintf("%s_%d", currentExp, written[currentExp])
-			}
-			written[currentExp]++
-			path := filepath.Join(*outdir, name+".csv")
-			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-	emitFigure := func(f *report.Figure) { emitTable(f.Table()) }
 
-	run := map[string]func() error{
-		"tableII":  func() error { emitTable(experiments.TableII()); return nil },
-		"tableIII": func() error { emitTable(experiments.TableIII()); return nil },
-		"triecal": func() error {
-			t, err := experiments.TrieCalibration()
-			if err != nil {
-				return err
-			}
-			emitTable(t)
-			return nil
-		},
-		"fig2": func() error { emitFigure(experiments.Fig2()); return nil },
-		"fig3": func() error { emitFigure(experiments.Fig3()); return nil },
-		"fig4": func() error {
+	run := map[string]func(emitFn) error{
+		"tableII":  func(emit emitFn) error { return emit(experiments.TableII()) },
+		"tableIII": func(emit emitFn) error { return emit(experiments.TableIII()) },
+		"triecal":  tableExp(experiments.TrieCalibration),
+		"fig2":     func(emit emitFn) error { return emit(experiments.Fig2().Table()) },
+		"fig3":     func(emit emitFn) error { return emit(experiments.Fig3().Table()) },
+		"fig4": func(emit emitFn) error {
 			ptr, nhi, err := experiments.Fig4()
 			if err != nil {
 				return err
 			}
-			emitFigure(ptr)
-			emitFigure(nhi)
-			return nil
-		},
-		"stride": func() error {
-			t, err := experiments.StrideComparison()
-			if err != nil {
+			if err := emit(ptr.Table()); err != nil {
 				return err
 			}
-			emitTable(t)
-			return nil
+			return emit(nhi.Table())
 		},
-		"tcam": func() error {
-			t, err := experiments.TCAMComparison()
-			if err != nil {
-				return err
-			}
-			emitTable(t)
-			return nil
-		},
-		"updates": func() error {
-			t, err := experiments.UpdateCost()
-			if err != nil {
-				return err
-			}
-			emitTable(t)
-			return nil
-		},
-		"devicefit": func() error {
-			t, err := experiments.DeviceFit()
-			if err != nil {
-				return err
-			}
-			emitTable(t)
-			return nil
-		},
-		"multiway": func() error {
-			t, err := experiments.MultiwayComparison()
-			if err != nil {
-				return err
-			}
-			emitTable(t)
-			return nil
-		},
-		"qos": func() error {
-			t, err := experiments.QoSIsolation()
-			if err != nil {
-				return err
-			}
-			emitTable(t)
-			return nil
-		},
-		"braiding": func() error {
-			t, err := experiments.BraidingComparison()
-			if err != nil {
-				return err
-			}
-			emitTable(t)
-			return nil
-		},
-		"loadsweep": func() error {
-			f, err := experiments.LoadSweep()
-			if err != nil {
-				return err
-			}
-			emitFigure(f)
-			return nil
-		},
-		"ortc": func() error {
-			t, err := experiments.CompactionEffect()
-			if err != nil {
-				return err
-			}
-			emitTable(t)
-			return nil
-		},
-		"calspread": func() error {
-			t, err := experiments.CalibrationSpread()
-			if err != nil {
-				return err
-			}
-			emitTable(t)
-			return nil
-		},
-		"grouped": func() error {
-			t, err := experiments.GroupedMerge()
-			if err != nil {
-				return err
-			}
-			emitTable(t)
-			return nil
-		},
-		"fig5": perGrade(grades, experiments.Fig5, emitFigure),
-		"fig6": perGrade(grades, experiments.Fig6, emitFigure),
-		"fig7": perGrade(grades, experiments.Fig7, emitFigure),
-		"fig8": perGrade(grades, experiments.Fig8, emitFigure),
+		"stride":    tableExp(experiments.StrideComparison),
+		"tcam":      tableExp(experiments.TCAMComparison),
+		"updates":   tableExp(experiments.UpdateCost),
+		"devicefit": tableExp(experiments.DeviceFit),
+		"multiway":  tableExp(experiments.MultiwayComparison),
+		"qos":       tableExp(experiments.QoSIsolation),
+		"braiding":  tableExp(experiments.BraidingComparison),
+		"loadsweep": figExp(experiments.LoadSweep),
+		"ortc":      tableExp(experiments.CompactionEffect),
+		"calspread": tableExp(experiments.CalibrationSpread),
+		"grouped":   tableExp(experiments.GroupedMerge),
+		"fig5":      perGrade(grades, experiments.Fig5),
+		"fig6":      perGrade(grades, experiments.Fig6),
+		"fig7":      perGrade(grades, experiments.Fig7),
+		"fig8":      perGrade(grades, experiments.Fig8),
 	}
 
 	order := []string{"tableII", "tableIII", "triecal", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "stride", "tcam", "updates", "devicefit", "multiway", "qos", "braiding", "loadsweep", "ortc", "calspread", "grouped"}
 	if *exp == "all" {
 		for _, name := range order {
-			currentExp = name
-			if err := run[name](); err != nil {
+			name := name
+			if err := run[name](func(t *report.Table) error { return em.emit(name, t) }); err != nil {
 				log.Fatalf("%s: %v", name, err)
 			}
 		}
+		finish(*stats)
 		return
 	}
 	fn, ok := run[*exp]
@@ -191,9 +172,17 @@ func main() {
 		log.Printf("unknown experiment %q; available: all %v", *exp, order)
 		os.Exit(2)
 	}
-	currentExp = *exp
-	if err := fn(); err != nil {
+	if err := fn(func(t *report.Table) error { return em.emit(*exp, t) }); err != nil {
 		log.Fatalf("%s: %v", *exp, err)
+	}
+	finish(*stats)
+}
+
+// finish prints the instrumentation report when -stats is set. Stderr keeps
+// it out of piped CSV output.
+func finish(stats bool) {
+	if stats {
+		fmt.Fprint(os.Stderr, obs.Report())
 	}
 }
 
@@ -207,17 +196,4 @@ func parseGrades(s string) ([]fpga.SpeedGrade, error) {
 		return []fpga.SpeedGrade{fpga.Grade1L}, nil
 	}
 	return nil, fmt.Errorf(`grade %q: want "both", "-2" or "-1L"`, s)
-}
-
-func perGrade(grades []fpga.SpeedGrade, gen func(fpga.SpeedGrade) (*report.Figure, error), emit func(*report.Figure)) func() error {
-	return func() error {
-		for _, g := range grades {
-			f, err := gen(g)
-			if err != nil {
-				return err
-			}
-			emit(f)
-		}
-		return nil
-	}
 }

@@ -1,23 +1,28 @@
 // Command lookupsim builds a router with real compiled lookup engines,
 // drives it with generated traffic, cycle-accurately simulates every
 // pipeline, and cross-checks each forwarded packet against the reference
-// longest-prefix match — the end-to-end correctness harness.
+// longest-prefix match — the end-to-end correctness harness. Independent
+// engines simulate in parallel on a bounded worker pool; -j sizes it.
 //
 // Usage:
 //
 //	lookupsim -scheme VM -k 4 -packets 10000 [-prefixes 1000] [-share 0.5]
-//	          [-dist uniform|zipf] [-routed] [-seed 1]
+//	          [-dist uniform|zipf] [-routed] [-frames] [-load 0.5]
+//	          [-j N] [-stats] [-seed 1]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"vrpower/internal/core"
 	"vrpower/internal/netsim"
+	"vrpower/internal/obs"
 	"vrpower/internal/report"
 	"vrpower/internal/rib"
+	"vrpower/internal/sweep"
 	"vrpower/internal/traffic"
 )
 
@@ -34,12 +39,25 @@ func main() {
 		routed     = flag.Bool("routed", true, "draw destinations from the routed space")
 		frames     = flag.Bool("frames", false, "drive the full frame path (parse -> lookup -> edit) instead of bare lookups")
 		load       = flag.Float64("load", 0, "per-VN offered load for an open-loop run (0 = closed-loop batch)")
+		jobs       = flag.Int("j", 0, "engine worker-pool size (0 = GOMAXPROCS); results are identical at any value")
+		stats      = flag.Bool("stats", false, "print run instrumentation to stderr on exit")
 		seed       = flag.Int64("seed", 1, "seed for tables and traffic")
 	)
 	flag.Parse()
 
+	sweep.SetWorkers(*jobs)
+	err := run(*schemeFlag, *k, *packets, *prefixes, *share, *dist, *routed, *frames, *load, *seed)
+	if *stats {
+		fmt.Fprint(os.Stderr, obs.Report())
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(schemeFlag string, k, packets, prefixes int, share float64, dist string, routed, frames bool, load float64, seed int64) error {
 	var scheme core.Scheme
-	switch *schemeFlag {
+	switch schemeFlag {
 	case "NV":
 		scheme = core.NV
 	case "VS":
@@ -47,43 +65,43 @@ func main() {
 	case "VM":
 		scheme = core.VM
 	default:
-		log.Fatalf("scheme %q: want NV, VS or VM", *schemeFlag)
+		return fmt.Errorf("scheme %q: want NV, VS or VM", schemeFlag)
 	}
 
-	set, err := rib.GenerateVirtualSet(*k, *prefixes, *share, *seed)
+	set, err := rib.GenerateVirtualSet(k, prefixes, share, seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	r, err := core.Build(core.Config{Scheme: scheme, K: *k, ClockGating: true}, set.Tables)
+	r, err := core.Build(core.Config{Scheme: scheme, K: k, ClockGating: true}, set.Tables)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sys, err := netsim.New(r, set.Tables)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	tcfg := traffic.Config{K: *k, Seed: *seed + 1}
-	if *dist == "zipf" {
+	tcfg := traffic.Config{K: k, Seed: seed + 1}
+	if dist == "zipf" {
 		tcfg.Dist = traffic.Zipf
 		tcfg.ZipfS = 1.3
 	}
-	if *routed {
+	if routed {
 		tcfg.Addr = traffic.RoutedAddr
 		tcfg.Tables = set.Tables
 	}
 	gen, err := traffic.New(tcfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	if *load > 0 {
-		lrep, err := sys.LoadTest(gen, *load, int64(*packets), 64)
+	if load > 0 {
+		lrep, err := sys.LoadTest(gen, load, int64(packets), 64)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		t := report.NewTable(
-			fmt.Sprintf("%s open-loop, K=%d, per-VN load %.2f over %d cycles", scheme, *k, *load, lrep.Cycles),
+			fmt.Sprintf("%s open-loop, K=%d, per-VN load %.2f over %d cycles", scheme, k, load, lrep.Cycles),
 			"Quantity", "Value")
 		t.AddF("Delivered fraction", fmt.Sprintf("%.4f", lrep.DeliveredFraction()))
 		t.AddF("Mean delay (cycles)", fmt.Sprintf("%.1f", lrep.MeanDelayCycles))
@@ -92,20 +110,20 @@ func main() {
 				fmt.Sprintf("%d / %d / %d", lrep.Offered[vn], lrep.Delivered[vn], lrep.Dropped[vn]))
 		}
 		fmt.Println(t.String())
-		return
+		return nil
 	}
 
-	if *frames {
-		fr, err := gen.Frames(*packets)
+	if frames {
+		fr, err := gen.Frames(packets)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		frep, err := sys.ForwardFrames(fr)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		t := report.NewTable(
-			fmt.Sprintf("%s frame path, K=%d, %d frames", scheme, *k, frep.Frames),
+			fmt.Sprintf("%s frame path, K=%d, %d frames", scheme, k, frep.Frames),
 			"Quantity", "Value")
 		t.AddF("Forwarded", frep.Forwarded)
 		t.AddF("Lookup mismatches", frep.Mismatches)
@@ -113,18 +131,18 @@ func main() {
 			fmt.Sprintf("%d / %d / %d / %d", frep.BadParse, frep.UnknownVN, frep.NoRoute, frep.TTLExpired))
 		fmt.Println(t.String())
 		if frep.Mismatches != 0 {
-			log.Fatalf("%d lookups disagreed with the reference LPM", frep.Mismatches)
+			return fmt.Errorf("%d lookups disagreed with the reference LPM", frep.Mismatches)
 		}
-		return
+		return nil
 	}
 
-	rep, err := sys.Forward(gen.Batch(*packets))
+	rep, err := sys.Forward(gen.Batch(packets))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	t := report.NewTable(
-		fmt.Sprintf("%s forwarding, K=%d, %d packets", scheme, *k, rep.Packets),
+		fmt.Sprintf("%s forwarding, K=%d, %d packets", scheme, k, rep.Packets),
 		"Quantity", "Value")
 	t.AddF("Mismatches vs reference LPM", rep.Mismatches)
 	t.AddF("No-route packets", rep.NoRoute)
@@ -137,6 +155,7 @@ func main() {
 	}
 	fmt.Println(t.String())
 	if rep.Mismatches != 0 {
-		log.Fatalf("%d lookups disagreed with the reference LPM", rep.Mismatches)
+		return fmt.Errorf("%d lookups disagreed with the reference LPM", rep.Mismatches)
 	}
+	return nil
 }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"vrpower/internal/fpga"
+	"vrpower/internal/report"
+	"vrpower/internal/sweep"
+)
+
+// renderSweeps regenerates every worker-pool experiment (the Fig. 5–8 grids
+// on both grades, plus the pooled extension sweeps) in both renderings.
+func renderSweeps(t *testing.T) string {
+	t.Helper()
+	var out string
+	for _, g := range fpga.Grades() {
+		for _, gen := range []func(fpga.SpeedGrade) (*report.Figure, error){Fig5, Fig6, Fig7, Fig8} {
+			f, err := gen(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out += f.String() + f.Table().CSV()
+		}
+	}
+	cal, err := CalibrationSpread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += cal.String() + cal.CSV()
+	return out
+}
+
+// TestSweepWorkerDeterminism pins the tentpole guarantee: the bounded pool
+// reassembles grid points in point order, so a -j 1 run and a -j 8 run are
+// byte-identical in both the aligned-table and CSV renderings. The golden
+// tests then tie that shared output to the sequential-era snapshots.
+func TestSweepWorkerDeterminism(t *testing.T) {
+	defer sweep.SetWorkers(0)
+	sweep.SetWorkers(1)
+	seq := renderSweeps(t)
+	sweep.SetWorkers(8)
+	par := renderSweeps(t)
+	if seq != par {
+		t.Fatal("sweep output differs between -j 1 and -j 8")
+	}
+}
+
+// BenchmarkSweepWorkers measures full Fig. 5–8 regeneration on one grade at
+// pool sizes 1 and GOMAXPROCS — the acceptance benchmark for the parallel
+// sweep engine (identical bytes, less wall-clock at N > 1 on multicore).
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("j=%d", w), func(b *testing.B) {
+			sweep.SetWorkers(w)
+			defer sweep.SetWorkers(0)
+			for i := 0; i < b.N; i++ {
+				for _, gen := range []func(fpga.SpeedGrade) (*report.Figure, error){Fig5, Fig6, Fig7, Fig8} {
+					if _, err := gen(fpga.Grade2); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

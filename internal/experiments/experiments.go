@@ -8,13 +8,26 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"vrpower/internal/core"
 	"vrpower/internal/fpga"
+	"vrpower/internal/obs"
 	"vrpower/internal/power"
 	"vrpower/internal/report"
 	"vrpower/internal/rib"
+	"vrpower/internal/sweep"
 	"vrpower/internal/trie"
+)
+
+// Run instrumentation (surfaced by cmd/figures -stats): how much work
+// figure regeneration did and how long each sweep point took. Counters are
+// atomic and allocation-free, so they are always on.
+var (
+	obsSweepPoints  = obs.NewCounter("experiments.sweep_points")
+	obsRoutersBuilt = obs.NewCounter("experiments.routers_built")
+	obsProfileReuse = obs.NewCounter("experiments.profile_reuse_hits")
+	obsPointLatency = obs.NewHistogram("experiments.sweep_point_latency")
 )
 
 // Frequencies is the operating-frequency sweep of Figures 2 and 3 (MHz).
@@ -45,9 +58,15 @@ var (
 	profErr  error
 )
 
-// Profile returns the cached reference table profile (Section V-E).
+// Profile returns the cached reference table profile (Section V-E). The
+// profile is built once per process; every later call is a cache hit,
+// counted so -stats shows how much table-generation work the cache saved.
 func Profile() (core.TableProfile, error) {
-	profOnce.Do(func() { profVal, profErr = core.PaperProfile() })
+	built := false
+	profOnce.Do(func() { built = true; profVal, profErr = core.PaperProfile() })
+	if !built {
+		obsProfileReuse.Inc()
+	}
 	return profVal, profErr
 }
 
@@ -166,46 +185,36 @@ func sweepVariants(includeNV bool) []sweepVariant {
 	return vs
 }
 
-// sweep evaluates fn over the K sweep for every variant. The sweep points
-// are independent, so they run concurrently — one goroutine per (variant,
-// K) point — and the deterministic builders make the result identical to a
-// sequential run.
-func sweep(grade fpga.SpeedGrade, includeNV bool, fn func(r *core.Router) (float64, error)) (x []float64, series []report.Series, err error) {
+// sweepGrid evaluates fn over the K sweep for every variant — the
+// (variant, K, grade) grid behind Figures 5–8. The points are independent,
+// so they fan out over the bounded worker pool of internal/sweep (GOMAXPROCS
+// workers by default; cmd/figures -j overrides) and are reassembled in grid
+// order, which together with the deterministic builders makes the result
+// byte-identical to a sequential run at any pool size.
+func sweepGrid(grade fpga.SpeedGrade, includeNV bool, fn func(r *core.Router) (float64, error)) (x []float64, series []report.Series, err error) {
 	prof, err := Profile()
 	if err != nil {
 		return nil, nil, err
 	}
 	variants := sweepVariants(includeNV)
-	ys := make([][]float64, len(variants))
-	errs := make([]error, len(variants))
-	var wg sync.WaitGroup
-	for vi, v := range variants {
-		ys[vi] = make([]float64, len(KSweep))
-		for i, kf := range KSweep {
-			wg.Add(1)
-			go func(vi, i int, v sweepVariant, k int) {
-				defer wg.Done()
-				cfg := core.Config{Scheme: v.Scheme, K: k, Grade: grade, ClockGating: true}
-				r, err := core.BuildAnalytic(cfg, prof, v.Alpha)
-				if err != nil {
-					errs[vi] = fmt.Errorf("%s K=%d: %w", v.Name, k, err)
-					return
-				}
-				y, err := fn(r)
-				if err != nil {
-					errs[vi] = err
-					return
-				}
-				ys[vi][i] = y
-			}(vi, i, v, int(kf))
+	nk := len(KSweep)
+	ys, err := sweep.Run(len(variants)*nk, func(p int) (float64, error) {
+		defer obsPointLatency.Since(time.Now())
+		obsSweepPoints.Inc()
+		v, k := variants[p/nk], int(KSweep[p%nk])
+		cfg := core.Config{Scheme: v.Scheme, K: k, Grade: grade, ClockGating: true}
+		r, err := core.BuildAnalytic(cfg, prof, v.Alpha)
+		if err != nil {
+			return 0, fmt.Errorf("%s K=%d: %w", v.Name, k, err)
 		}
+		obsRoutersBuilt.Inc()
+		return fn(r)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	wg.Wait()
 	for vi, v := range variants {
-		if errs[vi] != nil {
-			return nil, nil, errs[vi]
-		}
-		series = append(series, report.Series{Name: v.Name, Y: ys[vi]})
+		series = append(series, report.Series{Name: v.Name, Y: ys[vi*nk : (vi+1)*nk : (vi+1)*nk]})
 	}
 	return KSweep, series, nil
 }
@@ -213,7 +222,7 @@ func sweep(grade fpga.SpeedGrade, includeNV bool, fn func(r *core.Router) (float
 // Fig5 renders total (post place-and-route) power of all schemes (W).
 func Fig5(grade fpga.SpeedGrade) (*report.Figure, error) {
 	a := power.NewAnalyzer()
-	x, series, err := sweep(grade, true, func(r *core.Router) (float64, error) {
+	x, series, err := sweepGrid(grade, true, func(r *core.Router) (float64, error) {
 		b, err := r.MeasuredPower(a)
 		if err != nil {
 			return 0, err
@@ -231,7 +240,7 @@ func Fig5(grade fpga.SpeedGrade) (*report.Figure, error) {
 // Fig6 renders total power of the virtualized schemes only (W).
 func Fig6(grade fpga.SpeedGrade) (*report.Figure, error) {
 	a := power.NewAnalyzer()
-	x, series, err := sweep(grade, false, func(r *core.Router) (float64, error) {
+	x, series, err := sweepGrid(grade, false, func(r *core.Router) (float64, error) {
 		b, err := r.MeasuredPower(a)
 		if err != nil {
 			return 0, err
@@ -249,7 +258,7 @@ func Fig6(grade fpga.SpeedGrade) (*report.Figure, error) {
 // Fig7 renders the model-vs-experimental percentage error (%).
 func Fig7(grade fpga.SpeedGrade) (*report.Figure, error) {
 	a := power.NewAnalyzer()
-	x, series, err := sweep(grade, true, func(r *core.Router) (float64, error) {
+	x, series, err := sweepGrid(grade, true, func(r *core.Router) (float64, error) {
 		m, err := r.ModelPower()
 		if err != nil {
 			return 0, err
@@ -271,7 +280,7 @@ func Fig7(grade fpga.SpeedGrade) (*report.Figure, error) {
 // Fig8 renders power per unit throughput (mW/Gbps).
 func Fig8(grade fpga.SpeedGrade) (*report.Figure, error) {
 	a := power.NewAnalyzer()
-	x, series, err := sweep(grade, true, func(r *core.Router) (float64, error) {
+	x, series, err := sweepGrid(grade, true, func(r *core.Router) (float64, error) {
 		b, err := r.MeasuredPower(a)
 		if err != nil {
 			return 0, err

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"vrpower/internal/core"
 	"vrpower/internal/fpga"
@@ -16,6 +17,7 @@ import (
 	"vrpower/internal/rib"
 	"vrpower/internal/sched"
 	"vrpower/internal/stats"
+	"vrpower/internal/sweep"
 	"vrpower/internal/tcam"
 	"vrpower/internal/traffic"
 	"vrpower/internal/trie"
@@ -488,17 +490,24 @@ func LoadSweep() (*report.Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		y := make([]float64, len(loads))
-		for i, load := range loads {
+		// Each load point builds its own generator and the simulator state
+		// lives inside LoadTest, so the points are independent: fan them out
+		// over the bounded pool and reassemble in load order.
+		y, err := sweep.Run(len(loads), func(i int) (float64, error) {
+			defer obsPointLatency.Since(time.Now())
+			obsSweepPoints.Inc()
 			g, err := traffic.New(traffic.Config{K: k, Seed: 10, Addr: traffic.RoutedAddr, Tables: set.Tables})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			rep, err := sys.LoadTest(g, load, 20000, 64)
+			rep, err := sys.LoadTest(g, loads[i], 20000, 64)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			y[i] = rep.DeliveredFraction()
+			return rep.DeliveredFraction(), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		if err := f.AddSeries(sc.String(), y); err != nil {
 			return nil, err
@@ -545,18 +554,33 @@ func CompactionEffect() (*report.Table, error) {
 // lucky seed.
 func CalibrationSpread() (*report.Table, error) {
 	const seeds = 8
-	var plain, pushed, leaves []float64
-	for seed := int64(1); seed <= seeds; seed++ {
-		tbl, err := rib.Generate("cal", rib.DefaultGen(3725, seed))
+	// One table build + two trie walks per seed, all independent: run the
+	// seeds on the worker pool and keep seed order in the reassembled slice.
+	type calPoint struct{ plain, pushed, leaves float64 }
+	pts, err := sweep.Run(seeds, func(i int) (calPoint, error) {
+		defer obsPointLatency.Since(time.Now())
+		obsSweepPoints.Inc()
+		tbl, err := rib.Generate("cal", rib.DefaultGen(3725, int64(i+1)))
 		if err != nil {
-			return nil, err
+			return calPoint{}, err
 		}
 		tr := trie.Build(tbl.Routes)
 		s := tr.Stats()
-		plain = append(plain, float64(s.Nodes))
-		leaves = append(leaves, float64(s.Leaves))
 		tr.LeafPush()
-		pushed = append(pushed, float64(tr.Stats().Nodes))
+		return calPoint{
+			plain:  float64(s.Nodes),
+			pushed: float64(tr.Stats().Nodes),
+			leaves: float64(s.Leaves),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var plain, pushed, leaves []float64
+	for _, p := range pts {
+		plain = append(plain, p.plain)
+		pushed = append(pushed, p.pushed)
+		leaves = append(leaves, p.leaves)
 	}
 	t := report.NewTable(
 		fmt.Sprintf("Extension: generator calibration across %d seeds (3725 routes)", seeds),

@@ -10,10 +10,19 @@ import (
 
 	"vrpower/internal/core"
 	"vrpower/internal/ip"
+	"vrpower/internal/obs"
 	"vrpower/internal/packet"
 	"vrpower/internal/pipeline"
 	"vrpower/internal/rib"
+	"vrpower/internal/sweep"
 	"vrpower/internal/traffic"
+)
+
+// Run instrumentation (surfaced by cmd/lookupsim -stats).
+var (
+	obsPacketsResolved = obs.NewCounter("netsim.packets_resolved")
+	obsFramesForwarded = obs.NewCounter("netsim.frames_forwarded")
+	obsLoadCycles      = obs.NewCounter("netsim.load_cycles")
 )
 
 // System is a router under simulation together with its reference tables.
@@ -84,19 +93,25 @@ func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
 		PerEngine:  make([]pipeline.Stats, len(images)),
 		EngineLoad: make([]float64, len(images)),
 	}
-	for e, reqs := range perEngine {
-		if len(pkts) > 0 {
-			rep.EngineLoad[e] = float64(len(reqs)) / float64(len(pkts))
-		}
+	// Each engine owns a disjoint request slice and its own simulator, so
+	// the engines run on the bounded worker pool; aggregation walks the
+	// results in engine order, keeping the report deterministic at any -j.
+	type engineRun struct {
+		st         pipeline.Stats
+		mismatches int
+		noRoute    int
+	}
+	runs, err := sweep.Run(len(images), func(e int) (engineRun, error) {
+		reqs := perEngine[e]
 		if len(reqs) == 0 {
-			continue
+			return engineRun{}, nil
 		}
 		sim := pipeline.NewSim(images[e])
 		results, st, err := sim.Run(reqs, 1)
 		if err != nil {
-			return Report{}, err
+			return engineRun{}, err
 		}
-		rep.PerEngine[e] = st
+		run := engineRun{st: st}
 		for _, res := range results {
 			vn := res.VN
 			if scheme != core.VM {
@@ -104,13 +119,26 @@ func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
 			}
 			want := s.refs[vn].Lookup(res.Addr)
 			if res.NHI != want {
-				rep.Mismatches++
+				run.mismatches++
 			}
 			if want == ip.NoRoute {
-				rep.NoRoute++
+				run.noRoute++
 			}
 		}
+		return run, nil
+	})
+	if err != nil {
+		return Report{}, err
 	}
+	for e, run := range runs {
+		if len(pkts) > 0 {
+			rep.EngineLoad[e] = float64(len(perEngine[e])) / float64(len(pkts))
+		}
+		rep.PerEngine[e] = run.st
+		rep.Mismatches += run.mismatches
+		rep.NoRoute += run.noRoute
+	}
+	obsPacketsResolved.Add(int64(len(pkts)))
 	return rep, nil
 }
 
@@ -161,21 +189,29 @@ func (s *System) ForwardFrames(frames [][]byte) (FrameReport, error) {
 		perEnginePend[e] = append(perEnginePend[e], pending{frame: f, vn: f.VNID})
 	}
 
-	for e, reqs := range perEngineReqs {
+	// Engines hold disjoint frame sets (the distributor steered each frame
+	// to exactly one), so lookup and egress edit run per engine on the
+	// worker pool; counters are summed in engine order afterwards.
+	type engineRun struct {
+		forwarded, noRoute, ttlExpired, mismatches int
+	}
+	runs, err := sweep.Run(len(images), func(e int) (engineRun, error) {
+		reqs := perEngineReqs[e]
 		if len(reqs) == 0 {
-			continue
+			return engineRun{}, nil
 		}
 		results, _, err := pipeline.NewSim(images[e]).Run(reqs, 1)
 		if err != nil {
-			return FrameReport{}, err
+			return engineRun{}, err
 		}
+		var run engineRun
 		for i, res := range results {
 			p := perEnginePend[e][i]
 			if want := s.refs[p.vn].Lookup(res.Addr); res.NHI != want {
-				rep.Mismatches++
+				run.mismatches++
 			}
 			if res.NHI == ip.NoRoute {
-				rep.NoRoute++
+				run.noRoute++
 				continue
 			}
 			// Egress edit: next-hop MAC synthesised from the NHI port.
@@ -183,14 +219,25 @@ func (s *System) ForwardFrames(frames [][]byte) (FrameReport, error) {
 			egress := packet.MAC{0x02, 0xFD, 0, 0, 0, byte(p.vn)}
 			switch err := p.frame.Forward(nh, egress); err {
 			case nil:
-				rep.Forwarded++
+				run.forwarded++
 			case packet.ErrTTLExpired:
-				rep.TTLExpired++
+				run.ttlExpired++
 			default:
-				return FrameReport{}, err
+				return engineRun{}, err
 			}
 		}
+		return run, nil
+	})
+	if err != nil {
+		return FrameReport{}, err
 	}
+	for _, run := range runs {
+		rep.Forwarded += run.forwarded
+		rep.NoRoute += run.noRoute
+		rep.TTLExpired += run.ttlExpired
+		rep.Mismatches += run.mismatches
+	}
+	obsFramesForwarded.Add(int64(rep.Forwarded))
 	return rep, nil
 }
 
@@ -322,5 +369,7 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 	if delivered > 0 {
 		rep.MeanDelayCycles = delaySum / float64(delivered)
 	}
+	obsLoadCycles.Add(cycles)
+	obsPacketsResolved.Add(delivered)
 	return rep, nil
 }

@@ -1,0 +1,41 @@
+package obs_test
+
+import (
+	"fmt"
+	"time"
+
+	"vrpower/internal/obs"
+)
+
+// Counters are registered once (package init in practice) and bumped from
+// the hot path with a single atomic add.
+func ExampleCounter() {
+	resolved := obs.NewCounter("example.packets_resolved")
+	for i := 0; i < 41; i++ {
+		resolved.Inc()
+	}
+	resolved.Add(1)
+	fmt.Println(resolved.Name(), resolved.Value())
+	// Output: example.packets_resolved 42
+}
+
+// Histograms bucket durations by powers of two; Mean and Count are exact,
+// quantiles are bucket upper bounds.
+func ExampleHistogram() {
+	latency := obs.NewHistogram("example.point_latency")
+	latency.Observe(1 * time.Millisecond)
+	latency.Observe(3 * time.Millisecond)
+	fmt.Println(latency.Count(), latency.Mean())
+	// Output: 2 2ms
+}
+
+// Since is the idiomatic way to time a region: defer it at entry.
+func ExampleHistogram_Since() {
+	build := obs.NewHistogram("example.build_latency")
+	func() {
+		defer build.Since(time.Now())
+		// ... build a router ...
+	}()
+	fmt.Println(build.Count())
+	// Output: 1
+}

@@ -1,0 +1,221 @@
+// Package obs provides the run instrumentation shared by the simulators and
+// the sweep engine: named monotonic counters and duration histograms with an
+// atomic, allocation-free hot path. Metrics register themselves in a
+// process-wide registry at package init; cmd/figures and cmd/lookupsim
+// surface the registry behind a -stats flag. Instrumentation never changes
+// behaviour — experiment output is byte-identical with or without it.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic event counter safe for concurrent use. Obtain
+// counters from NewCounter so they appear in the registry; Inc/Add are a
+// single atomic add — no locks, no allocation.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0; counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// bucketCount sizes the histogram: bucket i holds observations of
+// [2^i, 2^(i+1)) nanoseconds (bucket 0 also absorbs sub-nanosecond), so 50
+// buckets span ~6.5 days — every latency this repo can produce.
+const bucketCount = 50
+
+// Histogram records durations in power-of-two nanosecond buckets. Observe
+// is two atomic adds plus one atomic bucket add — no locks, no allocation.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [bucketCount]atomic.Int64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	h.buckets[bucketFor(ns)].Add(1)
+}
+
+// Since records the time elapsed since start; use as
+// `defer h.Since(time.Now())` around a sweep point.
+func (h *Histogram) Since(start time.Time) { h.Observe(time.Since(start)) }
+
+func bucketFor(ns int64) int {
+	b := bits.Len64(uint64(ns)) - 1 // floor(log2 ns)
+	if b < 0 {
+		b = 0
+	}
+	if b >= bucketCount {
+		b = bucketCount - 1
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the average observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the top
+// of the bucket in which the quantile observation fell. Bucket resolution
+// is a factor of two, which is plenty for spotting order-of-magnitude
+// outliers in sweep-point latency.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(n))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return time.Duration(int64(1) << uint(i+1))
+		}
+	}
+	return time.Duration(int64(1) << bucketCount)
+}
+
+// Name returns the registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// registry holds every metric the process has created. Registration is the
+// cold path (package init) and takes a lock; the metrics themselves never
+// touch it again.
+var registry = struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+}{
+	counters:   map[string]*Counter{},
+	histograms: map[string]*Histogram{},
+}
+
+// NewCounter returns the counter registered under name, creating it on
+// first use. Calling it twice with one name yields the same counter.
+func NewCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if c, ok := registry.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	registry.counters[name] = c
+	return c
+}
+
+// NewHistogram returns the histogram registered under name, creating it on
+// first use.
+func NewHistogram(name string) *Histogram {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if h, ok := registry.histograms[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name}
+	registry.histograms[name] = h
+	return h
+}
+
+// Reset zeroes every registered metric (registrations survive). Tests use
+// it to isolate runs; cmd tools never need it because a process is one run.
+func Reset() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, h := range registry.histograms {
+		h.count.Store(0)
+		h.sumNS.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+}
+
+// Report renders every metric that recorded activity, sorted by name — the
+// text behind the cmd tools' -stats flag. Metrics still at zero are
+// omitted so a small run prints a small report.
+func Report() string {
+	registry.mu.Lock()
+	counters := make([]*Counter, 0, len(registry.counters))
+	for _, c := range registry.counters {
+		counters = append(counters, c)
+	}
+	histograms := make([]*Histogram, 0, len(registry.histograms))
+	for _, h := range registry.histograms {
+		histograms = append(histograms, h)
+	}
+	registry.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(histograms, func(i, j int) bool { return histograms[i].name < histograms[j].name })
+
+	var b strings.Builder
+	b.WriteString("run instrumentation:\n")
+	active := 0
+	for _, c := range counters {
+		v := c.Value()
+		if v == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-36s %12d\n", c.name, v)
+		active++
+	}
+	for _, h := range histograms {
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-36s %12d obs, mean %v, p50 ≤ %v, p99 ≤ %v\n",
+			h.name, n, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+		active++
+	}
+	if active == 0 {
+		b.WriteString("  (no activity recorded)\n")
+	}
+	return b.String()
+}

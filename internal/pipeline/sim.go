@@ -4,6 +4,15 @@ import (
 	"fmt"
 
 	"vrpower/internal/ip"
+	"vrpower/internal/obs"
+)
+
+// Run instrumentation (surfaced by the cmd tools' -stats flag). Counters
+// are bumped in bulk per Run call, not per cycle, so the simulator hot loop
+// stays untouched.
+var (
+	obsLookups = obs.NewCounter("pipeline.lookups_resolved")
+	obsCycles  = obs.NewCounter("pipeline.cycles_simulated")
 )
 
 // Request is one lookup entering the pipeline: the destination address plus
@@ -159,6 +168,7 @@ func (s *Sim) Run(reqs []Request, interarrival int) ([]Result, Stats, error) {
 	if interarrival < 1 {
 		return nil, Stats{}, fmt.Errorf("pipeline: interarrival %d, want >= 1", interarrival)
 	}
+	startCycles := s.st.Cycles
 	results := make([]Result, 0, len(reqs))
 	collect := func(f *flight) {
 		if f == nil {
@@ -181,6 +191,8 @@ func (s *Sim) Run(reqs []Request, interarrival int) ([]Result, Stats, error) {
 	for i := 0; i < len(s.img.Stages); i++ {
 		collect(s.step(nil))
 	}
+	obsLookups.Add(int64(len(results)))
+	obsCycles.Add(s.st.Cycles - startCycles)
 	return results, s.st, nil
 }
 
@@ -250,6 +262,7 @@ func RunConcurrent(img *Image, reqs []Request) []Result {
 	for t := range cur {
 		results = append(results, Result{Request: t.f.req, NHI: t.f.nhi})
 	}
+	obsLookups.Add(int64(len(results)))
 	return results
 }
 

@@ -1,0 +1,31 @@
+package sweep_test
+
+import (
+	"fmt"
+
+	"vrpower/internal/sweep"
+)
+
+// Run fans the points out over the bounded worker pool and reassembles the
+// results in point order, so the output never depends on which worker
+// finished first — the property the figure sweeps rely on for byte-identical
+// golden files at any -j.
+func ExampleRun() {
+	squares, err := sweep.Run(6, func(point int) (int, error) {
+		return point * point, nil
+	})
+	fmt.Println(squares, err)
+	// Output: [0 1 4 9 16 25] <nil>
+}
+
+// RunN pins an explicit pool size; grid points map to (row, column) by
+// integer division, the same flattening the experiment sweeps use.
+func ExampleRunN() {
+	ks := []int{1, 2, 4}
+	schemes := []string{"VS", "VM"}
+	labels, err := sweep.RunN(2, len(schemes)*len(ks), func(p int) (string, error) {
+		return fmt.Sprintf("%s/K=%d", schemes[p/len(ks)], ks[p%len(ks)]), nil
+	})
+	fmt.Println(labels, err)
+	// Output: [VS/K=1 VS/K=2 VS/K=4 VM/K=1 VM/K=2 VM/K=4] <nil>
+}
