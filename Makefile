@@ -4,7 +4,7 @@
 #   make bench      = every benchmark with allocation counts
 GO ?= go
 
-.PHONY: all build test race vet bench
+.PHONY: all build test race race-faults vet bench
 
 all: build test
 
@@ -19,6 +19,12 @@ test: build
 
 race:
 	$(GO) test -race ./...
+
+# Race-detector pass focused on the fault-injection and sweep paths (the
+# packages the robustness runs drive concurrently). CI runs this on every
+# push; `make race` is the full-suite version.
+race-faults:
+	$(GO) test -race ./internal/faults/... ./internal/netsim/... ./internal/ctrl/... ./internal/pipeline/... ./internal/sweep/...
 
 vet:
 	$(GO) vet ./...

@@ -111,6 +111,9 @@ func main() {
 	flag.Parse()
 
 	sweep.SetWorkers(*jobs)
+	// Scope -stats to the experiments actually run: the process-wide metric
+	// registry may already hold counts from package init or earlier runs.
+	snap := obs.TakeSnapshot()
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
 			log.Fatal(err)
@@ -164,7 +167,7 @@ func main() {
 				log.Fatalf("%s: %v", name, err)
 			}
 		}
-		finish(*stats)
+		finish(*stats, snap)
 		return
 	}
 	fn, ok := run[*exp]
@@ -175,14 +178,14 @@ func main() {
 	if err := fn(func(t *report.Table) error { return em.emit(*exp, t) }); err != nil {
 		log.Fatalf("%s: %v", *exp, err)
 	}
-	finish(*stats)
+	finish(*stats, snap)
 }
 
-// finish prints the instrumentation report when -stats is set. Stderr keeps
-// it out of piped CSV output.
-func finish(stats bool) {
+// finish prints the instrumentation recorded since the start-of-run snapshot
+// when -stats is set. Stderr keeps it out of piped CSV output.
+func finish(stats bool, since obs.Snapshot) {
 	if stats {
-		fmt.Fprint(os.Stderr, obs.Report())
+		fmt.Fprint(os.Stderr, obs.ReportSince(since))
 	}
 }
 

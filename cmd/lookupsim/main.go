@@ -4,11 +4,21 @@
 // longest-prefix match — the end-to-end correctness harness. Independent
 // engines simulate in parallel on a bounded worker pool; -j sizes it.
 //
+// With -faults the run becomes a robustness experiment: a seeded injector
+// flips bits in the engines' memory images (and optionally kills an engine
+// outright), per-stage parity and a background readback sweep detect the
+// corruption, and the control plane scrubs the damaged engine back into
+// service. The report shows per-VNID availability and drops; -mttr-report
+// adds each upset's detect/repair lifecycle. Same seeds, same -j or not,
+// same bytes.
+//
 // Usage:
 //
 //	lookupsim -scheme VM -k 4 -packets 10000 [-prefixes 1000] [-share 0.5]
 //	          [-dist uniform|zipf] [-routed] [-frames] [-load 0.5]
-//	          [-j N] [-stats] [-seed 1]
+//	          [-faults] [-fault-seed 1] [-seu-rate 1e-8]
+//	          [-kill-engine N -kill-cycle C] [-reconfig-failures N]
+//	          [-mttr-report] [-j N] [-stats] [-seed 1]
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 	"os"
 
 	"vrpower/internal/core"
+	"vrpower/internal/faults"
 	"vrpower/internal/netsim"
 	"vrpower/internal/obs"
 	"vrpower/internal/report"
@@ -26,38 +37,69 @@ import (
 	"vrpower/internal/traffic"
 )
 
+// options collects the parsed flags.
+type options struct {
+	scheme   string
+	k        int
+	packets  int
+	prefixes int
+	share    float64
+	dist     string
+	routed   bool
+	frames   bool
+	load     float64
+	seed     int64
+
+	faults           bool
+	faultSeed        int64
+	seuRate          float64
+	killEngine       int
+	killCycle        int64
+	reconfigFailures int
+	mttrReport       bool
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lookupsim: ")
-	var (
-		schemeFlag = flag.String("scheme", "VM", "router scheme: NV, VS or VM")
-		k          = flag.Int("k", 4, "number of virtual networks")
-		packets    = flag.Int("packets", 10000, "packets to forward")
-		prefixes   = flag.Int("prefixes", 1000, "routes per network")
-		share      = flag.Float64("share", 0.5, "prefix-space share across networks")
-		dist       = flag.String("dist", "uniform", "traffic distribution: uniform or zipf")
-		routed     = flag.Bool("routed", true, "draw destinations from the routed space")
-		frames     = flag.Bool("frames", false, "drive the full frame path (parse -> lookup -> edit) instead of bare lookups")
-		load       = flag.Float64("load", 0, "per-VN offered load for an open-loop run (0 = closed-loop batch)")
-		jobs       = flag.Int("j", 0, "engine worker-pool size (0 = GOMAXPROCS); results are identical at any value")
-		stats      = flag.Bool("stats", false, "print run instrumentation to stderr on exit")
-		seed       = flag.Int64("seed", 1, "seed for tables and traffic")
-	)
+	var o options
+	flag.StringVar(&o.scheme, "scheme", "VM", "router scheme: NV, VS or VM")
+	flag.IntVar(&o.k, "k", 4, "number of virtual networks")
+	flag.IntVar(&o.packets, "packets", 10000, "packets to forward (fault runs: one offered packet per cycle)")
+	flag.IntVar(&o.prefixes, "prefixes", 1000, "routes per network")
+	flag.Float64Var(&o.share, "share", 0.5, "prefix-space share across networks")
+	flag.StringVar(&o.dist, "dist", "uniform", "traffic distribution: uniform or zipf")
+	flag.BoolVar(&o.routed, "routed", true, "draw destinations from the routed space")
+	flag.BoolVar(&o.frames, "frames", false, "drive the full frame path (parse -> lookup -> edit) instead of bare lookups")
+	flag.Float64Var(&o.load, "load", 0, "per-VN offered load for an open-loop run (0 = closed-loop batch)")
+	flag.BoolVar(&o.faults, "faults", false, "run the fault-injection experiment (SEUs, detection, scrubbing)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the fault schedule (independent of -seed)")
+	flag.Float64Var(&o.seuRate, "seu-rate", 1e-8, "SEU probability per data bit per cycle")
+	flag.IntVar(&o.killEngine, "kill-engine", -1, "engine to hard-kill mid-run (-1 = none)")
+	flag.Int64Var(&o.killCycle, "kill-cycle", 0, "cycle at which -kill-engine fails")
+	flag.IntVar(&o.reconfigFailures, "reconfig-failures", 0, "fail the first N scrub reloads mid-flight")
+	flag.BoolVar(&o.mttrReport, "mttr-report", false, "print each upset's detect/repair lifecycle")
+	jobs := flag.Int("j", 0, "engine worker-pool size (0 = GOMAXPROCS); results are identical at any value")
+	stats := flag.Bool("stats", false, "print run instrumentation to stderr on exit")
+	flag.Int64Var(&o.seed, "seed", 1, "seed for tables and traffic")
 	flag.Parse()
 
 	sweep.SetWorkers(*jobs)
-	err := run(*schemeFlag, *k, *packets, *prefixes, *share, *dist, *routed, *frames, *load, *seed)
+	// Scope -stats to this run: flag parsing and future multi-run drivers
+	// share the process-wide registry, so report the delta, not the totals.
+	snap := obs.TakeSnapshot()
+	err := run(o)
 	if *stats {
-		fmt.Fprint(os.Stderr, obs.Report())
+		fmt.Fprint(os.Stderr, obs.ReportSince(snap))
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(schemeFlag string, k, packets, prefixes int, share float64, dist string, routed, frames bool, load float64, seed int64) error {
+func run(o options) error {
 	var scheme core.Scheme
-	switch schemeFlag {
+	switch o.scheme {
 	case "NV":
 		scheme = core.NV
 	case "VS":
@@ -65,14 +107,14 @@ func run(schemeFlag string, k, packets, prefixes int, share float64, dist string
 	case "VM":
 		scheme = core.VM
 	default:
-		return fmt.Errorf("scheme %q: want NV, VS or VM", schemeFlag)
+		return fmt.Errorf("scheme %q: want NV, VS or VM", o.scheme)
 	}
 
-	set, err := rib.GenerateVirtualSet(k, prefixes, share, seed)
+	set, err := rib.GenerateVirtualSet(o.k, o.prefixes, o.share, o.seed)
 	if err != nil {
 		return err
 	}
-	r, err := core.Build(core.Config{Scheme: scheme, K: k, ClockGating: true}, set.Tables)
+	r, err := core.Build(core.Config{Scheme: scheme, K: o.k, ClockGating: true}, set.Tables)
 	if err != nil {
 		return err
 	}
@@ -81,12 +123,12 @@ func run(schemeFlag string, k, packets, prefixes int, share float64, dist string
 		return err
 	}
 
-	tcfg := traffic.Config{K: k, Seed: seed + 1}
-	if dist == "zipf" {
+	tcfg := traffic.Config{K: o.k, Seed: o.seed + 1}
+	if o.dist == "zipf" {
 		tcfg.Dist = traffic.Zipf
 		tcfg.ZipfS = 1.3
 	}
-	if routed {
+	if o.routed {
 		tcfg.Addr = traffic.RoutedAddr
 		tcfg.Tables = set.Tables
 	}
@@ -95,13 +137,17 @@ func run(schemeFlag string, k, packets, prefixes int, share float64, dist string
 		return err
 	}
 
-	if load > 0 {
-		lrep, err := sys.LoadTest(gen, load, int64(packets), 64)
+	if o.faults {
+		return runFaults(sys, gen, scheme, o)
+	}
+
+	if o.load > 0 {
+		lrep, err := sys.LoadTest(gen, o.load, int64(o.packets), 64)
 		if err != nil {
 			return err
 		}
 		t := report.NewTable(
-			fmt.Sprintf("%s open-loop, K=%d, per-VN load %.2f over %d cycles", scheme, k, load, lrep.Cycles),
+			fmt.Sprintf("%s open-loop, K=%d, per-VN load %.2f over %d cycles", scheme, o.k, o.load, lrep.Cycles),
 			"Quantity", "Value")
 		t.AddF("Delivered fraction", fmt.Sprintf("%.4f", lrep.DeliveredFraction()))
 		t.AddF("Mean delay (cycles)", fmt.Sprintf("%.1f", lrep.MeanDelayCycles))
@@ -113,8 +159,8 @@ func run(schemeFlag string, k, packets, prefixes int, share float64, dist string
 		return nil
 	}
 
-	if frames {
-		fr, err := gen.Frames(packets)
+	if o.frames {
+		fr, err := gen.Frames(o.packets)
 		if err != nil {
 			return err
 		}
@@ -123,7 +169,7 @@ func run(schemeFlag string, k, packets, prefixes int, share float64, dist string
 			return err
 		}
 		t := report.NewTable(
-			fmt.Sprintf("%s frame path, K=%d, %d frames", scheme, k, frep.Frames),
+			fmt.Sprintf("%s frame path, K=%d, %d frames", scheme, o.k, frep.Frames),
 			"Quantity", "Value")
 		t.AddF("Forwarded", frep.Forwarded)
 		t.AddF("Lookup mismatches", frep.Mismatches)
@@ -136,13 +182,13 @@ func run(schemeFlag string, k, packets, prefixes int, share float64, dist string
 		return nil
 	}
 
-	rep, err := sys.Forward(gen.Batch(packets))
+	rep, err := sys.Forward(gen.Batch(o.packets))
 	if err != nil {
 		return err
 	}
 
 	t := report.NewTable(
-		fmt.Sprintf("%s forwarding, K=%d, %d packets", scheme, k, rep.Packets),
+		fmt.Sprintf("%s forwarding, K=%d, %d packets", scheme, o.k, rep.Packets),
 		"Quantity", "Value")
 	t.AddF("Mismatches vs reference LPM", rep.Mismatches)
 	t.AddF("No-route packets", rep.NoRoute)
@@ -156,6 +202,74 @@ func run(schemeFlag string, k, packets, prefixes int, share float64, dist string
 	fmt.Println(t.String())
 	if rep.Mismatches != 0 {
 		return fmt.Errorf("%d lookups disagreed with the reference LPM", rep.Mismatches)
+	}
+	return nil
+}
+
+// runFaults drives the fault-injection experiment and prints the
+// availability and MTTR tables. All numbers come from the deterministic
+// FaultReport, so the output is byte-identical at any -j.
+func runFaults(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, o options) error {
+	fcfg := netsim.FaultConfig{
+		Inject: faults.Config{
+			Seed:             o.faultSeed,
+			SEURate:          o.seuRate,
+			ReconfigFailures: o.reconfigFailures,
+		},
+	}
+	if o.killEngine >= 0 {
+		fcfg.Inject.Kill = true
+		fcfg.Inject.KillEngine = o.killEngine
+		fcfg.Inject.KillCycle = o.killCycle
+	}
+	rep, err := sys.RunFaults(gen, int64(o.packets), fcfg)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("%s fault run, K=%d, %d traffic cycles (+%d drain), SEU rate %.2g, fault seed %d",
+			scheme, rep.K, rep.TrafficCycles, rep.DrainCycles, o.seuRate, o.faultSeed),
+		"Quantity", "Value")
+	t.AddF("SEUs injected / detected / repaired",
+		fmt.Sprintf("%d / %d / %d", len(rep.SEUs), rep.DetectedSEUs(), rep.RepairedSEUs()))
+	t.AddF("Scrubs / attempts / exhausted",
+		fmt.Sprintf("%d / %d / %d", rep.Scrubs, rep.ScrubAttempts, rep.ScrubsExhausted))
+	t.AddF("Mean time to repair (cycles)", fmt.Sprintf("%.1f", rep.MTTRCycles()))
+	t.AddF("Faulted lookups (dropped, not misforwarded)", rep.FaultedLookups)
+	t.AddF("Healthy mismatches vs reference LPM", rep.HealthyMismatches)
+	if rep.Kill != nil {
+		t.AddF(fmt.Sprintf("Engine %d kill at cycle %d", rep.Kill.Engine, rep.Kill.Cycle),
+			fmt.Sprintf("detected %d, repaired %d", rep.Kill.DetectedAt, rep.Kill.RepairedAt))
+	}
+	for vn := 0; vn < rep.K; vn++ {
+		t.AddF(fmt.Sprintf("VN %d offered/delivered/dropped, availability", vn),
+			fmt.Sprintf("%d / %d / %d, %.4f",
+				rep.OfferedPerVN[vn], rep.DeliveredPerVN[vn], rep.DroppedPerVN[vn], rep.Availability(vn)))
+	}
+	t.AddF("Recovered", rep.Recovered)
+	fmt.Println(t.String())
+
+	if o.mttrReport && len(rep.SEUs) > 0 {
+		mt := report.NewTable("SEU lifecycle (cycles)",
+			"Seq", "Engine", "Stage/Index/Bit", "Injected", "Detected via", "Repaired", "TTR")
+		for _, u := range rep.SEUs {
+			det, repd, ttr := "-", "-", "-"
+			if u.DetectedAt >= 0 {
+				det = fmt.Sprintf("%d %s", u.DetectedAt, u.Via)
+			}
+			if u.RepairedAt >= 0 {
+				repd = fmt.Sprintf("%d", u.RepairedAt)
+				ttr = fmt.Sprintf("%d", u.RepairedAt-u.Cycle)
+			}
+			mt.AddF(u.Seq, u.Engine, fmt.Sprintf("%d/%d/%d", u.Stage, u.Index, u.Bit),
+				u.Cycle, det, repd, ttr)
+		}
+		fmt.Println(mt.String())
+	}
+
+	if rep.HealthyMismatches != 0 {
+		return fmt.Errorf("%d healthy lookups disagreed with the reference LPM", rep.HealthyMismatches)
 	}
 	return nil
 }

@@ -73,6 +73,35 @@ type Manager struct {
 	// sm pins a fixed stage map so image diffs across rebuilds are
 	// comparable word-for-word.
 	sm trie.StageMap
+	// reloading marks a data-plane reload in flight (e.g. an SEU scrub):
+	// lifecycle mutations are rejected until it completes, because applying
+	// an update to a structure that is mid-rewrite corrupts both.
+	reloading bool
+}
+
+// BeginReload marks a data-plane reload in flight. While a reload is open,
+// AddNetwork, RemoveNetwork and ApplyUpdates fail instead of mutating the
+// structure being rewritten. It fails if a reload is already open.
+func (m *Manager) BeginReload() error {
+	if m.reloading {
+		return fmt.Errorf("ctrl: reload already in flight")
+	}
+	m.reloading = true
+	return nil
+}
+
+// EndReload closes the in-flight reload window.
+func (m *Manager) EndReload() { m.reloading = false }
+
+// Reloading reports whether a data-plane reload is in flight.
+func (m *Manager) Reloading() bool { return m.reloading }
+
+// guardMutation rejects lifecycle operations while a reload is in flight.
+func (m *Manager) guardMutation(action Action) error {
+	if m.reloading {
+		return fmt.Errorf("ctrl: %s rejected: data-plane reload in flight", action)
+	}
+	return nil
 }
 
 // New builds the manager around an initial set of networks. Only the
@@ -147,6 +176,9 @@ func (m *Manager) compileMerged(tables []*rib.Table) (*pipeline.Image, error) {
 // the device is out of I/O or memory, reproducing the paper's VS
 // scalability limit); for VM the merged structure is rebuilt and swapped.
 func (m *Manager) AddNetwork(tbl *rib.Table) (Event, error) {
+	if err := m.guardMutation(Add); err != nil {
+		return Event{}, err
+	}
 	var before *pipeline.Image
 	var err error
 	if m.cfg.Scheme == core.VM {
@@ -171,7 +203,7 @@ func (m *Manager) AddNetwork(tbl *rib.Table) (Event, error) {
 		if err != nil {
 			return Event{}, err
 		}
-		ev.Writes = imageWords(img)
+		ev.Writes = img.Words()
 		ev.Bubbles = 0 // the engine loads before it is put in service
 	} else {
 		after, err := m.compileMerged(m.tables)
@@ -192,6 +224,9 @@ func (m *Manager) AddNetwork(tbl *rib.Table) (Event, error) {
 
 // RemoveNetwork retires network vn and compacts indices above it.
 func (m *Manager) RemoveNetwork(vn int) (Event, error) {
+	if err := m.guardMutation(Remove); err != nil {
+		return Event{}, err
+	}
 	if vn < 0 || vn >= len(m.tables) {
 		return Event{}, fmt.Errorf("ctrl: network %d outside [0,%d)", vn, len(m.tables))
 	}
@@ -206,8 +241,14 @@ func (m *Manager) RemoveNetwork(vn int) (Event, error) {
 			return Event{}, err
 		}
 	}
+	prev := make([]*rib.Table, len(m.tables))
+	copy(prev, m.tables)
 	m.tables = append(m.tables[:vn], m.tables[vn+1:]...)
 	if err := m.rebuild(); err != nil {
+		m.tables = prev
+		if rerr := m.rebuild(); rerr != nil {
+			return Event{}, fmt.Errorf("ctrl: remove failed (%v) and rollback failed (%v)", err, rerr)
+		}
 		return Event{}, err
 	}
 	ev := Event{Action: Remove, VN: vn, K: len(m.tables)}
@@ -233,6 +274,9 @@ func (m *Manager) RemoveNetwork(vn int) (Event, error) {
 // ApplyUpdates applies routing churn to network vn, reporting the write-
 // bubble cost (Section II-A of the companion work [6]).
 func (m *Manager) ApplyUpdates(vn int, ops []update.Op) (Event, error) {
+	if err := m.guardMutation(Update); err != nil {
+		return Event{}, err
+	}
 	if vn < 0 || vn >= len(m.tables) {
 		return Event{}, fmt.Errorf("ctrl: network %d outside [0,%d)", vn, len(m.tables))
 	}
@@ -246,8 +290,13 @@ func (m *Manager) ApplyUpdates(vn int, ops []update.Op) (Event, error) {
 	if err != nil {
 		return Event{}, err
 	}
+	prev := m.tables[vn]
 	m.tables[vn] = update.Apply(m.tables[vn], ops)
 	if err := m.rebuild(); err != nil {
+		m.tables[vn] = prev
+		if rerr := m.rebuild(); rerr != nil {
+			return Event{}, fmt.Errorf("ctrl: update failed (%v) and rollback failed (%v)", err, rerr)
+		}
 		return Event{}, err
 	}
 	var afterImg *pipeline.Image
@@ -271,13 +320,4 @@ func (m *Manager) ApplyUpdates(vn int, ops []update.Op) (Event, error) {
 	}
 	m.events = append(m.events, ev)
 	return ev, nil
-}
-
-// imageWords counts the stage-memory words of an image.
-func imageWords(img *pipeline.Image) int {
-	n := 0
-	for _, s := range img.Stages {
-		n += len(s.Entries)
-	}
-	return n
 }

@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"vrpower/internal/pipeline"
+	"vrpower/internal/rib"
+	"vrpower/internal/trie"
+)
+
+func compileImage(t *testing.T, routes, seed int64) *pipeline.Image {
+	t.Helper()
+	tbl, err := rib.Generate("t", rib.DefaultGen(int(routes), seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trie.Build(tbl.Routes)
+	tr.LeafPush()
+	img, err := pipeline.Compile(tr, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func drain(t *testing.T, in *Injector, engines int, horizon int64) []Upset {
+	t.Helper()
+	var all []Upset
+	for e := 0; e < engines; e++ {
+		all = append(all, in.UpsetsThrough(e, horizon)...)
+	}
+	return all
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{SEURate: -1},
+		{SEURate: 1},
+		{Kill: true, KillEngine: -1},
+		{Kill: true, KillEngine: 0, KillCycle: -1},
+		{ReconfigFailures: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d (%+v) validated", i, cfg)
+		}
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	imgs := []*pipeline.Image{compileImage(t, 500, 1), compileImage(t, 400, 2)}
+	cfg := Config{Seed: 7, SEURate: 1e-7}
+	a, err := NewInjector(cfg, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(cfg, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua := drain(t, a, 2, 200000)
+	ub := drain(t, b, 2, 200000)
+	if len(ua) == 0 {
+		t.Fatal("no upsets scheduled; raise the rate or horizon")
+	}
+	if !reflect.DeepEqual(ua, ub) {
+		t.Error("same seed produced different schedules")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	imgs := []*pipeline.Image{compileImage(t, 500, 1)}
+	a, _ := NewInjector(Config{Seed: 1, SEURate: 1e-7}, imgs)
+	b, _ := NewInjector(Config{Seed: 2, SEURate: 1e-7}, imgs)
+	ua := drain(t, a, 1, 200000)
+	ub := drain(t, b, 1, 200000)
+	if reflect.DeepEqual(ua, ub) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestIncrementalDrainMatchesOneShot(t *testing.T) {
+	imgs := []*pipeline.Image{compileImage(t, 500, 3)}
+	one, _ := NewInjector(Config{Seed: 9, SEURate: 1e-7}, imgs)
+	inc, _ := NewInjector(Config{Seed: 9, SEURate: 1e-7}, imgs)
+	whole := one.UpsetsThrough(0, 300000)
+	var pieces []Upset
+	for limit := int64(50000); limit <= 300000; limit += 50000 {
+		pieces = append(pieces, inc.UpsetsThrough(0, limit)...)
+	}
+	if !reflect.DeepEqual(whole, pieces) {
+		t.Error("slice-wise drain differs from one-shot drain")
+	}
+}
+
+func TestUpsetRateScalesWithExposure(t *testing.T) {
+	img := compileImage(t, 1000, 4)
+	bits := img.DataBits()
+	const cycles = 1 << 20
+	rate := 20.0 / (float64(bits) * cycles) // expect ~20 upsets
+	in, err := NewInjector(Config{Seed: 5, SEURate: rate}, []*pipeline.Image{img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(in.UpsetsThrough(0, cycles))
+	if n < 5 || n > 60 {
+		t.Errorf("got %d upsets, expected around 20", n)
+	}
+}
+
+func TestUpsetsAreInRangeAndOrdered(t *testing.T) {
+	img := compileImage(t, 800, 6)
+	in, _ := NewInjector(Config{Seed: 11, SEURate: 1e-6}, []*pipeline.Image{img})
+	ups := in.UpsetsThrough(0, 100000)
+	if len(ups) == 0 {
+		t.Fatal("no upsets")
+	}
+	last := int64(-1)
+	for i, u := range ups {
+		if u.Cycle < last {
+			t.Fatalf("upset %d out of cycle order", i)
+		}
+		last = u.Cycle
+		if u.Seq != i {
+			t.Errorf("upset %d has Seq %d", i, u.Seq)
+		}
+		cl := img.Clone()
+		if !ApplyUpset(cl, u) {
+			t.Fatalf("upset %d coordinates out of range: %+v", i, u)
+		}
+		if s, _ := cl.Corrupted(); len(s) != 1 {
+			t.Fatalf("upset %d corrupted %d words, want 1", i, len(s))
+		}
+	}
+}
+
+func TestKillDueFiresOnce(t *testing.T) {
+	imgs := []*pipeline.Image{compileImage(t, 300, 7), compileImage(t, 300, 8)}
+	in, err := NewInjector(Config{Seed: 1, Kill: true, KillEngine: 1, KillCycle: 5000}, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.KillDue(0, 10000) {
+		t.Error("kill fired for the wrong engine")
+	}
+	if in.KillDue(1, 5000) {
+		t.Error("kill fired before its cycle")
+	}
+	if !in.KillDue(1, 5001) {
+		t.Error("kill did not fire at its cycle")
+	}
+	if in.KillDue(1, 1<<40) {
+		t.Error("kill fired twice")
+	}
+}
+
+func TestFailReconfigBudget(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 1, ReconfigFailures: 2}, []*pipeline.Image{compileImage(t, 200, 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	for i := 0; i < 5; i++ {
+		if in.FailReconfig() {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Errorf("injected %d reconfig failures, want exactly 2", fails)
+	}
+}
+
+func TestKillEngineOutOfRangeRejected(t *testing.T) {
+	imgs := []*pipeline.Image{compileImage(t, 200, 10)}
+	if _, err := NewInjector(Config{Kill: true, KillEngine: 3}, imgs); err == nil {
+		t.Error("kill of a nonexistent engine accepted")
+	}
+}

@@ -1,0 +1,567 @@
+package netsim
+
+// This file is the fault-and-recovery harness: it drives a built router
+// through slice-quantised time while a seeded faults.Injector flips bits in
+// the engines' (cloned) memory images and kills engines outright. Detection
+// runs through two channels — access-time parity checking in the pipelines
+// and a background readback sweep that walks each engine's stage memories —
+// and repair goes through the ctrl scrubber (rebuild from the authoritative
+// tables, reload under bounded retry + backoff). Degradation follows the
+// schemes' asymmetry: a separate-engine failure blackholes only its own
+// VNID, while the merged engine takes every network down for the reload
+// window. All fault logic runs in the single coordinating goroutine; only
+// the per-engine pipeline simulations fan out over the worker pool, and
+// their results are folded back in engine order — so the same seed yields
+// byte-identical reports at any -j.
+
+import (
+	"fmt"
+
+	"vrpower/internal/core"
+	"vrpower/internal/ctrl"
+	"vrpower/internal/faults"
+	"vrpower/internal/ip"
+	"vrpower/internal/obs"
+	"vrpower/internal/pipeline"
+	"vrpower/internal/sweep"
+	"vrpower/internal/traffic"
+)
+
+// Fault-run instrumentation (surfaced by cmd/lookupsim -stats). Per-VNID
+// drop counters are registered lazily in RunFaults.
+var (
+	obsFaultsDetected = obs.NewCounter("netsim.faults_detected")
+	obsFaultsRepaired = obs.NewCounter("netsim.faults_repaired")
+	obsFaultDrops     = obs.NewCounter("netsim.fault_packets_dropped")
+)
+
+// Detection channels recorded in SEURecord.Via.
+const (
+	// ViaAccess is access-time detection: a lookup read the corrupted word
+	// and the pipeline's parity check refused to use it.
+	ViaAccess = "access"
+	// ViaSweep is the background readback sweep finding stale parity in a
+	// word no lookup happened to touch.
+	ViaSweep = "sweep"
+	// ViaHeartbeat is the control plane noticing a killed engine.
+	ViaHeartbeat = "heartbeat"
+	// ViaReload marks an upset that landed while its engine was already
+	// being reloaded; the fresh image overwrote it incidentally.
+	ViaReload = "reload"
+)
+
+// FaultConfig parameterises a fault-injection run.
+type FaultConfig struct {
+	// Inject is the fault schedule (seed, SEU rate, kill, reconfig failures).
+	Inject faults.Config
+	// Scrub bounds the repair loop; zero fields take ctrl defaults.
+	Scrub ctrl.ScrubPolicy
+	// SliceCycles is the control-plane quantum: faults are injected, detected
+	// and repaired at slice boundaries, and one packet is offered per cycle
+	// within a slice. Zero defaults to 1024.
+	SliceCycles int64
+	// SweepWordsPerCycle is the background readback-scrub bandwidth per
+	// engine (stage-memory words checked per cycle). Zero disables the
+	// background sweep, leaving access-time parity as the only SEU detector.
+	SweepWordsPerCycle int
+	// DisableSweep distinguishes an intentional zero bandwidth from the
+	// default (SweepWordsPerCycle == 0 with DisableSweep false means 1).
+	DisableSweep bool
+	// MaxDrainSlices bounds the post-traffic drain phase in which the run
+	// waits for outstanding repairs; zero picks a bound that covers a full
+	// background sweep of the largest engine plus the scrub latency.
+	MaxDrainSlices int
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.SliceCycles == 0 {
+		c.SliceCycles = 1024
+	}
+	if c.SweepWordsPerCycle == 0 && !c.DisableSweep {
+		c.SweepWordsPerCycle = 1
+	}
+	return c
+}
+
+// SEURecord is one injected upset's lifecycle.
+type SEURecord struct {
+	faults.Upset
+	// DetectedAt and RepairedAt are run cycles; -1 while outstanding.
+	DetectedAt int64
+	RepairedAt int64
+	// Via names the detection channel (ViaAccess, ViaSweep, ViaHeartbeat,
+	// ViaReload); empty while undetected.
+	Via string
+}
+
+// KillRecord is an engine hard-failure's lifecycle.
+type KillRecord struct {
+	Engine     int
+	Cycle      int64
+	DetectedAt int64
+	RepairedAt int64
+}
+
+// FaultReport summarises a fault-injection run.
+type FaultReport struct {
+	Scheme core.Scheme
+	K      int
+	// TrafficCycles is the offered-traffic window; DrainCycles is the extra
+	// detection-and-repair tail after traffic stops.
+	TrafficCycles int64
+	DrainCycles   int64
+	SliceCycles   int64
+	// Per-VN packet accounting over the traffic window. Dropped counts both
+	// packets refused by a down engine and faulted lookups.
+	OfferedPerVN   []int64
+	DeliveredPerVN []int64
+	DroppedPerVN   []int64
+	// UnavailableCyclesPerVN counts, per network, traffic cycles during
+	// which its engine was down (killed, reloading, or dead), quantised to
+	// slices. The schemes' degradation asymmetry reads directly off it.
+	UnavailableCyclesPerVN []int64
+	// NoRoute counts delivered packets that correctly resolved to no route.
+	NoRoute int64
+	// HealthyMismatches counts non-faulted lookups that disagreed with the
+	// reference oracle. Parity detection must keep this at zero: a lookup
+	// either faults (and drops) or forwards on clean data.
+	HealthyMismatches int64
+	// FaultedLookups counts lookups the pipelines refused on detected
+	// corruption (dropped, never misforwarded).
+	FaultedLookups int64
+	// SEUs is every injected upset with its detection/repair stamps, in
+	// injection order.
+	SEUs []SEURecord
+	// Kill is the scheduled engine hard failure, when configured.
+	Kill *KillRecord
+	// Scrubs counts repair rounds started; ScrubAttempts the rebuild+reload
+	// attempts across them (retries included); ScrubsExhausted the rounds
+	// that ran out of retry budget, leaving the engine dead.
+	Scrubs          int
+	ScrubAttempts   int
+	ScrubsExhausted int
+	// Recovered reports that by the end of the drain every engine was back
+	// in service and every injected upset repaired.
+	Recovered bool
+}
+
+// Availability returns the fraction of traffic cycles network vn's engine
+// was in service.
+func (r *FaultReport) Availability(vn int) float64 {
+	if r.TrafficCycles == 0 {
+		return 1
+	}
+	return 1 - float64(r.UnavailableCyclesPerVN[vn])/float64(r.TrafficCycles)
+}
+
+// DetectedSEUs counts upsets with a detection stamp.
+func (r *FaultReport) DetectedSEUs() int {
+	n := 0
+	for i := range r.SEUs {
+		if r.SEUs[i].DetectedAt >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RepairedSEUs counts upsets whose engine was scrubbed clean.
+func (r *FaultReport) RepairedSEUs() int {
+	n := 0
+	for i := range r.SEUs {
+		if r.SEUs[i].RepairedAt >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MTTRCycles returns the mean repair latency (injection to reload complete)
+// over repaired upsets, in cycles; 0 when nothing was repaired.
+func (r *FaultReport) MTTRCycles() float64 {
+	var sum float64
+	n := 0
+	for i := range r.SEUs {
+		if r.SEUs[i].RepairedAt >= 0 {
+			sum += float64(r.SEUs[i].RepairedAt - r.SEUs[i].Cycle)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// engState is one engine's view of the fault run.
+type engState struct {
+	// img is the run-private (cloned, possibly corrupted) image in service.
+	img *pipeline.Image
+	// sweepStage/sweepIdx is the background readback sweep's cursor.
+	sweepStage int
+	sweepIdx   int
+	// outstanding indexes report.SEUs entries not yet repaired.
+	outstanding []int
+	// detectVia is the pending detection flag the next boundary consumes.
+	detectVia string
+	// killed marks the scheduled hard failure until the reload lands.
+	killed bool
+	// dead marks a scrub-budget exhaustion: permanently out of service.
+	dead bool
+	// reloading + repairAt + pending describe an in-flight scrub reload.
+	reloading bool
+	repairAt  int64
+	pending   *pipeline.Image
+}
+
+func (e *engState) down() bool { return e.dead || e.killed || e.reloading }
+
+// rebuildEngine returns the scrubber's rebuild closure for engine e: the
+// image is recompiled from the authoritative tables through the same
+// deterministic build the router used, so the rebuilt geometry matches the
+// original word for word (which keeps pre-drawn upset coordinates valid).
+func (s *System) rebuildEngine(e int) func() (*pipeline.Image, error) {
+	cfg := s.router.Config()
+	return func() (*pipeline.Image, error) {
+		if cfg.Scheme == core.VM {
+			r, err := core.Build(cfg, s.tables)
+			if err != nil {
+				return nil, err
+			}
+			return r.Images()[0], nil
+		}
+		one := cfg
+		one.K = 1
+		r, err := core.Build(one, s.tables[e:e+1])
+		if err != nil {
+			return nil, err
+		}
+		return r.Images()[0], nil
+	}
+}
+
+// sweepStep advances the background readback sweep by words stage-memory
+// words, reporting whether any word's stored parity was stale.
+func (e *engState) sweepStep(words int) bool {
+	total := e.img.Words()
+	if total == 0 || words <= 0 {
+		return false
+	}
+	if words > total {
+		words = total
+	}
+	hit := false
+	for n := 0; n < words; n++ {
+		for e.sweepIdx >= len(e.img.Stages[e.sweepStage].Entries) {
+			e.sweepIdx = 0
+			e.sweepStage = (e.sweepStage + 1) % len(e.img.Stages)
+		}
+		w := &e.img.Stages[e.sweepStage].Entries[e.sweepIdx]
+		if w.Parity != w.DataParity() {
+			hit = true
+		}
+		e.sweepIdx++
+	}
+	return hit
+}
+
+// RunFaults drives the router for trafficCycles cycles of back-to-back
+// offered traffic (one packet per cycle) under the configured fault
+// schedule, then drains until outstanding repairs land. The returned report
+// is a pure function of the generator's and the injector's seeds — worker
+// count never changes it.
+func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg FaultConfig) (FaultReport, error) {
+	cfg = cfg.withDefaults()
+	if trafficCycles <= 0 {
+		return FaultReport{}, fmt.Errorf("netsim: fault run of %d cycles, want > 0", trafficCycles)
+	}
+	if cfg.SliceCycles < 1 {
+		return FaultReport{}, fmt.Errorf("netsim: slice of %d cycles, want >= 1", cfg.SliceCycles)
+	}
+	images := s.router.Images()
+	scheme := s.router.Config().Scheme
+	in, err := faults.NewInjector(cfg.Inject, images)
+	if err != nil {
+		return FaultReport{}, err
+	}
+	scrubber, err := ctrl.NewScrubber(cfg.Scrub, in)
+	if err != nil {
+		return FaultReport{}, err
+	}
+	dropVN := make([]*obs.Counter, s.k)
+	for vn := range dropVN {
+		dropVN[vn] = obs.NewCounter(fmt.Sprintf("netsim.fault_drops.vn%02d", vn))
+	}
+
+	engineOf := func(vn int) int {
+		if scheme == core.VM {
+			return 0
+		}
+		return vn
+	}
+	engines := make([]*engState, len(images))
+	maxWords := 0
+	for e := range images {
+		engines[e] = &engState{img: images[e].Clone(), repairAt: -1}
+		if w := images[e].Words(); w > maxWords {
+			maxWords = w
+		}
+	}
+
+	S := cfg.SliceCycles
+	slices := (trafficCycles + S - 1) / S
+	rep := FaultReport{
+		Scheme:                 scheme,
+		K:                      s.k,
+		TrafficCycles:          slices * S,
+		SliceCycles:            S,
+		OfferedPerVN:           make([]int64, s.k),
+		DeliveredPerVN:         make([]int64, s.k),
+		DroppedPerVN:           make([]int64, s.k),
+		UnavailableCyclesPerVN: make([]int64, s.k),
+	}
+
+	// install lands a completed reload: the clean image goes into service
+	// and every outstanding upset on the engine is stamped repaired.
+	install := func(eIdx int, e *engState) {
+		at := e.repairAt
+		if e.killed && rep.Kill != nil && rep.Kill.Engine == eIdx {
+			rep.Kill.RepairedAt = at
+		}
+		e.img = e.pending
+		e.pending = nil
+		e.reloading = false
+		e.killed = false
+		e.repairAt = -1
+		e.sweepStage, e.sweepIdx = 0, 0
+		for _, i := range e.outstanding {
+			r := &rep.SEUs[i]
+			r.RepairedAt = at
+			if r.Cycle >= at {
+				// The upset landed inside the reload window, after this
+				// word's rewrite would have passed: charge one cycle.
+				r.RepairedAt = r.Cycle + 1
+			}
+			if r.DetectedAt < 0 {
+				r.DetectedAt = r.RepairedAt
+				r.Via = ViaReload
+				obsFaultsDetected.Inc()
+			}
+		}
+		obsFaultsRepaired.Add(int64(len(e.outstanding)))
+		e.outstanding = e.outstanding[:0]
+		e.detectVia = ""
+	}
+
+	// startScrub consumes a detection flag at boundary b: outstanding upsets
+	// are stamped detected and the engine goes down for the repair latency.
+	startScrub := func(eIdx int, e *engState, b int64) {
+		via := e.detectVia
+		e.detectVia = ""
+		for _, i := range e.outstanding {
+			if rep.SEUs[i].DetectedAt < 0 {
+				rep.SEUs[i].DetectedAt = b
+				rep.SEUs[i].Via = via
+				obsFaultsDetected.Inc()
+			}
+		}
+		res, err := scrubber.Scrub(s.rebuildEngine(eIdx))
+		rep.Scrubs++
+		rep.ScrubAttempts += res.Attempts
+		if err != nil {
+			// Retry budget exhausted: the engine is dead for the rest of
+			// the run (separate scheme: its VNID blackholes; merged: all K).
+			rep.ScrubsExhausted++
+			e.dead = true
+			return
+		}
+		e.reloading = true
+		e.pending = res.Image
+		e.repairAt = b + res.LatencyCycles
+	}
+
+	// boundary runs the control-plane work at cycle b = t*S: land finished
+	// reloads, then turn last slice's detection flags into scrubs.
+	boundary := func(b int64) {
+		for eIdx, e := range engines {
+			// The control-plane heartbeat notices a killed engine at the
+			// boundary even when a reload is already in flight (the reload
+			// then doubles as the repair).
+			if e.killed && rep.Kill != nil && rep.Kill.Engine == eIdx && rep.Kill.DetectedAt < 0 {
+				rep.Kill.DetectedAt = b
+			}
+			if e.reloading && e.repairAt <= b {
+				install(eIdx, e)
+			}
+			if !e.dead && !e.reloading && (e.detectVia != "" || e.killed) {
+				if e.detectVia == "" {
+					e.detectVia = ViaHeartbeat
+				}
+				startScrub(eIdx, e, b)
+			}
+		}
+	}
+
+	type vnCounts struct {
+		delivered, dropped, noRoute, mismatch, faulted int64
+	}
+	type engineRun struct {
+		perVN   []vnCounts
+		faulted bool
+	}
+
+	for t := int64(0); t < slices; t++ {
+		b := t * S
+		boundary(b)
+		// Scheduled hard failure: the engine drops out mid-slice; the
+		// heartbeat notices at the next boundary.
+		for eIdx, e := range engines {
+			if in.KillDue(eIdx, b+S) {
+				e.killed = true
+				rep.Kill = &KillRecord{Engine: eIdx, Cycle: cfg.Inject.KillCycle, DetectedAt: -1, RepairedAt: -1}
+			}
+		}
+		// Inject this slice's upsets into the serving images.
+		for eIdx, e := range engines {
+			for _, u := range in.UpsetsThrough(eIdx, b+S) {
+				faults.ApplyUpset(e.img, u)
+				rep.SEUs = append(rep.SEUs, SEURecord{Upset: u, DetectedAt: -1, RepairedAt: -1})
+				e.outstanding = append(e.outstanding, len(rep.SEUs)-1)
+			}
+		}
+		// Background readback sweep over the in-service engines.
+		for _, e := range engines {
+			if !e.down() && e.sweepStep(int(S)*cfg.SweepWordsPerCycle) && e.detectVia == "" {
+				e.detectVia = ViaSweep
+			}
+		}
+		// Offer one packet per cycle; down engines drop theirs on the floor.
+		pkts := gen.Batch(int(S))
+		perEngine := make([][]pipeline.Request, len(engines))
+		for _, p := range pkts {
+			if p.VN < 0 || p.VN >= s.k {
+				return FaultReport{}, fmt.Errorf("netsim: packet VN %d outside [0,%d)", p.VN, s.k)
+			}
+			rep.OfferedPerVN[p.VN]++
+			eIdx := engineOf(p.VN)
+			if engines[eIdx].down() {
+				rep.DroppedPerVN[p.VN]++
+				dropVN[p.VN].Inc()
+				obsFaultDrops.Inc()
+				continue
+			}
+			reqVN := 0
+			if scheme == core.VM {
+				reqVN = p.VN
+			}
+			perEngine[eIdx] = append(perEngine[eIdx], pipeline.Request{Addr: p.Addr, VN: reqVN})
+		}
+		for vn := 0; vn < s.k; vn++ {
+			if engines[engineOf(vn)].down() {
+				rep.UnavailableCyclesPerVN[vn] += S
+			}
+		}
+		// The engines' pipeline simulations are the only fan-out: disjoint
+		// request slices, results folded back in engine order.
+		runs, err := sweep.Run(len(engines), func(eIdx int) (engineRun, error) {
+			reqs := perEngine[eIdx]
+			if len(reqs) == 0 {
+				return engineRun{}, nil
+			}
+			sim := pipeline.NewSim(engines[eIdx].img)
+			sim.EnableParityCheck()
+			results, _, err := sim.Run(reqs, 1)
+			if err != nil {
+				return engineRun{}, err
+			}
+			run := engineRun{perVN: make([]vnCounts, s.k)}
+			for _, res := range results {
+				vn := res.VN
+				if scheme != core.VM {
+					vn = eIdx
+				}
+				c := &run.perVN[vn]
+				if res.Faulted {
+					// Corruption read mid-lookup: drop, never misforward.
+					c.faulted++
+					c.dropped++
+					run.faulted = true
+					continue
+				}
+				want := s.refs[vn].Lookup(res.Addr)
+				if res.NHI != want {
+					c.mismatch++
+					continue
+				}
+				c.delivered++
+				if want == ip.NoRoute {
+					c.noRoute++
+				}
+			}
+			return run, nil
+		})
+		if err != nil {
+			return FaultReport{}, err
+		}
+		for eIdx, run := range runs {
+			if run.faulted && !engines[eIdx].down() && engines[eIdx].detectVia == "" {
+				engines[eIdx].detectVia = ViaAccess
+			}
+			for vn := range run.perVN {
+				c := run.perVN[vn]
+				rep.DeliveredPerVN[vn] += c.delivered
+				rep.DroppedPerVN[vn] += c.dropped
+				rep.NoRoute += c.noRoute
+				rep.HealthyMismatches += c.mismatch
+				rep.FaultedLookups += c.faulted
+				if c.faulted > 0 {
+					dropVN[vn].Add(c.faulted)
+					obsFaultDrops.Add(c.faulted)
+				}
+			}
+		}
+	}
+
+	// Drain: no new traffic or faults, but keep sweeping and scrubbing until
+	// every repair lands (or the bound trips — e.g. a dead engine).
+	maxDrain := cfg.MaxDrainSlices
+	if maxDrain == 0 {
+		maxDrain = 16
+		if cfg.SweepWordsPerCycle > 0 {
+			maxDrain += 4 * (maxWords/(int(S)*cfg.SweepWordsPerCycle) + 1)
+		}
+	}
+	outstanding := func() bool {
+		for _, e := range engines {
+			if e.reloading || e.killed {
+				return true
+			}
+			if !e.dead && len(e.outstanding) > 0 && (cfg.SweepWordsPerCycle > 0 || e.detectVia != "") {
+				return true
+			}
+		}
+		return false
+	}
+	drained := int64(0)
+	for d := 0; d < maxDrain && outstanding(); d++ {
+		b := slices*S + drained
+		boundary(b)
+		for _, e := range engines {
+			if !e.down() && e.sweepStep(int(S)*cfg.SweepWordsPerCycle) && e.detectVia == "" {
+				e.detectVia = ViaSweep
+			}
+		}
+		drained += S
+	}
+	// A final boundary lands a reload that completed exactly at the bound.
+	boundary(slices*S + drained)
+	rep.DrainCycles = drained
+
+	rep.Recovered = true
+	for _, e := range engines {
+		if e.down() || len(e.outstanding) > 0 {
+			rep.Recovered = false
+		}
+	}
+	return rep, nil
+}

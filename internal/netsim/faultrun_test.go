@@ -1,0 +1,219 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"vrpower/internal/core"
+	"vrpower/internal/ctrl"
+	"vrpower/internal/faults"
+	"vrpower/internal/sweep"
+	"vrpower/internal/traffic"
+)
+
+func faultGen(t *testing.T, s *System, seed int64) *traffic.Generator {
+	t.Helper()
+	g, err := traffic.New(traffic.Config{K: s.k, Seed: seed, Addr: traffic.RoutedAddr, Tables: s.tables})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// seuRateFor picks an SEU rate expected to land about n upsets across all
+// engines over the traffic window, so tests stay fast regardless of table
+// geometry.
+func seuRateFor(s *System, n float64, cycles int64) float64 {
+	var bits int64
+	for _, img := range s.router.Images() {
+		bits += img.DataBits()
+	}
+	return n / (float64(bits) * float64(cycles))
+}
+
+// TestVSKillBlackholesOnlyItsOwnVNID: killing one separate-scheme engine
+// must drop only that engine's network while every other VNID keeps
+// forwarding with zero oracle mismatches — and the scrub must bring the
+// killed network back within the run.
+func TestVSKillBlackholesOnlyItsOwnVNID(t *testing.T) {
+	s, _ := buildSystem(t, core.VS, 3)
+	const cycles = 16 * 1024
+	rep, err := s.RunFaults(faultGen(t, s, 17), cycles, FaultConfig{
+		Inject: faults.Config{Seed: 42, Kill: true, KillEngine: 1, KillCycle: 3000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HealthyMismatches != 0 {
+		t.Errorf("healthy mismatches = %d, want 0", rep.HealthyMismatches)
+	}
+	for _, vn := range []int{0, 2} {
+		if rep.DroppedPerVN[vn] != 0 {
+			t.Errorf("healthy VN %d dropped %d packets", vn, rep.DroppedPerVN[vn])
+		}
+		if a := rep.Availability(vn); a != 1 {
+			t.Errorf("healthy VN %d availability %.4f, want 1", vn, a)
+		}
+	}
+	if rep.DroppedPerVN[1] == 0 {
+		t.Error("killed VN 1 dropped no packets")
+	}
+	if a := rep.Availability(1); a <= 0 || a >= 1 {
+		t.Errorf("killed VN 1 availability %.4f, want in (0,1): down then recovered", a)
+	}
+	if rep.Kill == nil {
+		t.Fatal("no kill record")
+	}
+	if rep.Kill.DetectedAt < rep.Kill.Cycle || rep.Kill.RepairedAt <= rep.Kill.DetectedAt {
+		t.Errorf("kill lifecycle out of order: %+v", rep.Kill)
+	}
+	if !rep.Recovered {
+		t.Error("run did not recover after scrub")
+	}
+	// Delivered packets on the killed VN too: traffic before the kill and
+	// after the reload both flowed.
+	if rep.DeliveredPerVN[1] == 0 {
+		t.Error("killed VN 1 delivered nothing at all")
+	}
+}
+
+// TestVMSEUDisruptsAllNetworks: an upset in the merged engine's shared
+// structure takes every network down for the reload window — the paper's
+// robustness cost of merging.
+func TestVMSEUDisruptsAllNetworks(t *testing.T) {
+	s, _ := buildSystem(t, core.VM, 3)
+	const cycles = 16 * 1024
+	rep, err := s.RunFaults(faultGen(t, s, 19), cycles, FaultConfig{
+		Inject: faults.Config{Seed: 7, SEURate: seuRateFor(s, 3, cycles)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SEUs) == 0 {
+		t.Fatal("no SEUs landed; rate tuning is off")
+	}
+	if rep.HealthyMismatches != 0 {
+		t.Errorf("healthy mismatches = %d, want 0", rep.HealthyMismatches)
+	}
+	if rep.Scrubs == 0 {
+		t.Fatal("no scrub ran despite injected SEUs")
+	}
+	// The merged engine is shared: unavailability hits all K networks
+	// identically.
+	for vn := 1; vn < rep.K; vn++ {
+		if rep.UnavailableCyclesPerVN[vn] != rep.UnavailableCyclesPerVN[0] {
+			t.Errorf("VN %d unavailable %d cycles, VN 0 %d — merged engine must take all networks down together",
+				vn, rep.UnavailableCyclesPerVN[vn], rep.UnavailableCyclesPerVN[0])
+		}
+	}
+	if rep.UnavailableCyclesPerVN[0] == 0 {
+		t.Error("no unavailability despite a scrub of the shared engine")
+	}
+	if !rep.Recovered {
+		t.Error("run did not recover")
+	}
+}
+
+// TestAllSEUsDetectedAndScrubbed: every injected upset must end the run
+// detected and repaired — access-time parity plus the background sweep
+// leave no silent corruption — with MTTR within the bounded-retry budget
+// even when reconfigurations fail mid-flight.
+func TestAllSEUsDetectedAndScrubbed(t *testing.T) {
+	s, _ := buildSystem(t, core.VS, 2)
+	const cycles = 16 * 1024
+	rep, err := s.RunFaults(faultGen(t, s, 23), cycles, FaultConfig{
+		Inject: faults.Config{Seed: 99, SEURate: seuRateFor(s, 4, cycles), ReconfigFailures: 1},
+		Scrub:  ctrl.ScrubPolicy{MaxAttempts: 4, BackoffCycles: 64, WriteCycles: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SEUs) == 0 {
+		t.Fatal("no SEUs landed; rate tuning is off")
+	}
+	if got := rep.DetectedSEUs(); got != len(rep.SEUs) {
+		t.Errorf("detected %d of %d SEUs", got, len(rep.SEUs))
+	}
+	if got := rep.RepairedSEUs(); got != len(rep.SEUs) {
+		t.Errorf("repaired %d of %d SEUs", got, len(rep.SEUs))
+	}
+	for i, u := range rep.SEUs {
+		if u.DetectedAt < 0 || u.RepairedAt < u.DetectedAt || u.Via == "" {
+			t.Errorf("SEU %d lifecycle out of order: %+v", i, u)
+		}
+	}
+	if rep.MTTRCycles() <= 0 {
+		t.Errorf("MTTR = %.1f cycles, want > 0", rep.MTTRCycles())
+	}
+	if rep.ScrubAttempts <= rep.Scrubs {
+		t.Errorf("scrub attempts %d with %d scrubs: injected reconfig failure never cost a retry",
+			rep.ScrubAttempts, rep.Scrubs)
+	}
+	if rep.ScrubsExhausted != 0 {
+		t.Errorf("%d scrubs exhausted their budget", rep.ScrubsExhausted)
+	}
+	if rep.HealthyMismatches != 0 {
+		t.Errorf("healthy mismatches = %d, want 0", rep.HealthyMismatches)
+	}
+	if !rep.Recovered {
+		t.Error("run did not recover")
+	}
+}
+
+// TestFaultRunDeterministicAcrossWorkers: the full fault report — schedules,
+// stamps, per-VN counters — must be identical at -j1 and -j8 for the same
+// seeds.
+func TestFaultRunDeterministicAcrossWorkers(t *testing.T) {
+	defer sweep.SetWorkers(0)
+	for _, scheme := range []core.Scheme{core.VS, core.VM} {
+		s, _ := buildSystem(t, scheme, 3)
+		const cycles = 8 * 1024
+		cfg := FaultConfig{
+			Inject: faults.Config{
+				Seed: 5, SEURate: seuRateFor(s, 3, cycles),
+				Kill: true, KillEngine: 0, KillCycle: 2000,
+				ReconfigFailures: 1,
+			},
+		}
+		var reports []FaultReport
+		for _, workers := range []int{1, 8} {
+			sweep.SetWorkers(workers)
+			rep, err := s.RunFaults(faultGen(t, s, 29), cycles, cfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", scheme, workers, err)
+			}
+			reports = append(reports, rep)
+		}
+		if !reflect.DeepEqual(reports[0], reports[1]) {
+			t.Errorf("%s: fault report differs between -j1 and -j8:\n%+v\n%+v", scheme, reports[0], reports[1])
+		}
+	}
+}
+
+// TestFaultRunCleanBaseline: with a zero fault config the run must behave
+// exactly like plain forwarding — nothing dropped, nothing scrubbed, fully
+// recovered.
+func TestFaultRunCleanBaseline(t *testing.T) {
+	s, _ := buildSystem(t, core.VS, 2)
+	rep, err := s.RunFaults(faultGen(t, s, 31), 4096, FaultConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SEUs) != 0 || rep.Kill != nil || rep.Scrubs != 0 {
+		t.Errorf("clean run injected faults: %+v", rep)
+	}
+	for vn := 0; vn < rep.K; vn++ {
+		if rep.DroppedPerVN[vn] != 0 {
+			t.Errorf("clean run dropped %d packets on VN %d", rep.DroppedPerVN[vn], vn)
+		}
+		if rep.OfferedPerVN[vn] != rep.DeliveredPerVN[vn] {
+			t.Errorf("clean run VN %d: offered %d, delivered %d", vn, rep.OfferedPerVN[vn], rep.DeliveredPerVN[vn])
+		}
+	}
+	if rep.HealthyMismatches != 0 || rep.FaultedLookups != 0 {
+		t.Errorf("clean run saw faults: %+v", rep)
+	}
+	if !rep.Recovered || rep.DrainCycles != 0 {
+		t.Errorf("clean run not trivially recovered: recovered=%v drain=%d", rep.Recovered, rep.DrainCycles)
+	}
+}

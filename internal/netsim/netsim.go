@@ -29,6 +29,9 @@ var (
 type System struct {
 	router *core.Router
 	refs   []*ip.Table
+	// tables are the authoritative routing tables; the fault layer rebuilds
+	// corrupted engine images from them.
+	tables []*rib.Table
 	k      int
 }
 
@@ -46,7 +49,7 @@ func New(r *core.Router, tables []*rib.Table) (*System, error) {
 	for i, t := range tables {
 		refs[i] = t.Reference()
 	}
-	return &System{router: r, refs: refs, k: k}, nil
+	return &System{router: r, refs: refs, tables: tables, k: k}, nil
 }
 
 // Report summarises a forwarding run.

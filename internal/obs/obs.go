@@ -176,10 +176,63 @@ func Reset() {
 	}
 }
 
+// histState is a histogram's frozen contents inside a Snapshot.
+type histState struct {
+	count   int64
+	sumNS   int64
+	buckets [bucketCount]int64
+}
+
+// Snapshot is a point-in-time copy of every registered metric. Taking one is
+// cheap (a map copy under the registry lock); subtracting two — via
+// ReportSince or CounterDelta — scopes the process-wide registry to a single
+// run, which is what lets a multi-run process (cmd/lookupsim driving several
+// simulations, tests sharing the registry) report per-run numbers without
+// zeroing metrics another run may still be accumulating.
+type Snapshot struct {
+	counters   map[string]int64
+	histograms map[string]histState
+}
+
+// TakeSnapshot freezes the current value of every registered metric.
+func TakeSnapshot() Snapshot {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	s := Snapshot{
+		counters:   make(map[string]int64, len(registry.counters)),
+		histograms: make(map[string]histState, len(registry.histograms)),
+	}
+	for name, c := range registry.counters {
+		s.counters[name] = c.Value()
+	}
+	for name, h := range registry.histograms {
+		hs := histState{count: h.count.Load(), sumNS: h.sumNS.Load()}
+		for i := range h.buckets {
+			hs.buckets[i] = h.buckets[i].Load()
+		}
+		s.histograms[name] = hs
+	}
+	return s
+}
+
+// Counter returns the snapshotted value of the named counter (0 when the
+// counter did not exist at snapshot time).
+func (s Snapshot) Counter(name string) int64 { return s.counters[name] }
+
+// CounterDelta returns how much the named counter grew since the snapshot.
+func (s Snapshot) CounterDelta(name string) int64 {
+	return NewCounter(name).Value() - s.counters[name]
+}
+
 // Report renders every metric that recorded activity, sorted by name — the
 // text behind the cmd tools' -stats flag. Metrics still at zero are
 // omitted so a small run prints a small report.
-func Report() string {
+func Report() string { return ReportSince(Snapshot{}) }
+
+// ReportSince renders every metric's growth since the snapshot in Report's
+// format. Metrics unchanged since the snapshot are omitted. A zero Snapshot
+// reports since process start.
+func ReportSince(since Snapshot) string {
 	registry.mu.Lock()
 	counters := make([]*Counter, 0, len(registry.counters))
 	for _, c := range registry.counters {
@@ -198,7 +251,7 @@ func Report() string {
 	b.WriteString("run instrumentation:\n")
 	active := 0
 	for _, c := range counters {
-		v := c.Value()
+		v := c.Value() - since.counters[c.name]
 		if v == 0 {
 			continue
 		}
@@ -206,16 +259,51 @@ func Report() string {
 		active++
 	}
 	for _, h := range histograms {
-		n := h.Count()
+		base := since.histograms[h.name]
+		n := h.Count() - base.count
 		if n == 0 {
 			continue
 		}
+		mean := time.Duration((h.sumNS.Load() - base.sumNS) / n)
+		var d deltaHist
+		for i := range h.buckets {
+			d.buckets[i] = h.buckets[i].Load() - base.buckets[i]
+		}
+		d.count = n
 		fmt.Fprintf(&b, "  %-36s %12d obs, mean %v, p50 ≤ %v, p99 ≤ %v\n",
-			h.name, n, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+			h.name, n, mean, d.quantile(0.5), d.quantile(0.99))
 		active++
 	}
 	if active == 0 {
 		b.WriteString("  (no activity recorded)\n")
 	}
 	return b.String()
+}
+
+// deltaHist is the difference of two histogram states; quantile mirrors
+// Histogram.Quantile over the delta buckets.
+type deltaHist struct {
+	count   int64
+	buckets [bucketCount]int64
+}
+
+func (d *deltaHist) quantile(q float64) time.Duration {
+	if d.count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(d.count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range d.buckets {
+		cum += d.buckets[i]
+		if cum >= rank {
+			return time.Duration(int64(1) << uint(i+1))
+		}
+	}
+	return time.Duration(int64(1) << bucketCount)
 }

@@ -139,3 +139,57 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(time.Duration(i))
 	}
 }
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	// Repeated runs in one process re-request the same metric names; they
+	// must get the same instance back, never a shadowing re-registration
+	// that would fork the counts.
+	c1 := NewCounter("test.idempotent.counter")
+	c1.Add(3)
+	c2 := NewCounter("test.idempotent.counter")
+	if c1 != c2 {
+		t.Fatal("NewCounter returned a second instance for one name")
+	}
+	if c2.Value() != 3 {
+		t.Fatalf("re-registered counter lost its count: %d", c2.Value())
+	}
+	h1 := NewHistogram("test.idempotent.hist")
+	h1.Observe(time.Millisecond)
+	if h2 := NewHistogram("test.idempotent.hist"); h2 != h1 || h2.Count() != 1 {
+		t.Fatal("NewHistogram returned a second instance for one name")
+	}
+}
+
+func TestSnapshotScopesAReport(t *testing.T) {
+	Reset()
+	c := NewCounter("test.snap.counter")
+	h := NewHistogram("test.snap.hist")
+	c.Add(10)
+	h.Observe(time.Millisecond)
+	snap := TakeSnapshot()
+	if snap.Counter("test.snap.counter") != 10 {
+		t.Fatalf("snapshot counter = %d, want 10", snap.Counter("test.snap.counter"))
+	}
+	// Nothing moved: the delta report is empty even though totals are not.
+	if rep := ReportSince(snap); !strings.Contains(rep, "no activity recorded") {
+		t.Fatalf("delta report with no activity:\n%s", rep)
+	}
+	c.Add(5)
+	h.Observe(3 * time.Millisecond)
+	if d := snap.CounterDelta("test.snap.counter"); d != 5 {
+		t.Fatalf("CounterDelta = %d, want 5", d)
+	}
+	rep := ReportSince(snap)
+	if !strings.Contains(rep, "test.snap.counter") || !strings.Contains(rep, "           5") {
+		t.Fatalf("delta report missing counter growth:\n%s", rep)
+	}
+	// The histogram delta covers only the second observation: one obs with
+	// a ~3ms mean, not the ~2ms mean of the full series.
+	if !strings.Contains(rep, "test.snap.hist") || !strings.Contains(rep, "1 obs, mean 3ms") {
+		t.Fatalf("delta report histogram wrong:\n%s", rep)
+	}
+	// The unscoped report still shows the full totals.
+	if full := Report(); !strings.Contains(full, "          15") {
+		t.Fatalf("full report lost totals:\n%s", full)
+	}
+}

@@ -28,6 +28,38 @@ type Entry struct {
 	Child [2]uint32
 	// NHI is the per-VN next-hop vector of a leaf (length K).
 	NHI []ip.NextHop
+	// Parity is the even-parity bit over the entry's data bits, computed at
+	// compile time the way a BRAM parity column would be. An SEU bit flip
+	// (Image.FlipBit) leaves it stale, which is what per-stage parity
+	// checking keys on to detect corruption.
+	Parity uint8
+}
+
+// DataBits returns the number of flippable data bits the entry occupies
+// under the paper's memory layout: two PtrBits-wide child pointers for an
+// internal node, K NHIBits-wide next hops for a leaf (DefaultLayout widths).
+func (e *Entry) DataBits() int {
+	if e.Leaf {
+		return len(e.NHI) * 8
+	}
+	return 2 * 18
+}
+
+// DataParity computes the even-parity bit over the entry's data bits.
+func (e *Entry) DataParity() uint8 {
+	x := e.Child[0] ^ e.Child[1]
+	if e.Leaf {
+		x ^= 1
+	}
+	for _, nh := range e.NHI {
+		x ^= uint32(nh)
+	}
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return uint8(x & 1)
 }
 
 // StageMem is the memory of one pipeline stage.
@@ -160,13 +192,120 @@ func compile(root node, k int, sm trie.StageMap) (*Image, error) {
 			v := p.n.nhi()
 			e.NHI = make([]ip.NextHop, len(v))
 			copy(e.NHI, v)
-			continue
+		} else {
+			for b := 0; b < 2; b++ {
+				e.Child[b] = index[p.n.child(b)]
+			}
 		}
-		for b := 0; b < 2; b++ {
-			e.Child[b] = index[p.n.child(b)]
-		}
+		e.Parity = e.DataParity()
 	}
 	return img, nil
+}
+
+// Clone returns a deep copy of the image (the stage map is shared; it is
+// immutable). Fault injection mutates a clone so the router's pristine
+// compiled image survives the run.
+func (img *Image) Clone() *Image {
+	out := &Image{Stages: make([]StageMem, len(img.Stages)), K: img.K, Map: img.Map}
+	for s := range img.Stages {
+		entries := make([]Entry, len(img.Stages[s].Entries))
+		copy(entries, img.Stages[s].Entries)
+		for i := range entries {
+			if entries[i].NHI != nil {
+				nhi := make([]ip.NextHop, len(entries[i].NHI))
+				copy(nhi, entries[i].NHI)
+				entries[i].NHI = nhi
+			}
+		}
+		out.Stages[s].Entries = entries
+	}
+	return out
+}
+
+// DataBits returns the total flippable data bits across all stages — the
+// exposure area an SEU rate per bit-cycle multiplies.
+func (img *Image) DataBits() int64 {
+	var total int64
+	for s := range img.Stages {
+		for i := range img.Stages[s].Entries {
+			total += int64(img.Stages[s].Entries[i].DataBits())
+		}
+	}
+	return total
+}
+
+// Words returns the total stage-memory word (entry) count — the reload cost
+// of a full image scrub.
+func (img *Image) Words() int {
+	n := 0
+	for _, s := range img.Stages {
+		n += len(s.Entries)
+	}
+	return n
+}
+
+// Locate maps a flat bit offset in [0, DataBits()) onto the (stage, index,
+// bit-within-entry) coordinates FlipBit takes. It reports false when off is
+// out of range.
+func (img *Image) Locate(off int64) (stage int, index uint32, bit int, ok bool) {
+	if off < 0 {
+		return 0, 0, 0, false
+	}
+	for s := range img.Stages {
+		for i := range img.Stages[s].Entries {
+			n := int64(img.Stages[s].Entries[i].DataBits())
+			if off < n {
+				return s, uint32(i), int(off), true
+			}
+			off -= n
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// FlipBit flips one data bit of entry (stage, index), modelling a single-
+// event upset in that stage's BRAM: bit b of an internal node toggles child
+// pointer b/18 at position b%18; bit b of a leaf toggles next hop b/8 at
+// position b%8. bit is reduced modulo the entry's data width. The stored
+// Parity is deliberately left stale — that staleness is the detectable
+// signature of the upset. It reports false when the coordinates are out of
+// range (e.g. an upset scheduled against an image that has since shrunk).
+func (img *Image) FlipBit(stage int, index uint32, bit int) bool {
+	if stage < 0 || stage >= len(img.Stages) {
+		return false
+	}
+	entries := img.Stages[stage].Entries
+	if int(index) >= len(entries) {
+		return false
+	}
+	e := &entries[index]
+	n := e.DataBits()
+	if n == 0 {
+		return false
+	}
+	bit = ((bit % n) + n) % n
+	if e.Leaf {
+		e.NHI[bit/8] ^= ip.NextHop(1) << (bit % 8)
+	} else {
+		e.Child[bit/18] ^= 1 << (bit % 18)
+	}
+	return true
+}
+
+// Corrupted scans every entry's parity and returns the coordinates of words
+// whose stored parity no longer matches their data — the ground-truth view a
+// verifying test (or an offline readback scrub) gets.
+func (img *Image) Corrupted() (stages []int, indices []uint32) {
+	for s := range img.Stages {
+		for i := range img.Stages[s].Entries {
+			e := &img.Stages[s].Entries[i]
+			if e.Parity != e.DataParity() {
+				stages = append(stages, s)
+				indices = append(indices, uint32(i))
+			}
+		}
+	}
+	return stages, indices
 }
 
 // MemLayout sizes stage memories in bits. PtrBits is the width of one child

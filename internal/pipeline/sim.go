@@ -13,6 +13,7 @@ import (
 var (
 	obsLookups = obs.NewCounter("pipeline.lookups_resolved")
 	obsCycles  = obs.NewCounter("pipeline.cycles_simulated")
+	obsFaults  = obs.NewCounter("pipeline.faults_detected")
 )
 
 // Request is one lookup entering the pipeline: the destination address plus
@@ -31,6 +32,10 @@ type Result struct {
 	// difference is the pipeline latency in cycles.
 	EnterCycle int64
 	ExitCycle  int64
+	// Faulted marks a lookup terminated by a detected memory fault (stale
+	// parity or an out-of-range child pointer): the NHI is NoRoute and the
+	// packet must be dropped, not forwarded on corrupt data.
+	Faulted bool
 }
 
 // Stats aggregates a simulation run.
@@ -47,6 +52,9 @@ type Stats struct {
 	// held a packet (resolved or not). Occupied/Cycles is the duty-cycle
 	// utilization µ of the paper's Assumption 1.
 	StageOccupied []int64
+	// Faults counts lookups terminated by a detected memory fault: a parity
+	// mismatch (with checking enabled) or an out-of-range child pointer.
+	Faults int64
 }
 
 // Utilization returns the mean fraction of memory-access-active cycles
@@ -77,6 +85,7 @@ type flight struct {
 	req      Request
 	idx      uint32 // entry index in the current stage
 	resolved bool
+	faulted  bool
 	nhi      ip.NextHop
 	enter    int64
 }
@@ -85,11 +94,18 @@ type flight struct {
 // stage register, so a full pipeline completes one lookup per cycle — the
 // throughput model behind the paper's Gbps numbers (Section VI-B).
 type Sim struct {
-	img  *Image
-	regs []*flight
-	now  int64
-	st   Stats
+	img    *Image
+	regs   []*flight
+	now    int64
+	st     Stats
+	parity bool
 }
+
+// EnableParityCheck turns on per-access parity verification: every entry a
+// packet touches is checked against its compile-time parity bit, the way a
+// BRAM parity column is checked on read. A mismatch terminates the lookup
+// as Faulted (NHI NoRoute) instead of silently forwarding on corrupt data.
+func (s *Sim) EnableParityCheck() { s.parity = true }
 
 // NewSim builds a simulator over a compiled image.
 func NewSim(img *Image) *Sim {
@@ -137,7 +153,19 @@ func (s *Sim) step(in *flight) *flight {
 // levels within the stage in the same cycle.
 func (s *Sim) process(stage int, f *flight) {
 	for {
-		e := s.img.Stages[stage].Entries[f.idx]
+		entries := s.img.Stages[stage].Entries
+		if int(f.idx) >= len(entries) {
+			// A corrupted child pointer escaped the stage's address range:
+			// detectable in hardware by the address decoder, and fatal for
+			// the lookup either way.
+			s.fault(f)
+			return
+		}
+		e := entries[f.idx]
+		if s.parity && e.Parity != e.DataParity() {
+			s.fault(f)
+			return
+		}
 		if e.Leaf {
 			f.resolved = true
 			vn := f.req.VN
@@ -161,6 +189,14 @@ func (s *Sim) process(stage int, f *flight) {
 	}
 }
 
+// fault terminates f's lookup on a detected memory fault.
+func (s *Sim) fault(f *flight) {
+	f.resolved = true
+	f.faulted = true
+	f.nhi = ip.NoRoute
+	s.st.Faults++
+}
+
 // Run feeds the requests into the pipeline, one per interarrival cycles
 // (interarrival 1 = back-to-back traffic at full line rate), then drains.
 // Results are returned in completion order, which equals request order.
@@ -169,6 +205,7 @@ func (s *Sim) Run(reqs []Request, interarrival int) ([]Result, Stats, error) {
 		return nil, Stats{}, fmt.Errorf("pipeline: interarrival %d, want >= 1", interarrival)
 	}
 	startCycles := s.st.Cycles
+	startFaults := s.st.Faults
 	results := make([]Result, 0, len(reqs))
 	collect := func(f *flight) {
 		if f == nil {
@@ -179,6 +216,7 @@ func (s *Sim) Run(reqs []Request, interarrival int) ([]Result, Stats, error) {
 			NHI:        f.nhi,
 			EnterCycle: f.enter,
 			ExitCycle:  s.now - 1, // cycle at which the packet left the last stage
+			Faulted:    f.faulted,
 		})
 	}
 	for i, r := range reqs {
@@ -193,6 +231,7 @@ func (s *Sim) Run(reqs []Request, interarrival int) ([]Result, Stats, error) {
 	}
 	obsLookups.Add(int64(len(results)))
 	obsCycles.Add(s.st.Cycles - startCycles)
+	obsFaults.Add(s.st.Faults - startFaults)
 	return results, s.st, nil
 }
 
@@ -229,6 +268,11 @@ func RunConcurrent(img *Image, reqs []Request) []Result {
 				if !f.resolved {
 					// Same per-stage work as Sim.process.
 					for {
+						if int(f.idx) >= len(img.Stages[stage].Entries) {
+							f.resolved = true
+							f.nhi = ip.NoRoute
+							break
+						}
 						e := img.Stages[stage].Entries[f.idx]
 						if e.Leaf {
 							f.resolved = true
@@ -284,5 +328,6 @@ func (s *Sim) Inject(req *Request) (Result, bool) {
 		NHI:        out.nhi,
 		EnterCycle: out.enter,
 		ExitCycle:  s.now - 1,
+		Faulted:    out.faulted,
 	}, true
 }

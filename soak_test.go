@@ -140,3 +140,80 @@ func TestSoakLongChurn(t *testing.T) {
 		t.Errorf("%d mismatches after sustained churn", rep.Mismatches)
 	}
 }
+
+func TestSoakFaultInjectionVS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	// A 50k-route separate-scheme router under SEU fire plus an engine
+	// kill: healthy VNIDs must never disagree with the oracle, corruption
+	// must only ever drop packets (never misforward), and the scrubber must
+	// bring every upset and the killed engine back before the run ends.
+	const k = 2
+	set, err := vrpower.GenerateVirtualSet(k, 25000, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := vrpower.Build(vrpower.Config{Scheme: vrpower.VS, K: k, ClockGating: true}, set.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := vrpower.NewForwarding(r, set.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := vrpower.NewTraffic(vrpower.TrafficConfig{
+		K: k, Seed: 8, Addr: vrpower.RoutedAddr, Tables: set.Tables,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bits int64
+	for _, img := range r.Images() {
+		bits += img.DataBits()
+	}
+	const cycles = 32 * 1024
+	rep, err := sys.RunFaults(gen, cycles, vrpower.FaultRunConfig{
+		Inject: vrpower.FaultConfig{
+			Seed:             9,
+			SEURate:          4 / (float64(bits) * float64(cycles)),
+			Kill:             true,
+			KillEngine:       1,
+			KillCycle:        9000,
+			ReconfigFailures: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SEUs) == 0 {
+		t.Fatal("no SEUs landed at core scale; rate tuning is off")
+	}
+	if rep.HealthyMismatches != 0 {
+		t.Errorf("%d healthy lookups disagreed with the oracle under faults", rep.HealthyMismatches)
+	}
+	if got := rep.RepairedSEUs(); got != len(rep.SEUs) {
+		t.Errorf("repaired %d of %d SEUs", got, len(rep.SEUs))
+	}
+	if rep.Kill == nil || rep.Kill.RepairedAt < 0 {
+		t.Errorf("killed engine never repaired: %+v", rep.Kill)
+	}
+	if !rep.Recovered {
+		t.Error("router did not fully recover after scrubbing")
+	}
+	if rep.MTTRCycles() <= 0 {
+		t.Errorf("MTTR = %.1f cycles, want > 0", rep.MTTRCycles())
+	}
+	// Both networks kept forwarding outside their own engines' repair
+	// windows (SEUs land on either engine, so neither is fully spared, but
+	// the separate scheme never couples one engine's outage to the other's
+	// VNID — every drop on a VN traces to its own engine's faults).
+	for vn := 0; vn < k; vn++ {
+		if rep.DeliveredPerVN[vn] == 0 {
+			t.Errorf("VN %d delivered nothing across the fault run", vn)
+		}
+		if a := rep.Availability(vn); a <= 0 || a > 1 {
+			t.Errorf("VN %d availability %.4f outside (0,1]", vn, a)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"vrpower/internal/core"
 	"vrpower/internal/ctrl"
+	"vrpower/internal/faults"
 	"vrpower/internal/fpga"
 	"vrpower/internal/hdl"
 	"vrpower/internal/ip"
@@ -467,6 +468,48 @@ func PlanFrontier(cands []PlanCandidate) []PlanCandidate { return planner.Fronti
 func CompactTable(tbl *Table) *Table {
 	return &Table{Name: tbl.Name + "-compact", Routes: trie.Compact(tbl.Routes)}
 }
+
+// Fault injection, SEU scrubbing and graceful degradation.
+type (
+	// FaultConfig parameterises the seeded fault injector (SEU rate per
+	// bit-cycle, engine kill, mid-flight reconfiguration failures).
+	FaultConfig = faults.Config
+	// FaultInjector produces deterministic fault schedules over the
+	// engines' compiled images.
+	FaultInjector = faults.Injector
+	// Upset is one scheduled single-event upset.
+	Upset = faults.Upset
+	// ScrubPolicy bounds the repair loop (attempts, backoff, write cost).
+	ScrubPolicy = ctrl.ScrubPolicy
+	// Scrubber rebuilds and reloads corrupted engine images.
+	Scrubber = ctrl.Scrubber
+	// ScrubResult describes one completed repair.
+	ScrubResult = ctrl.ScrubResult
+	// ReconfigFailer injects mid-flight reconfiguration failures.
+	ReconfigFailer = ctrl.ReconfigFailer
+	// FaultRunConfig parameterises an end-to-end fault-injection run.
+	FaultRunConfig = netsim.FaultConfig
+	// FaultReport summarises a fault-injection run (per-VNID availability,
+	// SEU lifecycles, MTTR).
+	FaultReport = netsim.FaultReport
+	// SEURecord is one injected upset's detect/repair lifecycle.
+	SEURecord = netsim.SEURecord
+)
+
+// NewFaultInjector builds the deterministic fault injector; equal seeds
+// yield byte-identical schedules at any worker count.
+func NewFaultInjector(cfg FaultConfig, images []*Image) (*FaultInjector, error) {
+	return faults.NewInjector(cfg, images)
+}
+
+// NewScrubber builds an SEU scrubber; zero policy fields take defaults and
+// failer may be nil (reloads then never fail).
+func NewScrubber(pol ScrubPolicy, failer ReconfigFailer) (*Scrubber, error) {
+	return ctrl.NewScrubber(pol, failer)
+}
+
+// DefaultScrubPolicy returns the bounded-retry defaults.
+func DefaultScrubPolicy() ScrubPolicy { return ctrl.DefaultScrubPolicy() }
 
 // RTL backend.
 type RTLDesign = hdl.Design
