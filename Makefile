@@ -4,7 +4,7 @@
 #   make bench      = every benchmark with allocation counts
 GO ?= go
 
-.PHONY: all build test race race-faults vet bench
+.PHONY: all build test race race-faults race-updates vet bench
 
 all: build test
 
@@ -25,6 +25,12 @@ race:
 # push; `make race` is the full-suite version.
 race-faults:
 	$(GO) test -race ./internal/faults/... ./internal/netsim/... ./internal/ctrl/... ./internal/pipeline/... ./internal/sweep/...
+
+# Race-detector pass focused on the hitless-update path: churn generation,
+# the shadow-bank pipeline commit, the ctrl update handle, and the
+# slice-quantised update harness over the sweep pool.
+race-updates:
+	$(GO) test -race ./internal/update/... ./internal/netsim/... ./internal/ctrl/... ./internal/pipeline/... ./internal/sweep/...
 
 vet:
 	$(GO) vet ./...

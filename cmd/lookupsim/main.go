@@ -12,13 +12,24 @@
 // adds each upset's detect/repair lifecycle. Same seeds, same -j or not,
 // same bytes.
 //
+// With -churn the run becomes a hitless-update experiment: seeded churn
+// batches are coalesced, compiled, diffed against the serving images and
+// applied as write bubbles interleaved with the live lookups — no reload,
+// no blackhole. The report shows the measured vs analytic throughput
+// retained, the update latency, and the oracle-mismatch count (zero when
+// the shadow-bank commit is airtight); -update-report adds each batch's
+// lifecycle. Same seeds, same -j or not, same bytes.
+//
 // Usage:
 //
 //	lookupsim -scheme VM -k 4 -packets 10000 [-prefixes 1000] [-share 0.5]
 //	          [-dist uniform|zipf] [-routed] [-frames] [-load 0.5]
 //	          [-faults] [-fault-seed 1] [-seu-rate 1e-8]
 //	          [-kill-engine N -kill-cycle C] [-reconfig-failures N]
-//	          [-mttr-report] [-j N] [-stats] [-seed 1]
+//	          [-mttr-report]
+//	          [-churn] [-churn-seed 1] [-churn-batch 64] [-churn-batches 4]
+//	          [-churn-vn N] [-update-report]
+//	          [-j N] [-stats] [-seed 1]
 package main
 
 import (
@@ -57,6 +68,13 @@ type options struct {
 	killCycle        int64
 	reconfigFailures int
 	mttrReport       bool
+
+	churn        bool
+	churnSeed    int64
+	churnBatch   int
+	churnBatches int
+	churnVN      int
+	updateReport bool
 }
 
 func main() {
@@ -79,6 +97,12 @@ func main() {
 	flag.Int64Var(&o.killCycle, "kill-cycle", 0, "cycle at which -kill-engine fails")
 	flag.IntVar(&o.reconfigFailures, "reconfig-failures", 0, "fail the first N scrub reloads mid-flight")
 	flag.BoolVar(&o.mttrReport, "mttr-report", false, "print each upset's detect/repair lifecycle")
+	flag.BoolVar(&o.churn, "churn", false, "run the hitless-update experiment (write bubbles under live traffic)")
+	flag.Int64Var(&o.churnSeed, "churn-seed", 1, "seed for the churn schedule (independent of -seed)")
+	flag.IntVar(&o.churnBatch, "churn-batch", 64, "route updates per churn batch")
+	flag.IntVar(&o.churnBatches, "churn-batches", 4, "churn batches to apply over the run")
+	flag.IntVar(&o.churnVN, "churn-vn", -1, "network every batch targets (-1 = round-robin)")
+	flag.BoolVar(&o.updateReport, "update-report", false, "print each churn batch's lifecycle")
 	jobs := flag.Int("j", 0, "engine worker-pool size (0 = GOMAXPROCS); results are identical at any value")
 	stats := flag.Bool("stats", false, "print run instrumentation to stderr on exit")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for tables and traffic")
@@ -139,6 +163,10 @@ func run(o options) error {
 
 	if o.faults {
 		return runFaults(sys, gen, scheme, o)
+	}
+
+	if o.churn {
+		return runUpdates(sys, gen, scheme, o)
 	}
 
 	if o.load > 0 {
@@ -202,6 +230,58 @@ func run(o options) error {
 	fmt.Println(t.String())
 	if rep.Mismatches != 0 {
 		return fmt.Errorf("%d lookups disagreed with the reference LPM", rep.Mismatches)
+	}
+	return nil
+}
+
+// runUpdates drives the hitless-update experiment and prints the throughput
+// and latency tables. All numbers come from the deterministic UpdateReport,
+// so the output is byte-identical at any -j.
+func runUpdates(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, o options) error {
+	ucfg := netsim.DefaultUpdateConfig()
+	ucfg.Seed = o.churnSeed
+	ucfg.BatchOps = o.churnBatch
+	ucfg.Batches = o.churnBatches
+	ucfg.TargetVN = o.churnVN
+	rep, err := sys.RunUpdates(gen, int64(o.packets), ucfg)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("%s hitless updates, K=%d, %d traffic cycles (+%d drain), %d batches of %d ops, churn seed %d",
+			scheme, rep.K, rep.TrafficCycles, rep.DrainCycles, ucfg.Batches, ucfg.BatchOps, o.churnSeed),
+		"Quantity", "Value")
+	t.AddF("Batches applied", rep.BatchesApplied)
+	t.AddF("Stage writes / write bubbles", fmt.Sprintf("%d / %d", rep.Writes, rep.PlannedBubbles))
+	t.AddF("Throughput retained measured / analytic",
+		fmt.Sprintf("%.6f / %.6f", rep.MeasuredThroughputRetained(), rep.AnalyticThroughputRetained()))
+	t.AddF("Oracle mismatches", rep.Mismatches)
+	t.AddF("Faulted lookups", rep.FaultedLookups)
+	t.AddF("Backlog peak (pkts)", rep.BacklogPeak)
+	t.AddF("Mean delay (cycles)", fmt.Sprintf("%.1f", rep.MeanDelayCycles))
+	for vn := 0; vn < rep.K; vn++ {
+		t.AddF(fmt.Sprintf("VN %d offered/delivered", vn),
+			fmt.Sprintf("%d / %d", rep.OfferedPerVN[vn], rep.DeliveredPerVN[vn]))
+	}
+	t.AddF("Completed", rep.Completed)
+	fmt.Println(t.String())
+
+	if o.updateReport && len(rep.Batches) > 0 {
+		bt := report.NewTable("Churn batch lifecycle (cycles)",
+			"Seq", "VN", "Engine", "Ops raw/coalesced", "Writes", "Bubbles", "Armed", "Committed", "Latency")
+		for i, b := range rep.Batches {
+			bt.AddF(i, b.VN, b.Engine, fmt.Sprintf("%d/%d", b.RawOps, b.CoalescedOps),
+				b.Writes, b.Bubbles, b.ArmedAt, b.DoneAt, b.LatencyCycles())
+		}
+		fmt.Println(bt.String())
+	}
+
+	if rep.Mismatches != 0 {
+		return fmt.Errorf("%d lookups disagreed with their epoch's reference LPM", rep.Mismatches)
+	}
+	if !rep.Completed {
+		return fmt.Errorf("run ended with updates or backlogs outstanding")
 	}
 	return nil
 }

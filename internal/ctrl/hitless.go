@@ -1,0 +1,213 @@
+package ctrl
+
+// This file implements the hitless (write-bubble) update path of the
+// companion work [6] beside the scrubber: instead of rebuilding and
+// reloading the affected engine — which blackholes its traffic for the
+// reload window — the control plane recompiles the engine's image under the
+// pinned stage map, diffs it against the serving image, and hands the new
+// image plus its write-bubble budget to the data-plane driver, which
+// applies it through pipeline.Sim.BeginUpdate/InjectBubble with lookups
+// still flowing. The update holds the same reload guard the scrubber uses,
+// so a scrub, a lifecycle mutation and a hitless update can never rewrite
+// the same structure concurrently.
+
+import (
+	"fmt"
+
+	"vrpower/internal/core"
+	"vrpower/internal/obs"
+	"vrpower/internal/pipeline"
+	"vrpower/internal/rib"
+	"vrpower/internal/update"
+)
+
+// Hitless-update instrumentation (surfaced by the cmd tools' -stats flag).
+var (
+	obsHitlessUpdates = obs.NewCounter("ctrl.hitless_updates")
+	obsHitlessWrites  = obs.NewCounter("ctrl.hitless_writes")
+	obsHitlessBubbles = obs.NewCounter("ctrl.hitless_bubbles")
+)
+
+// PinnedImages compiles every engine's image under the manager's pinned
+// stage map — the serving baseline a hitless-update driver must start from,
+// because BeginHitlessUpdate diffs against this same compilation and the
+// write budget only covers that word-for-word delta.
+func (m *Manager) PinnedImages() ([]*pipeline.Image, error) {
+	if m.cfg.Scheme == core.VM {
+		img, err := m.compileMerged(m.tables)
+		if err != nil {
+			return nil, err
+		}
+		return []*pipeline.Image{img}, nil
+	}
+	imgs := make([]*pipeline.Image, len(m.tables))
+	for i, tbl := range m.tables {
+		img, err := m.compileSeparate(tbl)
+		if err != nil {
+			return nil, err
+		}
+		imgs[i] = img
+	}
+	return imgs, nil
+}
+
+// HitlessUpdate is a prepared in-service update: the coalesced ops, the
+// post-update table, the recompiled engine image and its write-bubble
+// budget. It holds the manager's reload guard from BeginHitlessUpdate until
+// Commit or Abort, so scrubs and lifecycle mutations are rejected while the
+// data plane is mid-rewrite.
+type HitlessUpdate struct {
+	m       *Manager
+	vn      int
+	ops     []update.Op
+	rawOps  int
+	table   *rib.Table
+	image   *pipeline.Image
+	writes  []update.Write
+	bubbles int
+	done    bool
+}
+
+// VN returns the updated network's index.
+func (h *HitlessUpdate) VN() int { return h.vn }
+
+// Ops returns the coalesced op batch (later ops to a prefix supersede
+// earlier ones before diffing).
+func (h *HitlessUpdate) Ops() []update.Op { return h.ops }
+
+// RawOps returns the batch size before coalescing.
+func (h *HitlessUpdate) RawOps() int { return h.rawOps }
+
+// Table returns the post-update routing table (the new oracle).
+func (h *HitlessUpdate) Table() *rib.Table { return h.table }
+
+// Image returns the recompiled engine image the bubbles install.
+func (h *HitlessUpdate) Image() *pipeline.Image { return h.image }
+
+// Writes returns the stage-memory write count of the image diff.
+func (h *HitlessUpdate) Writes() int { return len(h.writes) }
+
+// Bubbles returns the write-bubble budget (at least 1: the final bubble
+// doubles as the bank-flip commit).
+func (h *HitlessUpdate) Bubbles() int { return h.bubbles }
+
+// Engine returns the engine slot the update targets (0 for the merged
+// scheme, the network's own engine for the separate one).
+func (h *HitlessUpdate) Engine() int {
+	if h.m.cfg.Scheme == core.VM {
+		return 0
+	}
+	return h.vn
+}
+
+// BeginHitlessUpdate prepares an in-service update for network vn: the ops
+// are coalesced, applied to a copy of the live table, the affected engine's
+// image is recompiled under the pinned stage map and diffed against the
+// current compilation, and the result carries the new image plus the
+// write-bubble budget the data plane must spend to install it. The
+// manager's reload guard is held until Commit or Abort. The scheme
+// asymmetry the companion work quantifies falls out of the diff: VS touches
+// one network's engine, VM must rewrite the shared merged structure.
+func (m *Manager) BeginHitlessUpdate(vn int, ops []update.Op) (*HitlessUpdate, error) {
+	if vn < 0 || vn >= len(m.tables) {
+		return nil, fmt.Errorf("ctrl: network %d outside [0,%d)", vn, len(m.tables))
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("ctrl: hitless update with no ops")
+	}
+	if err := m.BeginReload(); err != nil {
+		return nil, err
+	}
+	h, err := m.prepareHitless(vn, ops)
+	if err != nil {
+		m.EndReload()
+		return nil, err
+	}
+	return h, nil
+}
+
+func (m *Manager) prepareHitless(vn int, ops []update.Op) (*HitlessUpdate, error) {
+	coalesced := update.Coalesce(ops)
+	newTbl := update.Apply(m.tables[vn], coalesced)
+
+	var before, after *pipeline.Image
+	var err error
+	if m.cfg.Scheme == core.VM {
+		before, err = m.compileMerged(m.tables)
+		if err != nil {
+			return nil, err
+		}
+		next := make([]*rib.Table, len(m.tables))
+		copy(next, m.tables)
+		next[vn] = newTbl
+		after, err = m.compileMerged(next)
+	} else {
+		before, err = m.compileSeparate(m.tables[vn])
+		if err != nil {
+			return nil, err
+		}
+		after, err = m.compileSeparate(newTbl)
+	}
+	if err != nil {
+		return nil, err
+	}
+	writes, err := update.Diff(before, after)
+	if err != nil {
+		return nil, err
+	}
+	bubbles := update.Bubbles(writes)
+	if bubbles < 1 {
+		bubbles = 1 // the commit bubble always runs
+	}
+	return &HitlessUpdate{
+		m:       m,
+		vn:      vn,
+		ops:     coalesced,
+		rawOps:  len(ops),
+		table:   newTbl,
+		image:   after,
+		writes:  writes,
+		bubbles: bubbles,
+	}, nil
+}
+
+// Commit installs the update on the manager — the new table becomes
+// authoritative, the new image takes the engine slot, and the lifecycle log
+// gains an Update event with zero disrupted networks (the point of the
+// write-bubble path) — and releases the reload guard.
+func (h *HitlessUpdate) Commit() (Event, error) {
+	if h.done {
+		return Event{}, fmt.Errorf("ctrl: hitless update already finished")
+	}
+	h.done = true
+	m := h.m
+	m.tables[h.vn] = h.table
+	m.router.Images()[h.Engine()] = h.image
+	ev := Event{
+		Action: Update,
+		VN:     h.vn,
+		K:      len(m.tables),
+		// Hitless: lookups keep flowing through the bubble window, so no
+		// network's forwarding pauses — versus 1 (VS) or K (VM) for the
+		// reload path of ApplyUpdates.
+		DisruptedNetworks: 0,
+		Writes:            len(h.writes),
+		Bubbles:           h.bubbles,
+	}
+	m.events = append(m.events, ev)
+	obsHitlessUpdates.Inc()
+	obsHitlessWrites.Add(int64(len(h.writes)))
+	obsHitlessBubbles.Add(int64(h.bubbles))
+	m.EndReload()
+	return ev, nil
+}
+
+// Abort abandons the prepared update without touching the live tables or
+// images and releases the reload guard.
+func (h *HitlessUpdate) Abort() {
+	if h.done {
+		return
+	}
+	h.done = true
+	h.m.EndReload()
+}

@@ -1,0 +1,180 @@
+package ctrl
+
+import (
+	"testing"
+
+	"vrpower/internal/core"
+	"vrpower/internal/pipeline"
+	"vrpower/internal/update"
+)
+
+func churnOps(t *testing.T, m *Manager, vn, n int, seed int64) []update.Op {
+	t.Helper()
+	ops, err := update.Churn(m.Tables()[vn], n, update.ChurnConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ops
+}
+
+func TestHitlessUpdateVSCommit(t *testing.T) {
+	m, err := New(core.Config{Scheme: core.VS, ClockGating: true}, genTables(t, 3, 300, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := churnOps(t, m, 1, 50, 42)
+	h, err := m.BeginHitlessUpdate(1, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Reloading() {
+		t.Error("hitless update does not hold the reload guard")
+	}
+	if h.Engine() != 1 {
+		t.Errorf("VS engine = %d, want 1", h.Engine())
+	}
+	if h.Writes() <= 0 || h.Bubbles() <= 0 {
+		t.Errorf("writes=%d bubbles=%d, want > 0 for real churn", h.Writes(), h.Bubbles())
+	}
+	if h.RawOps() != len(ops) || len(h.Ops()) > len(ops) {
+		t.Errorf("raw=%d coalesced=%d from %d ops", h.RawOps(), len(h.Ops()), len(ops))
+	}
+	ev, err := h.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reloading() {
+		t.Error("guard still held after commit")
+	}
+	if ev.Action != Update || ev.DisruptedNetworks != 0 {
+		t.Errorf("event = %+v, want a hitless update disrupting 0 networks", ev)
+	}
+	if m.Tables()[1] != h.Table() {
+		t.Error("commit did not install the post-update table")
+	}
+	if m.Router().Images()[1] != h.Image() {
+		t.Error("commit did not install the new engine image")
+	}
+	// The installed image forwards per the new table.
+	ref := h.Table().Reference()
+	for _, r := range h.Table().Routes[:50] {
+		if got, want := pipeline.Lookup(h.Image(), pipeline.Request{Addr: r.Prefix.Addr}), ref.Lookup(r.Prefix.Addr); got != want {
+			t.Fatalf("post-commit lookup(%s) = %d, want %d", r.Prefix.Addr, got, want)
+		}
+	}
+	if _, err := h.Commit(); err == nil {
+		t.Error("double commit accepted")
+	}
+}
+
+func TestHitlessUpdateSharesReloadGuard(t *testing.T) {
+	m, err := New(core.Config{Scheme: core.VS, ClockGating: true}, genTables(t, 2, 200, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.BeginHitlessUpdate(0, churnOps(t, m, 0, 20, 44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything that rewrites the data plane is rejected mid-update.
+	if _, err := m.AddNetwork(genTable(t, 200, 45)); err == nil {
+		t.Error("AddNetwork accepted during a hitless update")
+	}
+	if _, err := m.RemoveNetwork(0); err == nil {
+		t.Error("RemoveNetwork accepted during a hitless update")
+	}
+	if _, err := m.ApplyUpdates(0, h.Ops()); err == nil {
+		t.Error("ApplyUpdates accepted during a hitless update")
+	}
+	if _, err := m.BeginHitlessUpdate(1, churnOps(t, m, 1, 20, 46)); err == nil {
+		t.Error("second hitless update accepted while one is in flight")
+	}
+	sc, err := NewScrubber(ScrubPolicy{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ScrubNetwork(0, sc); err == nil {
+		t.Error("scrub accepted during a hitless update")
+	}
+	h.Abort()
+	if m.Reloading() {
+		t.Error("guard still held after abort")
+	}
+	// And the converse: a scrub in flight blocks hitless updates.
+	if err := m.BeginReload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.BeginHitlessUpdate(0, churnOps(t, m, 0, 20, 47)); err == nil {
+		t.Error("hitless update accepted during a reload")
+	}
+	m.EndReload()
+}
+
+func TestHitlessUpdateAbortLeavesStateIntact(t *testing.T) {
+	m, err := New(core.Config{Scheme: core.VM, ClockGating: true}, genTables(t, 3, 250, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Tables()[2]
+	img := m.Router().Images()[0]
+	events := len(m.Events())
+	h, err := m.BeginHitlessUpdate(2, churnOps(t, m, 2, 30, 49))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Engine() != 0 {
+		t.Errorf("VM engine = %d, want 0 (the shared merged engine)", h.Engine())
+	}
+	h.Abort()
+	if m.Tables()[2] != before || m.Router().Images()[0] != img || len(m.Events()) != events {
+		t.Error("abort mutated manager state")
+	}
+	h.Abort() // idempotent
+	if _, err := h.Commit(); err == nil {
+		t.Error("commit accepted after abort")
+	}
+}
+
+// TestHitlessUpdateVMCostlierThanVS pins the separate-vs-merged asymmetry
+// end-to-end through the hitless path: the same churn on one network costs
+// far more writes and bubbles against the shared merged structure.
+func TestHitlessUpdateVMCostlierThanVS(t *testing.T) {
+	tables := genTables(t, 4, 400, 50)
+	ops, err := update.Churn(tables[0], 50, update.ChurnConfig{Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := func(scheme core.Scheme) (int, int) {
+		m, err := New(core.Config{Scheme: scheme, ClockGating: true}, tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := m.BeginHitlessUpdate(0, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Abort()
+		return h.Writes(), h.Bubbles()
+	}
+	vsW, vsB := cost(core.VS)
+	vmW, vmB := cost(core.VM)
+	if vmW <= vsW || vmB <= vsB {
+		t.Errorf("VM update (writes=%d bubbles=%d) not costlier than VS (writes=%d bubbles=%d)", vmW, vmB, vsW, vsB)
+	}
+}
+
+func TestBeginHitlessUpdateValidation(t *testing.T) {
+	m, err := New(core.Config{Scheme: core.VS, ClockGating: true}, genTables(t, 2, 150, 52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.BeginHitlessUpdate(5, churnOps(t, m, 0, 5, 53)); err == nil {
+		t.Error("out-of-range VN accepted")
+	}
+	if _, err := m.BeginHitlessUpdate(0, nil); err == nil {
+		t.Error("empty op batch accepted")
+	}
+	if m.Reloading() {
+		t.Error("failed begin left the guard held")
+	}
+}

@@ -1,0 +1,498 @@
+package netsim
+
+// This file is the hitless-update harness: it drives a built router through
+// slice-quantised time while the control plane pushes churn batches into the
+// serving engines as write bubbles — no reload, no blackhole. At each slice
+// boundary the coordinator commits a finished update and arms the next one
+// (update.Churn → ctrl.BeginHitlessUpdate → pipeline.Sim.BeginUpdate);
+// inside a slice each engine spends its input slots on pending bubbles
+// first, lookups second — a displaced arrival waits in the engine's backlog
+// and drains later, so updates delay packets but never drop them. Every
+// result is checked against the reference table of the epoch it was
+// injected in: the oracle for the updated network flips to the post-update
+// table exactly when the commit bubble enters the pipeline, mirroring the
+// shadow-bank flip inside the sim. All update decisions run in the single
+// coordinating goroutine; only the per-engine cycle loops fan out over the
+// worker pool, each touching engine-local state only, and their results
+// fold back in engine order — so the same seeds yield byte-identical
+// reports at any -j.
+
+import (
+	"fmt"
+
+	"vrpower/internal/core"
+	"vrpower/internal/ctrl"
+	"vrpower/internal/ip"
+	"vrpower/internal/obs"
+	"vrpower/internal/pipeline"
+	"vrpower/internal/sweep"
+	"vrpower/internal/traffic"
+	"vrpower/internal/update"
+)
+
+// Update-run instrumentation (surfaced by cmd/lookupsim -stats).
+var (
+	obsUpdateBatches = obs.NewCounter("netsim.update_batches")
+	obsUpdateWrites  = obs.NewCounter("netsim.update_writes")
+	obsUpdateBubbles = obs.NewCounter("netsim.update_bubbles")
+)
+
+// UpdateConfig parameterises a hitless-update run.
+type UpdateConfig struct {
+	// Batches is the number of churn batches to apply; BatchOps the route
+	// updates per batch (both default via DefaultUpdateConfig).
+	Batches  int
+	BatchOps int
+	// Seed drives the churn generator; batch i uses Seed+i so batches are
+	// distinct but the whole run is a pure function of Seed.
+	Seed int64
+	// TargetVN pins every batch to one network; negative round-robins the
+	// batches over all K. Note the zero value targets network 0 — use
+	// DefaultUpdateConfig (TargetVN = -1) for the round-robin default.
+	TargetVN int
+	// AnnounceFrac/WithdrawFrac select the churn op mix (update.ChurnConfig
+	// semantics; zero values give the BGP-typical 40/30/30).
+	AnnounceFrac, WithdrawFrac float64
+	// SliceCycles is the control-plane quantum: batches are armed and
+	// committed at slice boundaries. Zero defaults to 1024.
+	SliceCycles int64
+	// MaxDrainSlices bounds the post-traffic drain in which remaining
+	// batches, backlogs and in-flight lookups finish; zero picks a bound
+	// generous enough for every configured batch.
+	MaxDrainSlices int
+}
+
+// DefaultUpdateConfig returns the canonical run shape: 4 batches of 64 ops,
+// seed 1, round-robin over the networks.
+func DefaultUpdateConfig() UpdateConfig {
+	return UpdateConfig{Batches: 4, BatchOps: 64, Seed: 1, TargetVN: -1}
+}
+
+func (c UpdateConfig) withDefaults() UpdateConfig {
+	if c.Batches == 0 {
+		c.Batches = 4
+	}
+	if c.BatchOps == 0 {
+		c.BatchOps = 64
+	}
+	if c.SliceCycles == 0 {
+		c.SliceCycles = 1024
+	}
+	return c
+}
+
+// UpdateBatch is one applied churn batch's lifecycle.
+type UpdateBatch struct {
+	// VN is the updated network; Engine the pipeline it rewrote (the
+	// network's own for VS, the shared engine 0 for VM).
+	VN     int
+	Engine int
+	// RawOps is the generated batch size; CoalescedOps what survived
+	// last-op-wins coalescing and was actually diffed.
+	RawOps       int
+	CoalescedOps int
+	// Writes is the image-diff word count; Bubbles the write-bubble budget
+	// spent installing it.
+	Writes  int
+	Bubbles int
+	// ArmedAt is the cycle the batch entered the data plane; DoneAt the
+	// cycle its commit bubble left the last stage. Their difference is the
+	// update latency under load.
+	ArmedAt int64
+	DoneAt  int64
+}
+
+// LatencyCycles is the arm-to-commit update latency.
+func (b UpdateBatch) LatencyCycles() int64 { return b.DoneAt - b.ArmedAt }
+
+// UpdateReport summarises a hitless-update run.
+type UpdateReport struct {
+	Scheme core.Scheme
+	K      int
+	// TrafficCycles is the offered-traffic window; DrainCycles the tail in
+	// which remaining batches and backlogs finished.
+	TrafficCycles int64
+	DrainCycles   int64
+	SliceCycles   int64
+	// Per-VN packet accounting. Every offered packet must eventually be
+	// delivered — hitless means delayed, never dropped.
+	OfferedPerVN   []int64
+	DeliveredPerVN []int64
+	// Mismatches counts results that disagreed with their injection epoch's
+	// reference table (must be zero: the shadow-bank commit never shows a
+	// lookup a mixed image). FaultedLookups counts parity refusals (also
+	// zero: updates write clean words).
+	Mismatches     int64
+	FaultedLookups int64
+	// NoRoute counts delivered packets that correctly resolved to no route.
+	NoRoute int64
+	// Batches is every applied batch in commit order.
+	Batches        []UpdateBatch
+	BatchesApplied int
+	// Writes / PlannedBubbles total the committed batches' costs;
+	// BubbleCycles is the input slots the sims actually spent on bubbles
+	// (equal to PlannedBubbles when the run Completed).
+	Writes         int64
+	PlannedBubbles int64
+	BubbleCycles   int64
+	// EngineCycles sums simulated cycles over all engines — the denominator
+	// of the measured throughput loss.
+	EngineCycles int64
+	// BacklogPeak is the deepest any engine's arrival backlog grew while
+	// bubbles held the input slot; MeanDelayCycles the average
+	// arrival-to-exit latency over delivered packets.
+	BacklogPeak     int
+	MeanDelayCycles float64
+	// Completed reports that every configured batch committed and every
+	// arrival was delivered before the drain bound.
+	Completed bool
+}
+
+// MeasuredThroughputRetained is the lookup-slot fraction the run actually
+// kept: 1 - bubble slots / engine cycles, from the sims' own counters.
+func (r *UpdateReport) MeasuredThroughputRetained() float64 {
+	if r.EngineCycles == 0 {
+		return 1
+	}
+	return 1 - float64(r.BubbleCycles)/float64(r.EngineCycles)
+}
+
+// AnalyticThroughputRetained is update.ThroughputRetained's prediction for
+// the same bubble budget over the same cycle count (EngineCycles cycles ≡
+// EngineCycles/1e6 MHz for one second).
+func (r *UpdateReport) AnalyticThroughputRetained() float64 {
+	return update.ThroughputRetained(int(r.PlannedBubbles), float64(r.EngineCycles)/1e6)
+}
+
+// updMeta is one packet's oracle context: the network it belongs to and the
+// reference table current when it entered the pipeline.
+type updMeta struct {
+	req     pipeline.Request
+	vn      int
+	arrival int64
+	ref     *ip.Table
+}
+
+// updEng is one engine's view of the update run. Everything in it —
+// including the refs slots this engine owns — is touched only by the
+// coordinator between slices and by this engine's worker inside one, so the
+// per-slice fan-out stays race-free and deterministic.
+type updEng struct {
+	sim *pipeline.Sim
+	// backlog holds arrivals displaced by bubbles; pending the in-flight
+	// lookups' metadata in injection order.
+	backlog []updMeta
+	pending []updMeta
+	// An armed batch: the handle to commit, the post-update oracle to swap
+	// in at the commit bubble, and the report record under construction.
+	handle *ctrl.HitlessUpdate
+	newRef *ip.Table
+	refVN  int
+	batch  UpdateBatch
+	doneAt int64
+	// Worker-accumulated counters, folded into the report at the end.
+	deliveredPerVN []int64
+	mismatches     int64
+	faulted        int64
+	noRoute        int64
+	delaySum       float64
+	delayN         int64
+	backlogPeak    int
+}
+
+// cycle advances the engine one cycle: bubbles take the input slot first,
+// then the backlog front, then an idle step; whatever lookup exits is
+// checked against its injection epoch's oracle.
+func (e *updEng) cycle(refs []*ip.Table, cyc int64) error {
+	var res pipeline.Result
+	var ok bool
+	if e.sim.PendingBubbles() > 0 {
+		if e.sim.PendingBubbles() == 1 {
+			// The commit bubble goes in this cycle: every lookup injected
+			// after it sees the new banks, so the oracle flips now.
+			refs[e.refVN] = e.newRef
+		}
+		var err error
+		res, ok, err = e.sim.InjectBubble()
+		if err != nil {
+			return err
+		}
+	} else if len(e.backlog) > 0 {
+		m := e.backlog[0]
+		e.backlog = e.backlog[1:]
+		m.ref = refs[m.vn]
+		e.pending = append(e.pending, m)
+		res, ok = e.sim.Inject(&m.req)
+	} else {
+		res, ok = e.sim.Inject(nil)
+	}
+	if ok {
+		m := e.pending[0]
+		e.pending = e.pending[1:]
+		switch {
+		case res.Faulted:
+			e.faulted++
+		case res.NHI != m.ref.Lookup(res.Addr):
+			e.mismatches++
+		default:
+			e.deliveredPerVN[m.vn]++
+			if res.NHI == ip.NoRoute {
+				e.noRoute++
+			}
+			e.delaySum += float64(cyc - m.arrival)
+			e.delayN++
+		}
+	}
+	if e.handle != nil && e.doneAt < 0 && !e.sim.Updating() {
+		e.doneAt = cyc
+	}
+	return nil
+}
+
+// RunUpdates drives the router for trafficCycles cycles of back-to-back
+// offered traffic (one packet per cycle) while applying cfg.Batches churn
+// batches hitlessly, then drains until every batch has committed and every
+// displaced arrival delivered. The returned report is a pure function of
+// the generator's and the config's seeds — worker count never changes it.
+// The non-virtualized scheme has no runtime update path and is rejected.
+func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg UpdateConfig) (UpdateReport, error) {
+	cfg = cfg.withDefaults()
+	if trafficCycles <= 0 {
+		return UpdateReport{}, fmt.Errorf("netsim: update run of %d cycles, want > 0", trafficCycles)
+	}
+	if cfg.Batches < 0 || cfg.BatchOps < 1 {
+		return UpdateReport{}, fmt.Errorf("netsim: %d batches of %d ops, want >= 0 / >= 1", cfg.Batches, cfg.BatchOps)
+	}
+	if cfg.TargetVN >= s.k {
+		return UpdateReport{}, fmt.Errorf("netsim: target network %d outside [0,%d)", cfg.TargetVN, s.k)
+	}
+	scheme := s.router.Config().Scheme
+	// The control plane: owns the authoritative tables and compiles every
+	// image under its pinned stage map, so successive compilations diff
+	// word-for-word. The run serves from these pinned images (not the
+	// router's build images, whose per-table stage geometry isn't diffable).
+	mgr, err := ctrl.New(s.router.Config(), s.tables)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	images, err := mgr.PinnedImages()
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	engineOf := func(vn int) int {
+		if scheme == core.VM {
+			return 0
+		}
+		return vn
+	}
+	engines := make([]*updEng, len(images))
+	for e := range images {
+		sim := pipeline.NewSim(images[e])
+		sim.EnableParityCheck()
+		engines[e] = &updEng{sim: sim, doneAt: -1, deliveredPerVN: make([]int64, s.k)}
+	}
+	// refs[vn] is the oracle for network vn's lookups *at injection time*;
+	// slot vn is owned by engine engineOf(vn), which flips it when the
+	// commit bubble enters.
+	refs := make([]*ip.Table, s.k)
+	for vn := range refs {
+		refs[vn] = s.tables[vn].Reference()
+	}
+
+	S := cfg.SliceCycles
+	slices := (trafficCycles + S - 1) / S
+	rep := UpdateReport{
+		Scheme:         scheme,
+		K:              s.k,
+		TrafficCycles:  slices * S,
+		SliceCycles:    S,
+		OfferedPerVN:   make([]int64, s.k),
+		DeliveredPerVN: make([]int64, s.k),
+	}
+
+	started := 0
+	// boundary runs the control plane at cycle b: commit the finished batch,
+	// then arm the next one. One batch is in flight at a time — the manager's
+	// reload guard enforces that anyway.
+	boundary := func(b int64) error {
+		for _, e := range engines {
+			if e.handle == nil || e.doneAt < 0 {
+				continue
+			}
+			if _, err := e.handle.Commit(); err != nil {
+				return err
+			}
+			e.batch.DoneAt = e.doneAt
+			rep.Batches = append(rep.Batches, e.batch)
+			rep.BatchesApplied++
+			rep.Writes += int64(e.batch.Writes)
+			rep.PlannedBubbles += int64(e.batch.Bubbles)
+			obsUpdateBatches.Inc()
+			obsUpdateWrites.Add(int64(e.batch.Writes))
+			obsUpdateBubbles.Add(int64(e.batch.Bubbles))
+			e.handle = nil
+			e.newRef = nil
+			e.doneAt = -1
+		}
+		inFlight := false
+		for _, e := range engines {
+			if e.handle != nil {
+				inFlight = true
+			}
+		}
+		if inFlight || started >= cfg.Batches {
+			return nil
+		}
+		vn := cfg.TargetVN
+		if vn < 0 {
+			vn = started % s.k
+		}
+		ops, err := update.Churn(mgr.Tables()[vn], cfg.BatchOps, update.ChurnConfig{
+			Seed:         cfg.Seed + int64(started),
+			AnnounceFrac: cfg.AnnounceFrac,
+			WithdrawFrac: cfg.WithdrawFrac,
+		})
+		if err != nil {
+			return err
+		}
+		h, err := mgr.BeginHitlessUpdate(vn, ops)
+		if err != nil {
+			return err
+		}
+		e := engines[h.Engine()]
+		if err := e.sim.BeginUpdate(h.Image(), h.Bubbles()); err != nil {
+			h.Abort()
+			return err
+		}
+		e.handle = h
+		e.newRef = h.Table().Reference()
+		e.refVN = vn
+		e.batch = UpdateBatch{
+			VN:           vn,
+			Engine:       h.Engine(),
+			RawOps:       h.RawOps(),
+			CoalescedOps: len(h.Ops()),
+			Writes:       h.Writes(),
+			Bubbles:      h.Bubbles(),
+			ArmedAt:      b,
+		}
+		started++
+		return nil
+	}
+
+	// runSlice fans the per-engine cycle loops out over the worker pool.
+	// Engine state is disjoint, so the only coordination is the barrier at
+	// the end of the slice.
+	runSlice := func(base int64, arrivals [][]updMeta) error {
+		_, err := sweep.Run(len(engines), func(eIdx int) (struct{}, error) {
+			e := engines[eIdx]
+			var next int
+			for i := int64(0); i < S; i++ {
+				if arrivals != nil {
+					for next < len(arrivals[eIdx]) && arrivals[eIdx][next].arrival == base+i {
+						e.backlog = append(e.backlog, arrivals[eIdx][next])
+						next++
+					}
+					if len(e.backlog) > e.backlogPeak {
+						e.backlogPeak = len(e.backlog)
+					}
+				}
+				if err := e.cycle(refs, base+i); err != nil {
+					return struct{}{}, err
+				}
+			}
+			return struct{}{}, nil
+		})
+		return err
+	}
+
+	for t := int64(0); t < slices; t++ {
+		b := t * S
+		if err := boundary(b); err != nil {
+			return UpdateReport{}, err
+		}
+		// One offered packet per cycle, steered to its engine with the
+		// arrival cycle stamped so delay accounting survives the backlog.
+		pkts := gen.Batch(int(S))
+		arrivals := make([][]updMeta, len(engines))
+		for i, p := range pkts {
+			if p.VN < 0 || p.VN >= s.k {
+				return UpdateReport{}, fmt.Errorf("netsim: packet VN %d outside [0,%d)", p.VN, s.k)
+			}
+			rep.OfferedPerVN[p.VN]++
+			reqVN := 0
+			if scheme == core.VM {
+				reqVN = p.VN
+			}
+			eIdx := engineOf(p.VN)
+			arrivals[eIdx] = append(arrivals[eIdx], updMeta{
+				req:     pipeline.Request{Addr: p.Addr, VN: reqVN},
+				vn:      p.VN,
+				arrival: b + int64(i),
+			})
+		}
+		if err := runSlice(b, arrivals); err != nil {
+			return UpdateReport{}, err
+		}
+	}
+
+	// Drain: no new arrivals, but keep cycling until every batch commits and
+	// every backlog and in-flight lookup empties (or the bound trips).
+	maxDrain := cfg.MaxDrainSlices
+	if maxDrain == 0 {
+		maxDrain = 16 + 8*cfg.Batches
+	}
+	outstanding := func() bool {
+		if started < cfg.Batches {
+			return true
+		}
+		for _, e := range engines {
+			if e.handle != nil || len(e.backlog) > 0 || len(e.pending) > 0 || e.sim.Updating() {
+				return true
+			}
+		}
+		return false
+	}
+	drained := int64(0)
+	for d := 0; d < maxDrain && outstanding(); d++ {
+		b := slices*S + drained
+		if err := boundary(b); err != nil {
+			return UpdateReport{}, err
+		}
+		if err := runSlice(b, nil); err != nil {
+			return UpdateReport{}, err
+		}
+		drained += S
+	}
+	// A final boundary commits a batch that finished exactly at the bound.
+	if err := boundary(slices*S + drained); err != nil {
+		return UpdateReport{}, err
+	}
+	rep.DrainCycles = drained
+
+	for _, e := range engines {
+		st := e.sim.Stats()
+		rep.EngineCycles += st.Cycles
+		rep.BubbleCycles += st.Bubbles
+		for vn, d := range e.deliveredPerVN {
+			rep.DeliveredPerVN[vn] += d
+		}
+		rep.Mismatches += e.mismatches
+		rep.FaultedLookups += e.faulted
+		rep.NoRoute += e.noRoute
+		rep.MeanDelayCycles += e.delaySum
+		if e.backlogPeak > rep.BacklogPeak {
+			rep.BacklogPeak = e.backlogPeak
+		}
+	}
+	var delivered int64
+	for _, e := range engines {
+		delivered += e.delayN
+	}
+	if delivered > 0 {
+		rep.MeanDelayCycles /= float64(delivered)
+	}
+	rep.Completed = !outstanding()
+	obsPacketsResolved.Add(delivered)
+	return rep, nil
+}

@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"vrpower/internal/core"
+	"vrpower/internal/sweep"
+)
+
+// checkHitless asserts the invariants every completed hitless run must hold:
+// all batches committed, zero oracle mismatches, zero parity faults, and
+// every offered packet delivered — delayed by bubbles, never dropped.
+func checkHitless(t *testing.T, rep UpdateReport, wantBatches int) {
+	t.Helper()
+	if !rep.Completed {
+		t.Fatalf("run did not complete: %d/%d batches applied", rep.BatchesApplied, wantBatches)
+	}
+	if rep.BatchesApplied != wantBatches {
+		t.Errorf("applied %d batches, want %d", rep.BatchesApplied, wantBatches)
+	}
+	if rep.Mismatches != 0 {
+		t.Errorf("oracle mismatches = %d, want 0 (shadow-bank commit leaked a mixed image)", rep.Mismatches)
+	}
+	if rep.FaultedLookups != 0 {
+		t.Errorf("faulted lookups = %d, want 0 (updates must write clean words)", rep.FaultedLookups)
+	}
+	for vn := range rep.OfferedPerVN {
+		if rep.DeliveredPerVN[vn] != rep.OfferedPerVN[vn] {
+			t.Errorf("VN %d delivered %d of %d offered: hitless means delayed, never dropped",
+				vn, rep.DeliveredPerVN[vn], rep.OfferedPerVN[vn])
+		}
+	}
+	if rep.BubbleCycles != rep.PlannedBubbles {
+		t.Errorf("spent %d bubble cycles, planned %d", rep.BubbleCycles, rep.PlannedBubbles)
+	}
+	// The measured retained throughput must sit within 1% of the analytic
+	// prediction for the same bubble count (they agree exactly when every
+	// planned bubble was injected).
+	meas, ana := rep.MeasuredThroughputRetained(), rep.AnalyticThroughputRetained()
+	if diff := meas - ana; diff > 0.01 || diff < -0.01 {
+		t.Errorf("measured retained %.6f vs analytic %.6f, want within 1%%", meas, ana)
+	}
+	for i, b := range rep.Batches {
+		if b.Writes <= 0 || b.Bubbles <= 0 {
+			t.Errorf("batch %d: writes=%d bubbles=%d, want > 0 for real churn", i, b.Writes, b.Bubbles)
+		}
+		if b.DoneAt <= b.ArmedAt {
+			t.Errorf("batch %d: done at %d, armed at %d", i, b.DoneAt, b.ArmedAt)
+		}
+		if b.CoalescedOps > b.RawOps {
+			t.Errorf("batch %d: coalesced %d > raw %d", i, b.CoalescedOps, b.RawOps)
+		}
+	}
+}
+
+func TestRunUpdatesHitlessVS(t *testing.T) {
+	s, _ := buildSystem(t, core.VS, 3)
+	cfg := DefaultUpdateConfig()
+	rep, err := s.RunUpdates(faultGen(t, s, 23), 16*1024, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHitless(t, rep, cfg.Batches)
+	// Round-robin targeting: each batch rewrites only its network's engine.
+	for i, b := range rep.Batches {
+		if b.VN != i%3 || b.Engine != b.VN {
+			t.Errorf("batch %d: VN=%d engine=%d, want round-robin VN %d on its own engine", i, b.VN, b.Engine, i%3)
+		}
+	}
+	if rep.BacklogPeak == 0 {
+		t.Error("backlog never grew: bubbles should displace arrivals under back-to-back traffic")
+	}
+}
+
+func TestRunUpdatesHitlessVM(t *testing.T) {
+	s, _ := buildSystem(t, core.VM, 3)
+	cfg := DefaultUpdateConfig()
+	rep, err := s.RunUpdates(faultGen(t, s, 29), 16*1024, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHitless(t, rep, cfg.Batches)
+	for i, b := range rep.Batches {
+		if b.Engine != 0 {
+			t.Errorf("batch %d on engine %d, want 0 (the shared merged engine)", i, b.Engine)
+		}
+	}
+}
+
+// TestRunUpdatesVMCostlierThanVS pins the paper's update asymmetry under
+// live traffic: the same churn schedule costs the merged scheme more writes
+// and bubbles (the shared structure is rewritten) and retains less
+// throughput than the separate scheme.
+func TestRunUpdatesVMCostlierThanVS(t *testing.T) {
+	run := func(sc core.Scheme) UpdateReport {
+		s, _ := buildSystem(t, sc, 3)
+		cfg := DefaultUpdateConfig()
+		cfg.TargetVN = 1 // identical churn schedule on both schemes
+		rep, err := s.RunUpdates(faultGen(t, s, 31), 16*1024, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkHitless(t, rep, cfg.Batches)
+		return rep
+	}
+	vs, vm := run(core.VS), run(core.VM)
+	if vm.Writes <= vs.Writes || vm.PlannedBubbles <= vs.PlannedBubbles {
+		t.Errorf("VM (writes=%d bubbles=%d) not costlier than VS (writes=%d bubbles=%d)",
+			vm.Writes, vm.PlannedBubbles, vs.Writes, vs.PlannedBubbles)
+	}
+	if vm.MeasuredThroughputRetained() >= vs.MeasuredThroughputRetained() {
+		t.Errorf("VM retained %.6f >= VS retained %.6f, want lower (more bubbles over fewer engine-cycles)",
+			vm.MeasuredThroughputRetained(), vs.MeasuredThroughputRetained())
+	}
+}
+
+// TestRunUpdatesDeterministicAcrossWorkers: the full report — batch stamps,
+// delay sums, per-VN counters — must be identical at -j 1 and -j 8.
+func TestRunUpdatesDeterministicAcrossWorkers(t *testing.T) {
+	defer sweep.SetWorkers(0)
+	run := func(workers int) UpdateReport {
+		sweep.SetWorkers(workers)
+		s, _ := buildSystem(t, core.VS, 4)
+		rep, err := s.RunUpdates(faultGen(t, s, 37), 8*1024, DefaultUpdateConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	j1, j8 := run(1), run(8)
+	if !reflect.DeepEqual(j1, j8) {
+		t.Errorf("update reports differ across worker counts:\n-j1: %+v\n-j8: %+v", j1, j8)
+	}
+}
+
+// TestRunUpdatesSoak applies ten churn batches under sustained traffic —
+// each diffed against the previous batch's committed table — and requires
+// zero mismatches throughout.
+func TestRunUpdatesSoak(t *testing.T) {
+	s, _ := buildSystem(t, core.VS, 3)
+	cfg := DefaultUpdateConfig()
+	cfg.Batches = 10
+	cfg.BatchOps = 48
+	rep, err := s.RunUpdates(faultGen(t, s, 41), 40*1024, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkHitless(t, rep, 10)
+	// The batches must actually land inside the traffic window, not pile up
+	// in the drain: this is churn under load, not churn after it.
+	underTraffic := 0
+	for _, b := range rep.Batches {
+		if b.DoneAt < rep.TrafficCycles {
+			underTraffic++
+		}
+	}
+	if underTraffic < 10 {
+		t.Errorf("only %d/10 batches committed inside the traffic window", underTraffic)
+	}
+}
+
+func TestRunUpdatesValidation(t *testing.T) {
+	s, _ := buildSystem(t, core.VS, 2)
+	if _, err := s.RunUpdates(faultGen(t, s, 43), 0, DefaultUpdateConfig()); err == nil {
+		t.Error("zero-cycle run accepted")
+	}
+	cfg := DefaultUpdateConfig()
+	cfg.TargetVN = 5
+	if _, err := s.RunUpdates(faultGen(t, s, 43), 1024, cfg); err == nil {
+		t.Error("out-of-range target network accepted")
+	}
+	// NV has no runtime update path.
+	nv, _ := buildSystem(t, core.NV, 1)
+	if _, err := nv.RunUpdates(faultGen(t, nv, 43), 1024, DefaultUpdateConfig()); err == nil {
+		t.Error("NV update run accepted")
+	}
+	// Zero batches degenerates to plain forwarding and still completes.
+	cfg = DefaultUpdateConfig()
+	cfg.Batches = -1 // withDefaults must not resurrect it
+	if _, err := s.RunUpdates(faultGen(t, s, 43), 1024, cfg); err == nil {
+		t.Error("negative batch count accepted")
+	}
+	cfg.Batches = 0
+	cfg = cfg.withDefaults()
+	if cfg.Batches != 4 {
+		t.Errorf("withDefaults gave %d batches, want 4", cfg.Batches)
+	}
+}

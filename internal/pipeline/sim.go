@@ -44,6 +44,10 @@ type Stats struct {
 	Cycles int64
 	// Lookups is the number of completed requests.
 	Lookups int64
+	// Bubbles is the number of write bubbles injected — input slots spent on
+	// hitless updates instead of lookups. Bubbles/Cycles is the measured
+	// throughput loss the analytic ThroughputRetained predicts.
+	Bubbles int64
 	// StageActive counts, per stage, cycles in which the stage performed a
 	// memory access. With clock gating, idle cycles burn no dynamic power;
 	// shallow lookups leave deep stages unaccessed.
@@ -88,6 +92,11 @@ type flight struct {
 	faulted  bool
 	nhi      ip.NextHop
 	enter    int64
+	// bubble marks a write bubble: it occupies an input slot and performs
+	// one shadow-bank memory write per stage instead of a lookup. The final
+	// (commit) bubble flips each stage to the new bank as it passes.
+	bubble bool
+	commit bool
 }
 
 // Sim is the cycle-accurate pipeline simulator. One packet can occupy each
@@ -99,6 +108,16 @@ type Sim struct {
 	now    int64
 	st     Stats
 	parity bool
+	// Hitless update state (companion work [6]): next is the recompiled
+	// image armed by BeginUpdate, applied through write bubbles. Each stage
+	// memory is double-buffered — the shadow bank holds the new content, and
+	// bankNew[s] records that the commit bubble has flipped stage s. A
+	// lookup behind the commit bubble reaches every stage after its flip and
+	// one ahead of it before any flip, so every in-flight lookup reads a
+	// consistent image, old or new, never a mix.
+	next        *Image
+	bankNew     []bool
+	bubblesLeft int
 }
 
 // EnableParityCheck turns on per-access parity verification: every entry a
@@ -135,6 +154,16 @@ func (s *Sim) step(in *flight) *flight {
 			continue
 		}
 		s.st.StageOccupied[i]++
+		if f.bubble {
+			// The bubble's memory write: one access in each stage it
+			// traverses. The commit bubble additionally flips the stage to
+			// the shadow bank; lookups behind it then read the new image.
+			s.st.StageActive[i]++
+			if f.commit && s.bankNew != nil {
+				s.bankNew[i] = true
+			}
+			continue
+		}
 		if f.resolved {
 			continue
 		}
@@ -144,16 +173,39 @@ func (s *Sim) step(in *flight) *flight {
 	s.now++
 	s.st.Cycles++
 	if out != nil {
-		s.st.Lookups++
+		if out.bubble {
+			if out.commit {
+				// The commit bubble left the last stage: every bank has
+				// flipped, the update is complete end-to-end.
+				s.img = s.next
+				s.next = nil
+				for i := range s.bankNew {
+					s.bankNew[i] = false
+				}
+			}
+			out = nil
+		} else {
+			s.st.Lookups++
+		}
 	}
 	return out
+}
+
+// bank returns the image stage reads serve from: the shadow bank once the
+// commit bubble has flipped stage, the old image before.
+func (s *Sim) bank(stage int) *Image {
+	if s.next != nil && s.bankNew[stage] {
+		return s.next
+	}
+	return s.img
 }
 
 // process performs stage i's memory accesses for packet f, following folded
 // levels within the stage in the same cycle.
 func (s *Sim) process(stage int, f *flight) {
+	img := s.bank(stage)
 	for {
-		entries := s.img.Stages[stage].Entries
+		entries := img.Stages[stage].Entries
 		if int(f.idx) >= len(entries) {
 			// A corrupted child pointer escaped the stage's address range:
 			// detectable in hardware by the address decoder, and fatal for
@@ -178,7 +230,7 @@ func (s *Sim) process(stage int, f *flight) {
 		}
 		bit := f.req.Addr.Bit(e.Level)
 		next := e.Child[bit]
-		if s.img.Map.Stage(e.Level+1) == stage {
+		if img.Map.Stage(e.Level+1) == stage {
 			// Folded level: the child lives in this same stage memory,
 			// walked within the same stage visit.
 			f.idx = next
@@ -330,4 +382,67 @@ func (s *Sim) Inject(req *Request) (Result, bool) {
 		ExitCycle:  s.now - 1,
 		Faulted:    out.faulted,
 	}, true
+}
+
+// BeginUpdate arms a hitless image update: next replaces the serving image
+// through write bubbles instead of a reload, so lookups keep flowing with
+// no blackhole window. bubbles is the write budget (update.Bubbles over the
+// image diff); it is clamped to >= 1 because the final bubble doubles as
+// the per-stage bank-flip commit. The caller then interleaves InjectBubble
+// with regular traffic; once the commit bubble drains, the sim serves next
+// and Updating reports false. next must have the same stage geometry as the
+// serving image (compile both under one pinned stage map).
+func (s *Sim) BeginUpdate(next *Image, bubbles int) error {
+	if next == nil {
+		return fmt.Errorf("pipeline: BeginUpdate with nil image")
+	}
+	if s.next != nil {
+		return fmt.Errorf("pipeline: update already in flight (%d bubbles pending)", s.bubblesLeft)
+	}
+	if len(next.Stages) != len(s.img.Stages) {
+		return fmt.Errorf("pipeline: update stage counts differ (%d vs %d)", len(next.Stages), len(s.img.Stages))
+	}
+	if bubbles < 1 {
+		bubbles = 1
+	}
+	if s.bankNew == nil {
+		s.bankNew = make([]bool, len(s.img.Stages))
+	}
+	s.next = next
+	s.bubblesLeft = bubbles
+	return nil
+}
+
+// Updating reports whether an armed update has not yet fully committed
+// (bubbles pending, or the commit bubble still traversing the pipeline).
+func (s *Sim) Updating() bool { return s.next != nil }
+
+// PendingBubbles returns the write bubbles not yet injected.
+func (s *Sim) PendingBubbles() int { return s.bubblesLeft }
+
+// InjectBubble advances one cycle feeding the next write bubble into stage
+// 0. The bubble occupies the input slot — that lost lookup slot is the
+// throughput cost ThroughputRetained prices — and performs the update's
+// shadow-bank writes as it traverses. Like Inject, it reports the lookup
+// that left the last stage this cycle, if any (bubbles themselves never
+// surface as results). It fails when no update is armed or the write budget
+// is already spent.
+func (s *Sim) InjectBubble() (Result, bool, error) {
+	if s.next == nil || s.bubblesLeft == 0 {
+		return Result{}, false, fmt.Errorf("pipeline: no write bubble pending")
+	}
+	s.bubblesLeft--
+	f := &flight{bubble: true, commit: s.bubblesLeft == 0, enter: s.now}
+	s.st.Bubbles++
+	out := s.step(f)
+	if out == nil {
+		return Result{}, false, nil
+	}
+	return Result{
+		Request:    out.req,
+		NHI:        out.nhi,
+		EnterCycle: out.enter,
+		ExitCycle:  s.now - 1,
+		Faulted:    out.faulted,
+	}, true, nil
 }

@@ -76,70 +76,123 @@ func Churn(tbl *rib.Table, n int, cfg ChurnConfig) ([]Op, error) {
 		return nil, fmt.Errorf("update: bad op mix announce=%g withdraw=%g", af, wf)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	shadow := &rib.Table{Name: tbl.Name + "-shadow"}
-	shadow.Routes = append(shadow.Routes, tbl.Routes...)
-	present := make(map[ip.Prefix]bool, shadow.Len())
-	for _, r := range shadow.Routes {
+	// The shadow is a plain route slice plus a prefix-membership map, so
+	// every op is O(1): announces append (the map already proved the prefix
+	// absent), withdraws swap-remove by index. Going through rib.Table.Add
+	// here would linear-scan per op — quadratic over a large batch.
+	routes := make([]ip.Route, tbl.Len())
+	copy(routes, tbl.Routes)
+	present := make(map[ip.Prefix]bool, len(routes))
+	for _, r := range routes {
 		present[r.Prefix] = true
 	}
 
 	ops := make([]Op, 0, n)
 	for len(ops) < n {
+		// The op class is drawn exactly once per emitted op; collisions below
+		// re-draw only the prefix, so the realized mix honors af/wf.
 		r := rng.Float64()
 		switch {
 		case r < af:
-			// Announce: a more-specific under a random existing route.
-			base := shadow.Routes[rng.Intn(shadow.Len())]
-			length := base.Prefix.Len + 1 + rng.Intn(3)
-			if length > 32 {
-				length = 32
+			// Announce: a more-specific under a random existing route. A
+			// duplicate draw re-draws the prefix, not the op class; the retry
+			// cap only trips when the more-specific space under every base is
+			// saturated, in which case the class is re-drawn.
+			for try := 0; try < 100; try++ {
+				base := routes[rng.Intn(len(routes))]
+				length := base.Prefix.Len + 1 + rng.Intn(3)
+				if length > 32 {
+					length = 32
+				}
+				ext := ip.Addr(rng.Uint32()) &^ ip.Mask(base.Prefix.Len)
+				p, err := ip.PrefixFrom(base.Prefix.Addr|ext, length)
+				if err != nil {
+					return nil, err
+				}
+				if present[p] {
+					continue
+				}
+				nh := ip.NextHop(1 + rng.Intn(16))
+				ops = append(ops, Op{Kind: Announce, Prefix: p, NextHop: nh})
+				routes = append(routes, ip.Route{Prefix: p, NextHop: nh})
+				present[p] = true
+				break
 			}
-			ext := ip.Addr(rng.Uint32()) &^ ip.Mask(base.Prefix.Len)
-			p, err := ip.PrefixFrom(base.Prefix.Addr|ext, length)
-			if err != nil {
-				return nil, err
-			}
-			if present[p] {
+		case r < af+wf:
+			if len(routes) == 1 {
+				// Withdrawing the last route would leave announces with no
+				// base; re-draw the op. Only single-route tables hit this.
 				continue
 			}
-			nh := ip.NextHop(1 + rng.Intn(16))
-			ops = append(ops, Op{Kind: Announce, Prefix: p, NextHop: nh})
-			shadow.Add(ip.Route{Prefix: p, NextHop: nh})
-			present[p] = true
-		case r < af+wf && shadow.Len() > 1:
-			i := rng.Intn(shadow.Len())
-			p := shadow.Routes[i].Prefix
+			i := rng.Intn(len(routes))
+			p := routes[i].Prefix
 			ops = append(ops, Op{Kind: Withdraw, Prefix: p})
-			shadow.Routes[i] = shadow.Routes[shadow.Len()-1]
-			shadow.Routes = shadow.Routes[:shadow.Len()-1]
+			routes[i] = routes[len(routes)-1]
+			routes = routes[:len(routes)-1]
 			delete(present, p)
 		default:
-			i := rng.Intn(shadow.Len())
+			i := rng.Intn(len(routes))
 			nh := ip.NextHop(1 + rng.Intn(16))
-			ops = append(ops, Op{Kind: Change, Prefix: shadow.Routes[i].Prefix, NextHop: nh})
-			shadow.Routes[i].NextHop = nh
+			ops = append(ops, Op{Kind: Change, Prefix: routes[i].Prefix, NextHop: nh})
+			routes[i].NextHop = nh
 		}
 	}
 	return ops, nil
 }
 
+// Coalesce collapses a batch so each prefix appears at most once: a later op
+// to the same prefix supersedes earlier ones. Ops to distinct prefixes
+// commute under Apply, so Apply(tbl, Coalesce(ops)) always equals
+// Apply(tbl, ops) — but the coalesced batch diffs (and bubbles) strictly
+// less when churn revisits prefixes. The input is not modified.
+func Coalesce(ops []Op) []Op {
+	if len(ops) <= 1 {
+		return append([]Op(nil), ops...)
+	}
+	last := make(map[ip.Prefix]int, len(ops))
+	out := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		if i, ok := last[op.Prefix]; ok {
+			out[i] = op
+			continue
+		}
+		last[op.Prefix] = len(out)
+		out = append(out, op)
+	}
+	return out
+}
+
 // Apply returns a new table with the ops applied in order. Withdraws of
-// absent prefixes and duplicate announces are tolerated (idempotent).
+// absent prefixes and duplicate announces are tolerated (idempotent). A
+// prefix-indexed map makes every op O(1); scanning Routes per op (the way
+// rib.Table.Add does) would be O(N·B) over a B-op batch.
 func Apply(tbl *rib.Table, ops []Op) *rib.Table {
 	out := &rib.Table{Name: tbl.Name}
 	out.Routes = append(out.Routes, tbl.Routes...)
+	idx := make(map[ip.Prefix]int, len(out.Routes))
+	for i, r := range out.Routes {
+		idx[r.Prefix] = i
+	}
 	for _, op := range ops {
 		switch op.Kind {
 		case Announce, Change:
-			out.Add(ip.Route{Prefix: op.Prefix, NextHop: op.NextHop})
-		case Withdraw:
-			for i := range out.Routes {
-				if out.Routes[i].Prefix == op.Prefix {
-					out.Routes[i] = out.Routes[len(out.Routes)-1]
-					out.Routes = out.Routes[:len(out.Routes)-1]
-					break
-				}
+			if i, ok := idx[op.Prefix]; ok {
+				out.Routes[i].NextHop = op.NextHop
+			} else {
+				idx[op.Prefix] = len(out.Routes)
+				out.Routes = append(out.Routes, ip.Route{Prefix: op.Prefix, NextHop: op.NextHop})
 			}
+		case Withdraw:
+			i, ok := idx[op.Prefix]
+			if !ok {
+				continue
+			}
+			last := len(out.Routes) - 1
+			moved := out.Routes[last]
+			out.Routes[i] = moved
+			out.Routes = out.Routes[:last]
+			idx[moved.Prefix] = i
+			delete(idx, op.Prefix)
 		}
 	}
 	out.Sort()
@@ -153,9 +206,11 @@ type Write struct {
 }
 
 // Diff computes the stage-memory writes that transform the old compiled
-// image into the new one: positionally differing entries plus appended
-// entries. (Hardware would in practice allocate free slots; positional diff
-// is the conservative upper bound the write-bubble budget must cover.)
+// image into the new one: positionally differing entries, appended entries,
+// and — when a stage shrinks — clearing writes over the truncated tail, so
+// stale entries never linger as reachable garbage and the write-bubble
+// budget covers the full update. (Hardware would in practice allocate free
+// slots; positional diff is the conservative upper bound.)
 func Diff(oldImg, newImg *pipeline.Image) ([]Write, error) {
 	if len(oldImg.Stages) != len(newImg.Stages) {
 		return nil, fmt.Errorf("update: stage counts differ (%d vs %d)", len(oldImg.Stages), len(newImg.Stages))
@@ -163,16 +218,18 @@ func Diff(oldImg, newImg *pipeline.Image) ([]Write, error) {
 	var writes []Write
 	for s := range newImg.Stages {
 		oldE, newE := oldImg.Stages[s].Entries, newImg.Stages[s].Entries
-		n := len(oldE)
-		if len(newE) < n {
-			n = len(newE)
+		n, m := len(oldE), len(newE)
+		if m < n {
+			n, m = m, n // n = min, m = max
 		}
 		for i := 0; i < n; i++ {
 			if !entryEqual(oldE[i], newE[i]) {
 				writes = append(writes, Write{Stage: s, Index: uint32(i)})
 			}
 		}
-		for i := n; i < len(newE); i++ {
+		// The tail beyond the shared range: appended entries when the stage
+		// grew, clearing writes over the removed range when it shrank.
+		for i := n; i < m; i++ {
 			writes = append(writes, Write{Stage: s, Index: uint32(i)})
 		}
 	}

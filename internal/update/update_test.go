@@ -1,6 +1,7 @@
 package update
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -274,5 +275,241 @@ func TestThroughputRetained(t *testing.T) {
 func TestOpKindString(t *testing.T) {
 	if Announce.String() != "announce" || Withdraw.String() != "withdraw" || Change.String() != "change" {
 		t.Error("op kind names wrong")
+	}
+}
+
+// TestDiffShrinkEmitsClearingWrites is the regression test for the shrink
+// bug: a stage whose new entry list is shorter than the old one must diff to
+// clearing writes over the truncated tail, not to silence — otherwise the
+// bubble budget undercounts and stale entries are never cleared.
+func TestDiffShrinkEmitsClearingWrites(t *testing.T) {
+	entry := func(nh ip.NextHop) pipeline.Entry {
+		e := pipeline.Entry{Leaf: true, NHI: []ip.NextHop{nh}}
+		e.Parity = e.DataParity()
+		return e
+	}
+	oldImg := &pipeline.Image{K: 1, Stages: []pipeline.StageMem{
+		{Entries: []pipeline.Entry{entry(1), entry(2), entry(3), entry(4), entry(5)}},
+		{Entries: []pipeline.Entry{entry(6)}},
+	}}
+	newImg := &pipeline.Image{K: 1, Stages: []pipeline.StageMem{
+		{Entries: []pipeline.Entry{entry(1), entry(2), entry(9)}},
+		{Entries: []pipeline.Entry{entry(6)}},
+	}}
+	writes, err := Diff(oldImg, newImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index 2 changed; indices 3 and 4 were truncated and must be cleared.
+	want := map[Write]bool{{Stage: 0, Index: 2}: true, {Stage: 0, Index: 3}: true, {Stage: 0, Index: 4}: true}
+	if len(writes) != len(want) {
+		t.Fatalf("shrink diff = %v, want exactly the changed word plus the 2 cleared tail words", writes)
+	}
+	for _, w := range writes {
+		if !want[w] {
+			t.Errorf("unexpected write %+v", w)
+		}
+	}
+	if got := Bubbles(writes); got != 3 {
+		t.Errorf("shrink bubbles = %d, want 3", got)
+	}
+}
+
+// TestDiffShrinkOnRealTables exercises the shrink path end-to-end: a batch
+// of pure withdrawals shrinks the compiled image, and the diff must still
+// produce a non-zero write budget covering the removed entries.
+func TestDiffShrinkOnRealTables(t *testing.T) {
+	tbl := genTable(t, 400, 21)
+	var ops []Op
+	for _, r := range tbl.Routes[:200] {
+		ops = append(ops, Op{Kind: Withdraw, Prefix: r.Prefix})
+	}
+	before, after := compile(t, tbl), compile(t, Apply(tbl, ops))
+	if after.Words() >= before.Words() {
+		t.Fatalf("withdrawing half the table did not shrink the image (%d -> %d words)", before.Words(), after.Words())
+	}
+	writes, err := Diff(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for s := range before.Stages {
+		oldN, newN := len(before.Stages[s].Entries), len(after.Stages[s].Entries)
+		if oldN <= newN {
+			continue
+		}
+		tail := map[uint32]bool{}
+		for _, w := range writes {
+			if w.Stage == s && int(w.Index) >= newN {
+				tail[w.Index] = true
+			}
+		}
+		if len(tail) != oldN-newN {
+			t.Errorf("stage %d: %d of %d truncated words cleared", s, len(tail), oldN-newN)
+		}
+		covered += len(tail)
+	}
+	if covered == 0 {
+		t.Error("no stage shrank positionally; diff shrink path untested")
+	}
+}
+
+// TestChurnHonorsOpMix pins the op-mix fix: collisions re-draw only the
+// prefix, so the realized announce/withdraw/change fractions track the
+// configured mix.
+func TestChurnHonorsOpMix(t *testing.T) {
+	// The table must stay populated for the whole stream: a withdraw-heavy
+	// mix shrinks it by (wf-af) routes per op on average, so size it well
+	// above ops*(wf-af) or the mix becomes unrealizable mid-stream.
+	tbl := genTable(t, 2000, 22)
+	for _, tc := range []struct{ af, wf float64 }{{0, 0}, {0.6, 0.2}, {0.2, 0.6}} {
+		ops, err := Churn(tbl, 1500, ChurnConfig{Seed: 23, AnnounceFrac: tc.af, WithdrawFrac: tc.wf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[OpKind]int{}
+		for _, op := range ops {
+			counts[op.Kind]++
+		}
+		af, wf := tc.af, tc.wf
+		if af == 0 && wf == 0 {
+			af, wf = 0.4, 0.3
+		}
+		n := float64(len(ops))
+		for _, c := range []struct {
+			kind OpKind
+			want float64
+		}{{Announce, af}, {Withdraw, wf}, {Change, 1 - af - wf}} {
+			got := float64(counts[c.kind]) / n
+			if got < c.want-0.03 || got > c.want+0.03 {
+				t.Errorf("mix %g/%g: realized %s fraction %.3f, want %.3f +/- 0.03", tc.af, tc.wf, c.kind, got, c.want)
+			}
+		}
+	}
+}
+
+// TestCoalesceSupersedes checks last-op-wins semantics and the equivalence
+// Apply(tbl, Coalesce(ops)) == Apply(tbl, ops).
+func TestCoalesceSupersedes(t *testing.T) {
+	p1, _ := ip.ParsePrefix("10.0.0.0/8")
+	p2, _ := ip.ParsePrefix("20.0.0.0/8")
+	ops := []Op{
+		{Kind: Announce, Prefix: p1, NextHop: 1},
+		{Kind: Announce, Prefix: p2, NextHop: 2},
+		{Kind: Change, Prefix: p1, NextHop: 3},
+		{Kind: Withdraw, Prefix: p2},
+		{Kind: Withdraw, Prefix: p1},
+		{Kind: Announce, Prefix: p1, NextHop: 7},
+	}
+	co := Coalesce(ops)
+	if len(co) != 2 {
+		t.Fatalf("coalesced to %d ops, want 2: %v", len(co), co)
+	}
+	byPrefix := map[ip.Prefix]Op{}
+	for _, op := range co {
+		byPrefix[op.Prefix] = op
+	}
+	if op := byPrefix[p1]; op.Kind != Announce || op.NextHop != 7 {
+		t.Errorf("p1 coalesced to %+v, want the final announce with hop 7", op)
+	}
+	if op := byPrefix[p2]; op.Kind != Withdraw {
+		t.Errorf("p2 coalesced to %+v, want the final withdraw", op)
+	}
+
+	// Property: coalescing never changes the applied result.
+	tbl := genTable(t, 300, 24)
+	churn, err := Churn(tbl, 1200, ChurnConfig{Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Apply(tbl, churn), Apply(tbl, Coalesce(churn))
+	if a.Len() != b.Len() {
+		t.Fatalf("coalesced apply has %d routes, raw %d", b.Len(), a.Len())
+	}
+	for i := range a.Routes {
+		if a.Routes[i] != b.Routes[i] {
+			t.Fatalf("route %d differs: %+v vs %+v", i, a.Routes[i], b.Routes[i])
+		}
+	}
+	if len(Coalesce(nil)) != 0 {
+		t.Error("Coalesce(nil) not empty")
+	}
+}
+
+// TestApplyMatchesLinearScan cross-checks the map-indexed Apply against the
+// original linear-scan semantics on a random churn stream.
+func TestApplyMatchesLinearScan(t *testing.T) {
+	tbl := genTable(t, 300, 26)
+	ops, err := Churn(tbl, 900, ChurnConfig{Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the pre-optimisation implementation, verbatim semantics.
+	ref := &rib.Table{Name: tbl.Name}
+	ref.Routes = append(ref.Routes, tbl.Routes...)
+	for _, op := range ops {
+		switch op.Kind {
+		case Announce, Change:
+			ref.Add(ip.Route{Prefix: op.Prefix, NextHop: op.NextHop})
+		case Withdraw:
+			for i := range ref.Routes {
+				if ref.Routes[i].Prefix == op.Prefix {
+					ref.Routes[i] = ref.Routes[len(ref.Routes)-1]
+					ref.Routes = ref.Routes[:len(ref.Routes)-1]
+					break
+				}
+			}
+		}
+	}
+	ref.Sort()
+	got := Apply(tbl, ops)
+	if got.Len() != ref.Len() {
+		t.Fatalf("Apply has %d routes, linear-scan reference %d", got.Len(), ref.Len())
+	}
+	for i := range ref.Routes {
+		if got.Routes[i] != ref.Routes[i] {
+			t.Fatalf("route %d differs: %+v vs %+v", i, got.Routes[i], ref.Routes[i])
+		}
+	}
+}
+
+// BenchmarkApply measures the map-indexed Apply; before the fix this was
+// O(N·B) (rib.Table.Add linear-scans per op) and large batches were
+// quadratic.
+func BenchmarkApply(b *testing.B) {
+	for _, size := range []struct{ routes, ops int }{{1000, 1000}, {10000, 10000}} {
+		tbl, err := rib.Generate("b", rib.DefaultGen(size.routes, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops, err := Churn(tbl, size.ops, ChurnConfig{Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("routes=%d/ops=%d", size.routes, size.ops), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Apply(tbl, ops)
+			}
+		})
+	}
+}
+
+// BenchmarkChurn measures churn generation, whose shadow was the other
+// O(N·B) path before the prefix-map rework.
+func BenchmarkChurn(b *testing.B) {
+	for _, size := range []struct{ routes, ops int }{{1000, 1000}, {10000, 10000}} {
+		tbl, err := rib.Generate("b", rib.DefaultGen(size.routes, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("routes=%d/ops=%d", size.routes, size.ops), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Churn(tbl, size.ops, ChurnConfig{Seed: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
