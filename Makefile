@@ -4,7 +4,7 @@
 #   make bench      = every benchmark with allocation counts
 GO ?= go
 
-.PHONY: all build test race race-faults race-updates vet bench
+.PHONY: all build test race race-faults race-updates race-obs telemetry-smoke vet bench
 
 all: build test
 
@@ -31,6 +31,23 @@ race-faults:
 # slice-quantised update harness over the sweep pool.
 race-updates:
 	$(GO) test -race ./internal/update/... ./internal/netsim/... ./internal/ctrl/... ./internal/pipeline/... ./internal/sweep/...
+
+# Race-detector pass focused on the telemetry layer: the obs registry, the
+# lock-free trace ring, the tracing pipeline hot path, and the harnesses
+# that feed series/events from slice coordinators while workers trace.
+race-obs:
+	$(GO) test -race ./internal/obs/... ./internal/pipeline/... ./internal/netsim/... ./internal/ctrl/... ./internal/sweep/...
+
+# Telemetry smoke run: a fault-injection experiment with tracing, the slice
+# time series and the event log all enabled, dumped into telemetry-smoke/
+# (CI uploads the directory as an artifact).
+telemetry-smoke:
+	mkdir -p telemetry-smoke
+	$(GO) run ./cmd/lookupsim -scheme VS -k 3 -packets 16384 -faults \
+		-seu-rate 3e-9 -kill-engine 1 -kill-cycle 4000 \
+		-trace-sample 0.02 -trace-out telemetry-smoke/traces.jsonl \
+		-timeseries-out telemetry-smoke/timeseries.csv \
+		-events-out telemetry-smoke/events.jsonl
 
 vet:
 	$(GO) vet ./...

@@ -108,9 +108,19 @@ func main() {
 	outdir := flag.String("outdir", "", "also write each experiment's CSV into this directory")
 	jobs := flag.Int("j", 0, "sweep worker-pool size (0 = GOMAXPROCS); output is byte-identical at any value")
 	stats := flag.Bool("stats", false, "print run instrumentation to stderr on exit")
+	httpAddr := flag.String("http", "", "serve live /metrics and /debug/pprof/ on this address while experiments run (e.g. :9090)")
 	flag.Parse()
 
 	sweep.SetWorkers(*jobs)
+	if *httpAddr != "" {
+		// Live exposition for long regenerations: Prometheus counters and
+		// pprof profiling of the sweep workers.
+		addr, err := obs.Serve(*httpAddr, obs.TelemetryMux(nil, nil, nil))
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("telemetry at http://%s/", addr)
+	}
 	// Scope -stats to the experiments actually run: the process-wide metric
 	// registry may already hold counts from package init or earlier runs.
 	snap := obs.TakeSnapshot()

@@ -29,12 +29,26 @@
 //	          [-mttr-report]
 //	          [-churn] [-churn-seed 1] [-churn-batch 64] [-churn-batches 4]
 //	          [-churn-vn N] [-update-report]
+//	          [-trace-sample R] [-trace-buf N] [-trace-out F]
+//	          [-timeseries-out F] [-events-out F] [-events-level L]
+//	          [-http :addr] [-http-hold]
 //	          [-j N] [-stats] [-seed 1]
+//
+// Telemetry: -trace-sample R flight-traces about fraction R of all lookups
+// (deterministically — same seeds, same -j or not, same traces) into a ring
+// of -trace-buf entries, dumped as JSONL to -trace-out. -timeseries-out
+// writes the slice-quantised power/throughput/availability series as CSV;
+// -events-out the structured control-plane event log as JSONL ("-" means
+// stdout for any of the three). -http serves /metrics (Prometheus text),
+// /timeseries.csv, /traces.jsonl, /events.jsonl and /debug/pprof/ live
+// during the run; -http-hold keeps the process (and the endpoints) up after
+// the run finishes, for scraping.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -75,6 +89,33 @@ type options struct {
 	churnBatches int
 	churnVN      int
 	updateReport bool
+
+	traceSample   float64
+	traceBuf      int
+	traceOut      string
+	timeseriesOut string
+	eventsOut     string
+	eventsLevel   string
+	httpAddr      string
+	httpHold      bool
+}
+
+// telemetry builds the run's observer bundle, or returns nil when no
+// telemetry flag asked for one.
+func (o *options) telemetry() *netsim.Telemetry {
+	if o.traceSample <= 0 && o.traceOut == "" && o.timeseriesOut == "" &&
+		o.eventsOut == "" && o.httpAddr == "" {
+		return nil
+	}
+	t := &netsim.Telemetry{
+		Series: obs.NewTimeSeries(),
+		Events: obs.NewEventLog(obs.ParseLevel(o.eventsLevel)),
+	}
+	if o.traceSample > 0 {
+		t.Sampler = obs.NewTraceSampler(o.traceSample, o.seed)
+		t.Traces = obs.NewTraceRing(o.traceBuf)
+	}
+	return t
 }
 
 func main() {
@@ -103,6 +144,14 @@ func main() {
 	flag.IntVar(&o.churnBatches, "churn-batches", 4, "churn batches to apply over the run")
 	flag.IntVar(&o.churnVN, "churn-vn", -1, "network every batch targets (-1 = round-robin)")
 	flag.BoolVar(&o.updateReport, "update-report", false, "print each churn batch's lifecycle")
+	flag.Float64Var(&o.traceSample, "trace-sample", 0, "flight-trace sampling rate in [0,1] (0 = tracing off)")
+	flag.IntVar(&o.traceBuf, "trace-buf", 4096, "flight-trace ring capacity (rounded up to a power of two)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write sampled flight traces as JSONL to this file (- = stdout)")
+	flag.StringVar(&o.timeseriesOut, "timeseries-out", "", "write the per-slice telemetry series as CSV to this file (- = stdout)")
+	flag.StringVar(&o.eventsOut, "events-out", "", "write the structured event log as JSONL to this file (- = stdout)")
+	flag.StringVar(&o.eventsLevel, "events-level", "info", "minimum event severity to keep: debug, info, warn or error")
+	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /timeseries.csv, /traces.jsonl, /events.jsonl and /debug/pprof/ on this address (e.g. :9090)")
+	flag.BoolVar(&o.httpHold, "http-hold", false, "keep the -http endpoints up after the run finishes (Ctrl-C to exit)")
 	jobs := flag.Int("j", 0, "engine worker-pool size (0 = GOMAXPROCS); results are identical at any value")
 	stats := flag.Bool("stats", false, "print run instrumentation to stderr on exit")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for tables and traffic")
@@ -161,6 +210,32 @@ func run(o options) error {
 		return err
 	}
 
+	tel := o.telemetry()
+	if tel != nil {
+		sys.SetTelemetry(tel)
+	}
+	if o.httpAddr != "" {
+		addr, err := obs.Serve(o.httpAddr, obs.TelemetryMux(tel.Series, tel.Traces, tel.Events))
+		if err != nil {
+			return err
+		}
+		log.Printf("telemetry at http://%s/", addr)
+	}
+	err = dispatch(sys, gen, scheme, r, o)
+	if tel != nil {
+		if derr := dumpTelemetry(tel, o); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	if o.httpAddr != "" && o.httpHold {
+		log.Printf("run finished; holding -http endpoints open (-http-hold), Ctrl-C to exit")
+		select {}
+	}
+	return err
+}
+
+// dispatch runs the experiment the flags selected.
+func dispatch(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, r *core.Router, o options) error {
 	if o.faults {
 		return runFaults(sys, gen, scheme, o)
 	}
@@ -230,6 +305,42 @@ func run(o options) error {
 	fmt.Println(t.String())
 	if rep.Mismatches != 0 {
 		return fmt.Errorf("%d lookups disagreed with the reference LPM", rep.Mismatches)
+	}
+	return nil
+}
+
+// writeOutput writes one telemetry dump to path; "-" means stdout.
+func writeOutput(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dumpTelemetry writes the requested telemetry artifacts after the run.
+func dumpTelemetry(tel *netsim.Telemetry, o options) error {
+	if o.traceOut != "" {
+		if err := writeOutput(o.traceOut, tel.Traces.WriteJSONL); err != nil {
+			return fmt.Errorf("trace dump: %w", err)
+		}
+	}
+	if o.timeseriesOut != "" {
+		if err := writeOutput(o.timeseriesOut, tel.Series.WriteCSV); err != nil {
+			return fmt.Errorf("timeseries dump: %w", err)
+		}
+	}
+	if o.eventsOut != "" {
+		if err := writeOutput(o.eventsOut, tel.Events.WriteJSONL); err != nil {
+			return fmt.Errorf("events dump: %w", err)
+		}
 	}
 	return nil
 }

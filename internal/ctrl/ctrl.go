@@ -14,6 +14,7 @@ import (
 
 	"vrpower/internal/core"
 	"vrpower/internal/merge"
+	"vrpower/internal/obs"
 	"vrpower/internal/pipeline"
 	"vrpower/internal/rib"
 	"vrpower/internal/trie"
@@ -77,6 +78,24 @@ type Manager struct {
 	// lifecycle mutations are rejected until it completes, because applying
 	// an update to a structure that is mid-rewrite corrupts both.
 	reloading bool
+	// log is the optional unified event sink: every lifecycle event is
+	// mirrored into it alongside the structured Events slice.
+	log *obs.EventLog
+}
+
+// SetEventLog attaches a structured event sink; every lifecycle operation
+// (add, remove, update, hitless commit) is mirrored into it as a
+// "lifecycle_<action>" event. nil detaches (the Log method is nil-safe).
+func (m *Manager) SetEventLog(l *obs.EventLog) { m.log = l }
+
+// record appends ev to the lifecycle log and mirrors it into the attached
+// event sink. Lifecycle operations happen outside simulated time, so the
+// event cycle is -1.
+func (m *Manager) record(ev Event) {
+	m.events = append(m.events, ev)
+	m.log.Log(obs.LevelInfo, -1, "lifecycle_"+ev.Action.String(),
+		"vn", ev.VN, "k", ev.K, "disrupted", ev.DisruptedNetworks,
+		"writes", ev.Writes, "bubbles", ev.Bubbles)
 }
 
 // BeginReload marks a data-plane reload in flight. While a reload is open,
@@ -218,7 +237,7 @@ func (m *Manager) AddNetwork(tbl *rib.Table) (Event, error) {
 		ev.Writes = len(writes)
 		ev.Bubbles = update.Bubbles(writes)
 	}
-	m.events = append(m.events, ev)
+	m.record(ev)
 	return ev, nil
 }
 
@@ -267,7 +286,7 @@ func (m *Manager) RemoveNetwork(vn int) (Event, error) {
 		ev.Writes = len(writes)
 		ev.Bubbles = update.Bubbles(writes)
 	}
-	m.events = append(m.events, ev)
+	m.record(ev)
 	return ev, nil
 }
 
@@ -318,6 +337,6 @@ func (m *Manager) ApplyUpdates(vn int, ops []update.Op) (Event, error) {
 	} else {
 		ev.DisruptedNetworks = len(m.tables)
 	}
-	m.events = append(m.events, ev)
+	m.record(ev)
 	return ev, nil
 }

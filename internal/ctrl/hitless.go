@@ -194,7 +194,7 @@ func (h *HitlessUpdate) Commit() (Event, error) {
 		Writes:            len(h.writes),
 		Bubbles:           h.bubbles,
 	}
-	m.events = append(m.events, ev)
+	m.record(ev)
 	obsHitlessUpdates.Inc()
 	obsHitlessWrites.Add(int64(len(h.writes)))
 	obsHitlessBubbles.Add(int64(h.bubbles))

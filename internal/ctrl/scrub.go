@@ -97,7 +97,14 @@ type ScrubResult struct {
 type Scrubber struct {
 	pol    ScrubPolicy
 	failer ReconfigFailer
+	// log is the optional unified event sink for attempt-level outcomes
+	// the caller cannot see (mid-flight reconfiguration failures).
+	log *obs.EventLog
 }
+
+// SetEventLog attaches a structured event sink for attempt-level scrub
+// outcomes; nil detaches (the Log method is nil-safe).
+func (s *Scrubber) SetEventLog(l *obs.EventLog) { s.log = l }
 
 // NewScrubber builds a scrubber. Zero policy fields take defaults; failer
 // may be nil (reloads then never fail).
@@ -137,6 +144,8 @@ func (s *Scrubber) Scrub(rebuild func() (*pipeline.Image, error)) (ScrubResult, 
 			// Mid-flight reconfiguration failure: the writes were spent but
 			// the load is void; back off and retry.
 			obsScrubAttemptsFailed.Inc()
+			s.log.Log(obs.LevelWarn, -1, "scrub_attempt_failed",
+				"attempt", attempt, "writes_voided", words)
 			continue
 		}
 		res.Image = img
@@ -146,6 +155,7 @@ func (s *Scrubber) Scrub(rebuild func() (*pipeline.Image, error)) (ScrubResult, 
 		return res, nil
 	}
 	obsScrubsExhausted.Inc()
+	s.log.Log(obs.LevelError, -1, "scrub_exhausted", "attempts", s.pol.MaxAttempts)
 	return res, fmt.Errorf("ctrl: scrub failed after %d attempts", s.pol.MaxAttempts)
 }
 

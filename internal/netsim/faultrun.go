@@ -292,6 +292,10 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 	for vn := range dropVN {
 		dropVN[vn] = obs.NewCounter(fmt.Sprintf("netsim.fault_drops.vn%02d", vn))
 	}
+	tel := s.tel
+	tracing := tel.tracing()
+	s.initSeries()
+	scrubber.SetEventLog(tel.Events)
 
 	engineOf := func(vn int) int {
 		if scheme == core.VM {
@@ -325,6 +329,7 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 	// and every outstanding upset on the engine is stamped repaired.
 	install := func(eIdx int, e *engState) {
 		at := e.repairAt
+		tel.Events.Log(obs.LevelInfo, at, "scrub_done", "engine", eIdx, "repaired", len(e.outstanding))
 		if e.killed && rep.Kill != nil && rep.Kill.Engine == eIdx {
 			rep.Kill.RepairedAt = at
 		}
@@ -365,6 +370,7 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 				obsFaultsDetected.Inc()
 			}
 		}
+		tel.Events.Log(obs.LevelInfo, b, "scrub_start", "engine", eIdx, "via", via, "outstanding", len(e.outstanding))
 		res, err := scrubber.Scrub(s.rebuildEngine(eIdx))
 		rep.Scrubs++
 		rep.ScrubAttempts += res.Attempts
@@ -373,11 +379,15 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 			// the run (separate scheme: its VNID blackholes; merged: all K).
 			rep.ScrubsExhausted++
 			e.dead = true
+			tel.Events.Log(obs.LevelError, b, "engine_dead", "engine", eIdx, "attempts", res.Attempts)
 			return
 		}
 		e.reloading = true
 		e.pending = res.Image
 		e.repairAt = b + res.LatencyCycles
+		tel.Events.Log(obs.LevelInfo, b, "scrub_reload",
+			"engine", eIdx, "attempts", res.Attempts, "writes", res.Writes,
+			"latency_cycles", res.LatencyCycles, "ready_at", e.repairAt)
 	}
 
 	// boundary runs the control-plane work at cycle b = t*S: land finished
@@ -408,7 +418,11 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 	type engineRun struct {
 		perVN   []vnCounts
 		faulted bool
+		// util is the slice-local stage utilization feeding the power model.
+		util float64
 	}
+	utils := make([]float64, len(engines))
+	upVN := make([]bool, s.k)
 
 	for t := int64(0); t < slices; t++ {
 		b := t * S
@@ -419,6 +433,7 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 			if in.KillDue(eIdx, b+S) {
 				e.killed = true
 				rep.Kill = &KillRecord{Engine: eIdx, Cycle: cfg.Inject.KillCycle, DetectedAt: -1, RepairedAt: -1}
+				tel.Events.Log(obs.LevelError, cfg.Inject.KillCycle, "engine_kill", "engine", eIdx)
 			}
 		}
 		// Inject this slice's upsets into the serving images.
@@ -427,6 +442,8 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 				faults.ApplyUpset(e.img, u)
 				rep.SEUs = append(rep.SEUs, SEURecord{Upset: u, DetectedAt: -1, RepairedAt: -1})
 				e.outstanding = append(e.outstanding, len(rep.SEUs)-1)
+				tel.Events.Log(obs.LevelWarn, u.Cycle, "seu_inject",
+					"engine", eIdx, "seq", u.Seq, "stage", u.Stage, "index", int(u.Index), "bit", u.Bit)
 			}
 		}
 		// Background readback sweep over the in-service engines.
@@ -438,26 +455,48 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 		// Offer one packet per cycle; down engines drop theirs on the floor.
 		pkts := gen.Batch(int(S))
 		perEngine := make([][]pipeline.Request, len(engines))
-		for _, p := range pkts {
+		var perEngineSeq [][]int64 // traced runs: each request's arrival cycle
+		if tracing {
+			perEngineSeq = make([][]int64, len(engines))
+		}
+		for i, p := range pkts {
 			if p.VN < 0 || p.VN >= s.k {
 				return FaultReport{}, fmt.Errorf("netsim: packet VN %d outside [0,%d)", p.VN, s.k)
 			}
 			rep.OfferedPerVN[p.VN]++
 			eIdx := engineOf(p.VN)
+			// Seq is the arrival cycle — unique at one packet per cycle.
+			seq := b + int64(i)
 			if engines[eIdx].down() {
 				rep.DroppedPerVN[p.VN]++
 				dropVN[p.VN].Inc()
 				obsFaultDrops.Inc()
+				if tracing && tel.Sampler.Sample(p.VN, seq) {
+					tel.putDropTrace(seq, p.VN, eIdx, seq, p.Addr)
+				}
 				continue
 			}
 			reqVN := 0
 			if scheme == core.VM {
 				reqVN = p.VN
 			}
-			perEngine[eIdx] = append(perEngine[eIdx], pipeline.Request{Addr: p.Addr, VN: reqVN})
+			req := pipeline.Request{Addr: p.Addr, VN: reqVN}
+			if tracing {
+				req.Trace = tel.Sampler.Sample(p.VN, seq)
+				perEngineSeq[eIdx] = append(perEngineSeq[eIdx], seq)
+			}
+			perEngine[eIdx] = append(perEngine[eIdx], req)
+		}
+		downEngines := 0
+		for _, e := range engines {
+			if e.down() {
+				downEngines++
+			}
 		}
 		for vn := 0; vn < s.k; vn++ {
-			if engines[engineOf(vn)].down() {
+			down := engines[engineOf(vn)].down()
+			upVN[vn] = !down
+			if down {
 				rep.UnavailableCyclesPerVN[vn] += S
 			}
 		}
@@ -470,12 +509,12 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 			}
 			sim := pipeline.NewSim(engines[eIdx].img)
 			sim.EnableParityCheck()
-			results, _, err := sim.Run(reqs, 1)
+			results, st, err := sim.Run(reqs, 1)
 			if err != nil {
 				return engineRun{}, err
 			}
-			run := engineRun{perVN: make([]vnCounts, s.k)}
-			for _, res := range results {
+			run := engineRun{perVN: make([]vnCounts, s.k), util: st.Utilization()}
+			for ri, res := range results {
 				vn := res.VN
 				if scheme != core.VM {
 					vn = eIdx
@@ -486,9 +525,15 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 					c.faulted++
 					c.dropped++
 					run.faulted = true
+					if res.Trace {
+						tel.putLookupTrace(perEngineSeq[eIdx][ri], vn, eIdx, b, res, 0, "drop-fault")
+					}
 					continue
 				}
 				want := s.refs[vn].Lookup(res.Addr)
+				if res.Trace {
+					tel.putLookupTrace(perEngineSeq[eIdx][ri], vn, eIdx, b, res, 0, lookupOutcome(res, want))
+				}
 				if res.NHI != want {
 					c.mismatch++
 					continue
@@ -503,7 +548,9 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 		if err != nil {
 			return FaultReport{}, err
 		}
+		var sliceDelivered int64
 		for eIdx, run := range runs {
+			utils[eIdx] = run.util
 			if run.faulted && !engines[eIdx].down() && engines[eIdx].detectVia == "" {
 				engines[eIdx].detectVia = ViaAccess
 			}
@@ -514,12 +561,14 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 				rep.NoRoute += c.noRoute
 				rep.HealthyMismatches += c.mismatch
 				rep.FaultedLookups += c.faulted
+				sliceDelivered += c.delivered
 				if c.faulted > 0 {
 					dropVN[vn].Add(c.faulted)
 					obsFaultDrops.Add(c.faulted)
 				}
 			}
 		}
+		s.appendSlice(b, s.slicePower(utils), s.sliceGbps(sliceDelivered, S), 0, downEngines, 0, upVN)
 	}
 
 	// Drain: no new traffic or faults, but keep sweeping and scrubbing until
@@ -543,6 +592,9 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 		return false
 	}
 	drained := int64(0)
+	for i := range utils {
+		utils[i] = 0 // no offered traffic in the drain: static power only
+	}
 	for d := 0; d < maxDrain && outstanding(); d++ {
 		b := slices*S + drained
 		boundary(b)
@@ -551,6 +603,16 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 				e.detectVia = ViaSweep
 			}
 		}
+		downEngines := 0
+		for _, e := range engines {
+			if e.down() {
+				downEngines++
+			}
+		}
+		for vn := 0; vn < s.k; vn++ {
+			upVN[vn] = !engines[engineOf(vn)].down()
+		}
+		s.appendSlice(b, s.slicePower(utils), 0, 0, downEngines, 0, upVN)
 		drained += S
 	}
 	// A final boundary lands a reload that completed exactly at the bound.

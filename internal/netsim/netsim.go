@@ -33,6 +33,9 @@ type System struct {
 	// corrupted engine images from them.
 	tables []*rib.Table
 	k      int
+	// tel is the attached telemetry bundle (never nil; defaults to the
+	// shared all-nil noTelemetry).
+	tel *Telemetry
 }
 
 // New wraps a built router. tables must be the same K tables the router was
@@ -49,7 +52,7 @@ func New(r *core.Router, tables []*rib.Table) (*System, error) {
 	for i, t := range tables {
 		refs[i] = t.Reference()
 	}
-	return &System{router: r, refs: refs, tables: tables, k: k}, nil
+	return &System{router: r, refs: refs, tables: tables, k: k, tel: noTelemetry}, nil
 }
 
 // Report summarises a forwarding run.
@@ -77,8 +80,14 @@ func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
 
 	// Distributor (Assumption 3): split the merged flow per engine. The
 	// merged scheme keeps one stream; NV/VS steer by VNID.
+	tel := s.tel
+	tracing := tel.tracing()
 	perEngine := make([][]pipeline.Request, len(images))
-	for _, p := range pkts {
+	var perEngineSeq [][]int64 // traced runs: the batch index of each request
+	if tracing {
+		perEngineSeq = make([][]int64, len(images))
+	}
+	for i, p := range pkts {
 		if p.VN < 0 || p.VN >= s.k {
 			return Report{}, fmt.Errorf("netsim: packet VN %d outside [0,%d)", p.VN, s.k)
 		}
@@ -88,7 +97,13 @@ func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
 			// strips the VNID after steering.
 			e, vn = p.VN, 0
 		}
-		perEngine[e] = append(perEngine[e], pipeline.Request{Addr: p.Addr, VN: vn})
+		req := pipeline.Request{Addr: p.Addr, VN: vn}
+		if tracing {
+			// Seq is the batch position: unique, worker-independent.
+			req.Trace = tel.Sampler.Sample(p.VN, int64(i))
+			perEngineSeq[e] = append(perEngineSeq[e], int64(i))
+		}
+		perEngine[e] = append(perEngine[e], req)
 	}
 
 	rep := Report{
@@ -115,7 +130,7 @@ func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
 			return engineRun{}, err
 		}
 		run := engineRun{st: st}
-		for _, res := range results {
+		for ri, res := range results {
 			vn := res.VN
 			if scheme != core.VM {
 				vn = e // per-network engine: the engine index is the network
@@ -126,6 +141,11 @@ func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
 			}
 			if want == ip.NoRoute {
 				run.noRoute++
+			}
+			if res.Trace {
+				// Results exit in injection order, so ri indexes the seq
+				// slice built by the distributor.
+				tel.putLookupTrace(perEngineSeq[e][ri], vn, e, 0, res, 0, lookupOutcome(res, want))
 			}
 		}
 		return run, nil
@@ -278,7 +298,13 @@ type queued struct {
 	req     pipeline.Request
 	vn      int
 	arrival int64
+	// seq is the packet's deterministic trace key (cyc*K + vn).
+	seq int64
 }
+
+// loadSliceCycles is LoadTest's telemetry quantum: one time-series row per
+// this many cycles (matching the fault/update harnesses' default slice).
+const loadSliceCycles = 1024
 
 // LoadTest drives the router open-loop for the given number of cycles:
 // every cycle, each virtual network independently offers a packet with
@@ -318,6 +344,14 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 	var delaySum float64
 	exitVN := make([][]queued, len(images)) // FIFO of in-flight metadata per engine
 	rrNext := make([]int, len(images))      // round-robin pointer per engine
+	tel := s.tel
+	tracing := tel.tracing()
+	s.initSeries()
+	// Per-window telemetry cursors: delivered total and per-engine
+	// utilization deltas.
+	var winDelivered, winStart int64
+	utilCur := make([][2]int64, len(images)) // {activeSum, cycles} per engine
+	utils := make([]float64, len(images))
 	for cyc := int64(0); cyc < cycles; cyc++ {
 		// Arrivals.
 		for vn := 0; vn < s.k; vn++ {
@@ -334,11 +368,16 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 			if scheme == core.VM {
 				reqVN = vn
 			}
-			queues[vn] = append(queues[vn], queued{
+			q := queued{
 				req:     pipeline.Request{Addr: p.Addr, VN: reqVN},
 				vn:      vn,
 				arrival: cyc,
-			})
+				seq:     cyc*int64(s.k) + int64(vn),
+			}
+			if tracing {
+				q.req.Trace = tel.Sampler.Sample(vn, q.seq)
+			}
+			queues[vn] = append(queues[vn], q)
 		}
 		// Service: one injection per engine per cycle, round-robin over
 		// the engine's ingress queues.
@@ -356,13 +395,34 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 				rrNext[e] = (vn + 1) % s.k
 				break
 			}
-			_, done := sims[e].Inject(req)
+			res, done := sims[e].Inject(req)
 			if done {
 				meta := exitVN[e][0]
 				exitVN[e] = exitVN[e][1:]
 				rep.Delivered[meta.vn]++
+				winDelivered++
 				delaySum += float64(cyc - meta.arrival)
+				if meta.req.Trace {
+					outcome := "forward"
+					if res.NHI == ip.NoRoute {
+						outcome = "noroute"
+					}
+					tel.putLookupTrace(meta.seq, meta.vn, e, 0, res, res.EnterCycle-meta.arrival, outcome)
+				}
 			}
+		}
+		// One telemetry row per window (and at the end of a short run).
+		if (cyc+1)%loadSliceCycles == 0 || cyc == cycles-1 {
+			backlog := 0
+			for vn := range queues {
+				backlog += len(queues[vn])
+			}
+			for e := range sims {
+				utils[e], utilCur[e][0], utilCur[e][1] = utilDelta(sims[e].Stats(), utilCur[e][0], utilCur[e][1])
+			}
+			s.appendSlice(winStart, s.slicePower(utils), s.sliceGbps(winDelivered, cyc+1-winStart), backlog, 0, 0, nil)
+			winDelivered = 0
+			winStart = cyc + 1
 		}
 	}
 	var delivered int64

@@ -179,6 +179,10 @@ type updMeta struct {
 // per-slice fan-out stays race-free and deterministic.
 type updEng struct {
 	sim *pipeline.Sim
+	// engine/tel identify and sink this engine's flight traces (tel is the
+	// run's bundle; the ring is lock-free, so workers Put directly).
+	engine int
+	tel    *Telemetry
 	// backlog holds arrivals displaced by bubbles; pending the in-flight
 	// lookups' metadata in injection order.
 	backlog []updMeta
@@ -198,6 +202,10 @@ type updEng struct {
 	delaySum       float64
 	delayN         int64
 	backlogPeak    int
+	// prevActive/prevCycles are the coordinator's per-slice utilization
+	// cursor over the sim's cumulative stats (read between slices only).
+	prevActive int64
+	prevCycles int64
 }
 
 // cycle advances the engine one cycle: bubbles take the input slot first,
@@ -229,18 +237,26 @@ func (e *updEng) cycle(refs []*ip.Table, cyc int64) error {
 	if ok {
 		m := e.pending[0]
 		e.pending = e.pending[1:]
-		switch {
-		case res.Faulted:
+		outcome := "drop-fault"
+		if res.Faulted {
 			e.faulted++
-		case res.NHI != m.ref.Lookup(res.Addr):
+		} else if want := m.ref.Lookup(res.Addr); res.NHI != want {
 			e.mismatches++
-		default:
+			outcome = "mismatch"
+		} else {
 			e.deliveredPerVN[m.vn]++
+			outcome = "forward"
 			if res.NHI == ip.NoRoute {
 				e.noRoute++
+				outcome = "noroute"
 			}
 			e.delaySum += float64(cyc - m.arrival)
 			e.delayN++
+		}
+		if res.Trace {
+			// The arrival cycle doubles as the trace seq; Wait is the
+			// backlog time bubbles displaced this packet by.
+			e.tel.putLookupTrace(m.arrival, m.vn, e.engine, 0, res, res.EnterCycle-m.arrival, outcome)
 		}
 	}
 	if e.handle != nil && e.doneAt < 0 && !e.sim.Updating() {
@@ -285,11 +301,15 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 		}
 		return vn
 	}
+	tel := s.tel
+	tracing := tel.tracing()
+	s.initSeries()
+	mgr.SetEventLog(tel.Events)
 	engines := make([]*updEng, len(images))
 	for e := range images {
 		sim := pipeline.NewSim(images[e])
 		sim.EnableParityCheck()
-		engines[e] = &updEng{sim: sim, doneAt: -1, deliveredPerVN: make([]int64, s.k)}
+		engines[e] = &updEng{sim: sim, engine: e, tel: tel, doneAt: -1, deliveredPerVN: make([]int64, s.k)}
 	}
 	// refs[vn] is the oracle for network vn's lookups *at injection time*;
 	// slot vn is owned by engine engineOf(vn), which flips it when the
@@ -330,6 +350,9 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 			obsUpdateBatches.Inc()
 			obsUpdateWrites.Add(int64(e.batch.Writes))
 			obsUpdateBubbles.Add(int64(e.batch.Bubbles))
+			tel.Events.Log(obs.LevelInfo, e.doneAt, "update_commit",
+				"vn", e.batch.VN, "engine", e.batch.Engine, "writes", e.batch.Writes,
+				"bubbles", e.batch.Bubbles, "latency_cycles", e.batch.LatencyCycles())
 			e.handle = nil
 			e.newRef = nil
 			e.doneAt = -1
@@ -376,8 +399,31 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 			Bubbles:      h.Bubbles(),
 			ArmedAt:      b,
 		}
+		tel.Events.Log(obs.LevelInfo, b, "update_arm",
+			"vn", vn, "engine", h.Engine(), "raw_ops", h.RawOps(), "coalesced_ops", len(h.Ops()),
+			"writes", h.Writes(), "bubbles", h.Bubbles())
 		started++
 		return nil
+	}
+
+	// recordSlice appends the slice's telemetry row: measured utilization
+	// feeding the power model, delivered-packet throughput, backlog depth
+	// and armed-batch count. Coordinator-only, between slice fan-outs.
+	utils := make([]float64, len(engines))
+	var prevDelivered int64
+	recordSlice := func(b int64) {
+		backlog, updating := 0, 0
+		var delivered int64
+		for eIdx, e := range engines {
+			utils[eIdx], e.prevActive, e.prevCycles = utilDelta(e.sim.Stats(), e.prevActive, e.prevCycles)
+			backlog += len(e.backlog)
+			if e.handle != nil {
+				updating++
+			}
+			delivered += e.delayN
+		}
+		s.appendSlice(b, s.slicePower(utils), s.sliceGbps(delivered-prevDelivered, S), backlog, 0, updating, nil)
+		prevDelivered = delivered
 	}
 
 	// runSlice fans the per-engine cycle loops out over the worker pool.
@@ -425,15 +471,22 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 				reqVN = p.VN
 			}
 			eIdx := engineOf(p.VN)
-			arrivals[eIdx] = append(arrivals[eIdx], updMeta{
+			m := updMeta{
 				req:     pipeline.Request{Addr: p.Addr, VN: reqVN},
 				vn:      p.VN,
 				arrival: b + int64(i),
-			})
+			}
+			if tracing {
+				// The arrival cycle is unique (one packet per cycle) and
+				// worker-independent: it doubles as the trace seq.
+				m.req.Trace = tel.Sampler.Sample(p.VN, m.arrival)
+			}
+			arrivals[eIdx] = append(arrivals[eIdx], m)
 		}
 		if err := runSlice(b, arrivals); err != nil {
 			return UpdateReport{}, err
 		}
+		recordSlice(b)
 	}
 
 	// Drain: no new arrivals, but keep cycling until every batch commits and
@@ -462,6 +515,7 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 		if err := runSlice(b, nil); err != nil {
 			return UpdateReport{}, err
 		}
+		recordSlice(b)
 		drained += S
 	}
 	// A final boundary commits a batch that finished exactly at the bound.

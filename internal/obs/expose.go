@@ -1,0 +1,144 @@
+package obs
+
+// Live exposition: the registry rendered as Prometheus text format, plus a
+// ready-made mux tying /metrics, /timeseries.csv, /traces.jsonl,
+// /events.jsonl and net/http/pprof together for the cmd tools' -http flag.
+// Reads take the registry lock briefly and atomic-load each metric — a
+// scrape never blocks the simulator hot path.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// promName maps a registry name ("netsim.fault_drops.vn00") to a
+// Prometheus-legal one ("vrpower_netsim_fault_drops_vn00").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("vrpower_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteMetrics renders every registered metric in Prometheus text format,
+// sorted by name within each kind: counters as counters, gauges as gauges,
+// histograms as cumulative power-of-two-nanosecond buckets with _sum (in
+// ns) and _count.
+func WriteMetrics(w io.Writer) error {
+	registry.mu.Lock()
+	counters := make([]*Counter, 0, len(registry.counters))
+	for _, c := range registry.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(registry.gauges))
+	for _, g := range registry.gauges {
+		gauges = append(gauges, g)
+	}
+	histograms := make([]*Histogram, 0, len(registry.histograms))
+	for _, h := range registry.histograms {
+		histograms = append(histograms, h)
+	}
+	registry.mu.Unlock()
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(histograms, func(i, j int) bool { return histograms[i].name < histograms[j].name })
+
+	var b strings.Builder
+	for _, c := range counters {
+		n := promName(c.name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, c.Value())
+	}
+	for _, g := range gauges {
+		n := promName(g.name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, formatGauge(g.Value()))
+	}
+	for _, h := range histograms {
+		n := promName(h.name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum int64
+		top := -1
+		for i := range h.buckets {
+			if h.buckets[i].Load() > 0 {
+				top = i
+			}
+		}
+		for i := 0; i <= top; i++ {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", n, int64(1)<<uint(i+1), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			n, h.Count(), n, h.sumNS.Load(), n, h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MetricsHandler serves WriteMetrics over HTTP.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteMetrics(w)
+	})
+}
+
+// TelemetryMux builds the -http endpoint set: /metrics (Prometheus text),
+// /timeseries.csv, /traces.jsonl, /events.jsonl, and the net/http/pprof
+// suite under /debug/pprof/. Any of series/traces/events may be nil — the
+// endpoint then serves an empty body.
+func TelemetryMux(series *TimeSeries, traces *TraceRing, events *EventLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler())
+	mux.HandleFunc("/timeseries.csv", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		_ = series.WriteCSV(w)
+	})
+	mux.HandleFunc("/traces.jsonl", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = traces.WriteJSONL(w)
+	})
+	mux.HandleFunc("/events.jsonl", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = events.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, "vrpower telemetry: /metrics /timeseries.csv /traces.jsonl /events.jsonl /debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the mux on addr in a background
+// goroutine, returning the bound address (useful with ":0") or an error if
+// the listen fails. The server lives until the process exits — the cmd
+// tools' -http endpoints are observation-only, so there is nothing to tear
+// down gracefully.
+func Serve(addr string, mux *http.ServeMux) (string, error) {
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,64 @@
+package obs
+
+// Gauge is the last-value metric the Counter/Histogram pair cannot express:
+// backlog depth, instantaneous per-slice power, availability — quantities
+// that go down as well as up. Set and Add are single atomic operations on
+// the IEEE-754 bit pattern — no locks, no allocation — so gauges are safe
+// to write from the simulator hot paths and to read concurrently from the
+// /metrics exposition.
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// Gauge is a concurrent last-value metric. Obtain gauges from NewGauge so
+// they appear in the registry.
+type Gauge struct {
+	name string
+	bits atomic.Uint64 // math.Float64bits of the current value
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the current value by d (d may be negative). It is a CAS loop,
+// so concurrent adds never lose updates.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetInt is Set for integer quantities (queue depths, counts in service).
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// NewGauge returns the gauge registered under name, creating it on first
+// use. Calling it twice with one name yields the same gauge.
+func NewGauge(name string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if g, ok := registry.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	registry.gauges[name] = g
+	return g
+}
+
+// formatGauge renders a gauge value the way the report and the CSV emitters
+// do: shortest round-trip decimal, so output is byte-stable across runs.
+func formatGauge(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,9 +1,31 @@
-// Package obs provides the run instrumentation shared by the simulators and
-// the sweep engine: named monotonic counters and duration histograms with an
-// atomic, allocation-free hot path. Metrics register themselves in a
-// process-wide registry at package init; cmd/figures and cmd/lookupsim
-// surface the registry behind a -stats flag. Instrumentation never changes
-// behaviour — experiment output is byte-identical with or without it.
+// Package obs is the telemetry layer shared by the simulators, the control
+// plane and the sweep engine: named monotonic counters, last-value gauges
+// and duration histograms with an atomic, allocation-free hot path, plus
+// sampled per-lookup flight traces (trace.go), slice-quantised time series
+// (timeseries.go), a unified structured event log (event.go) and live
+// Prometheus-style/pprof exposition (expose.go). Metrics register
+// themselves in a process-wide registry at package init; cmd/figures and
+// cmd/lookupsim surface the registry behind a -stats flag and an optional
+// -http endpoint. Instrumentation never changes behaviour — experiment
+// output is byte-identical with or without it.
+//
+// # Report format
+//
+// Report and ReportSince render one metric per line, in strict ascending
+// name order across all three metric kinds, so the -stats output is
+// directly diffable between runs:
+//
+//	run instrumentation:
+//	  <name>  <value>                                       (counter)
+//	  <name>  <value>                                       (gauge)
+//	  <name>  <N> obs, mean <d>, p50 ≤ <d>, p99 ≤ <d>       (histogram)
+//
+// Names are %-36s left-aligned, values %12s right-aligned. Counters print
+// their (delta) count; gauges print their current value in shortest
+// round-trip decimal; histograms print observation count, exact mean and
+// power-of-two bucket upper bounds for p50/p99. Metrics with no activity
+// since the snapshot are omitted, and an entirely quiet report renders the
+// single line "(no activity recorded)".
 package obs
 
 import (
@@ -127,9 +149,11 @@ func (h *Histogram) Name() string { return h.name }
 var registry = struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }{
 	counters:   map[string]*Counter{},
+	gauges:     map[string]*Gauge{},
 	histograms: map[string]*Histogram{},
 }
 
@@ -167,6 +191,9 @@ func Reset() {
 	for _, c := range registry.counters {
 		c.v.Store(0)
 	}
+	for _, g := range registry.gauges {
+		g.bits.Store(0)
+	}
 	for _, h := range registry.histograms {
 		h.count.Store(0)
 		h.sumNS.Store(0)
@@ -191,6 +218,7 @@ type histState struct {
 // zeroing metrics another run may still be accumulating.
 type Snapshot struct {
 	counters   map[string]int64
+	gauges     map[string]float64
 	histograms map[string]histState
 }
 
@@ -200,10 +228,14 @@ func TakeSnapshot() Snapshot {
 	defer registry.mu.Unlock()
 	s := Snapshot{
 		counters:   make(map[string]int64, len(registry.counters)),
+		gauges:     make(map[string]float64, len(registry.gauges)),
 		histograms: make(map[string]histState, len(registry.histograms)),
 	}
 	for name, c := range registry.counters {
 		s.counters[name] = c.Value()
+	}
+	for name, g := range registry.gauges {
+		s.gauges[name] = g.Value()
 	}
 	for name, h := range registry.histograms {
 		hs := histState{count: h.count.Load(), sumNS: h.sumNS.Load()}
@@ -219,24 +251,35 @@ func TakeSnapshot() Snapshot {
 // counter did not exist at snapshot time).
 func (s Snapshot) Counter(name string) int64 { return s.counters[name] }
 
+// Gauge returns the snapshotted value of the named gauge (0 when the gauge
+// did not exist at snapshot time).
+func (s Snapshot) Gauge(name string) float64 { return s.gauges[name] }
+
 // CounterDelta returns how much the named counter grew since the snapshot.
 func (s Snapshot) CounterDelta(name string) int64 {
 	return NewCounter(name).Value() - s.counters[name]
 }
 
-// Report renders every metric that recorded activity, sorted by name — the
-// text behind the cmd tools' -stats flag. Metrics still at zero are
-// omitted so a small run prints a small report.
+// Report renders every metric that recorded activity, in strict ascending
+// name order across counters, gauges and histograms — the text behind the
+// cmd tools' -stats flag (format documented in the package comment).
+// Metrics still at zero are omitted so a small run prints a small report.
 func Report() string { return ReportSince(Snapshot{}) }
 
 // ReportSince renders every metric's growth since the snapshot in Report's
-// format. Metrics unchanged since the snapshot are omitted. A zero Snapshot
-// reports since process start.
+// format. Counters and histograms report deltas; gauges are last-value
+// metrics, so a gauge reports its current value whenever that differs from
+// the snapshotted one. Metrics unchanged since the snapshot are omitted. A
+// zero Snapshot reports since process start.
 func ReportSince(since Snapshot) string {
 	registry.mu.Lock()
 	counters := make([]*Counter, 0, len(registry.counters))
 	for _, c := range registry.counters {
 		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(registry.gauges))
+	for _, g := range registry.gauges {
+		gauges = append(gauges, g)
 	}
 	histograms := make([]*Histogram, 0, len(registry.histograms))
 	for _, h := range registry.histograms {
@@ -244,19 +287,23 @@ func ReportSince(since Snapshot) string {
 	}
 	registry.mu.Unlock()
 
-	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
-	sort.Slice(histograms, func(i, j int) bool { return histograms[i].name < histograms[j].name })
-
-	var b strings.Builder
-	b.WriteString("run instrumentation:\n")
-	active := 0
+	// One line per active metric, merged across kinds and sorted by name so
+	// the report order never depends on metric kind or registration order.
+	type line struct{ name, text string }
+	lines := make([]line, 0, len(counters)+len(gauges)+len(histograms))
 	for _, c := range counters {
 		v := c.Value() - since.counters[c.name]
 		if v == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "  %-36s %12d\n", c.name, v)
-		active++
+		lines = append(lines, line{c.name, fmt.Sprintf("  %-36s %12d\n", c.name, v)})
+	}
+	for _, g := range gauges {
+		v := g.Value()
+		if v == since.gauges[g.name] {
+			continue
+		}
+		lines = append(lines, line{g.name, fmt.Sprintf("  %-36s %12s\n", g.name, formatGauge(v))})
 	}
 	for _, h := range histograms {
 		base := since.histograms[h.name]
@@ -270,11 +317,17 @@ func ReportSince(since Snapshot) string {
 			d.buckets[i] = h.buckets[i].Load() - base.buckets[i]
 		}
 		d.count = n
-		fmt.Fprintf(&b, "  %-36s %12d obs, mean %v, p50 ≤ %v, p99 ≤ %v\n",
-			h.name, n, mean, d.quantile(0.5), d.quantile(0.99))
-		active++
+		lines = append(lines, line{h.name, fmt.Sprintf("  %-36s %12d obs, mean %v, p50 ≤ %v, p99 ≤ %v\n",
+			h.name, n, mean, d.quantile(0.5), d.quantile(0.99))})
 	}
-	if active == 0 {
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+
+	var b strings.Builder
+	b.WriteString("run instrumentation:\n")
+	for _, l := range lines {
+		b.WriteString(l.text)
+	}
+	if len(lines) == 0 {
 		b.WriteString("  (no activity recorded)\n")
 	}
 	return b.String()

@@ -21,21 +21,31 @@ var (
 // Section IV-C). Single-network engines use VN 0.
 type Request struct {
 	Addr ip.Addr
-	VN   int
+	// Trace marks a sampled lookup: its stage-by-stage traversal is
+	// recorded into Result.Visits. Untraced lookups (the default) pay only
+	// a nil check per memory access — the hot path stays allocation-free
+	// beyond the flight itself. (Trace packs into Addr's alignment slack,
+	// so carrying it keeps Request at 16 bytes.)
+	Trace bool
+	VN    int
 }
 
 // Result is a completed lookup.
 type Result struct {
 	Request
 	NHI ip.NextHop
-	// EnterCycle and ExitCycle stamp pipeline entry and exit; their
-	// difference is the pipeline latency in cycles.
-	EnterCycle int64
-	ExitCycle  int64
 	// Faulted marks a lookup terminated by a detected memory fault (stale
 	// parity or an out-of-range child pointer): the NHI is NoRoute and the
 	// packet must be dropped, not forwarded on corrupt data.
 	Faulted bool
+	// EnterCycle and ExitCycle stamp pipeline entry and exit; their
+	// difference is the pipeline latency in cycles.
+	EnterCycle int64
+	ExitCycle  int64
+	// Visits is the traced traversal (nil unless Request.Trace was set):
+	// every stage-memory access in order, annotated with the serving bank
+	// and the fault that terminated the lookup, if any.
+	Visits []obs.StageVisit
 }
 
 // Stats aggregates a simulation run.
@@ -90,13 +100,67 @@ type flight struct {
 	idx      uint32 // entry index in the current stage
 	resolved bool
 	faulted  bool
-	nhi      ip.NextHop
-	enter    int64
 	// bubble marks a write bubble: it occupies an input slot and performs
 	// one shadow-bank memory write per stage instead of a lookup. The final
 	// (commit) bubble flips each stage to the new bank as it passes.
 	bubble bool
 	commit bool
+	nhi    ip.NextHop
+	enter  int64
+	// trace holds a traced lookup's visit log; nil for untraced flights,
+	// which is the only tracing cost on the hot path. Indirecting through a
+	// pointer (instead of an inline slice header) keeps the untraced flight
+	// in the 48-byte allocation class the pre-tracing simulator had.
+	trace *traceLog
+}
+
+// traceLog is the traversal record of one traced flight.
+type traceLog struct {
+	visits []obs.StageVisit
+}
+
+// newFlight builds the in-flight record for a request entering stage 0,
+// reusing a recycled flight when one is free and pre-sizing the visit log
+// for traced lookups. The free list keeps the steady-state flight count at
+// the pipeline depth instead of one heap object per lookup — with tracing
+// in the codebase a flight carries a pointer field, so un-pooled flights
+// would be GC-scannable garbage at line rate.
+func (s *Sim) newFlight(req Request, enter int64) *flight {
+	f := s.alloc()
+	f.req = req
+	f.enter = enter
+	if req.Trace {
+		f.trace = &traceLog{visits: make([]obs.StageVisit, 0, len(s.img.Stages))}
+	}
+	return f
+}
+
+// alloc returns a zeroed flight, from the free list when one is available.
+func (s *Sim) alloc() *flight {
+	if n := len(s.free); n > 0 {
+		f := s.free[n-1]
+		s.free = s.free[:n-1]
+		*f = flight{}
+		return f
+	}
+	return &flight{}
+}
+
+// recycle returns an exited flight to the free list. The flight's traceLog
+// is never reused — a traced Result aliases its visits — and is detached by
+// the wholesale reset in newFlight.
+func (s *Sim) recycle(f *flight) {
+	if f != nil {
+		s.free = append(s.free, f)
+	}
+}
+
+// visitLog returns the recorded traversal (nil for untraced flights).
+func (f *flight) visitLog() []obs.StageVisit {
+	if f.trace == nil {
+		return nil
+	}
+	return f.trace.visits
 }
 
 // Sim is the cycle-accurate pipeline simulator. One packet can occupy each
@@ -118,6 +182,9 @@ type Sim struct {
 	next        *Image
 	bankNew     []bool
 	bubblesLeft int
+	// free is the flight free list; exited flights are recycled so a run
+	// allocates O(pipeline depth) flights, not one per lookup.
+	free []*flight
 }
 
 // EnableParityCheck turns on per-access parity verification: every entry a
@@ -183,6 +250,7 @@ func (s *Sim) step(in *flight) *flight {
 					s.bankNew[i] = false
 				}
 			}
+			s.recycle(out)
 			out = nil
 		} else {
 			s.st.Lookups++
@@ -203,6 +271,13 @@ func (s *Sim) bank(stage int) *Image {
 // process performs stage i's memory accesses for packet f, following folded
 // levels within the stage in the same cycle.
 func (s *Sim) process(stage int, f *flight) {
+	// Traced lookups take the recording copy of the loop so the untraced
+	// hot path — the one the paper's throughput numbers come from — pays a
+	// single predicted branch per stage visit and nothing per folded level.
+	if f.trace != nil {
+		s.processTraced(stage, f)
+		return
+	}
 	img := s.bank(stage)
 	for {
 		entries := img.Stages[stage].Entries
@@ -241,6 +316,55 @@ func (s *Sim) process(stage int, f *flight) {
 	}
 }
 
+// processTraced is process for traced flights: the same traversal with every
+// memory access appended to the flight's visit log. Kept as a separate copy
+// so tracing support costs the untraced path nothing.
+func (s *Sim) processTraced(stage int, f *flight) {
+	img := s.bank(stage)
+	newBank := s.next != nil && img == s.next
+	for {
+		entries := img.Stages[stage].Entries
+		f.trace.visits = append(f.trace.visits, obs.StageVisit{Stage: stage, Entry: f.idx, NewBank: newBank})
+		if int(f.idx) >= len(entries) {
+			s.traceFault(f)
+			s.fault(f)
+			return
+		}
+		e := entries[f.idx]
+		if s.parity && e.Parity != e.DataParity() {
+			s.traceFault(f)
+			s.fault(f)
+			return
+		}
+		if e.Leaf {
+			f.resolved = true
+			vn := f.req.VN
+			if vn < 0 || vn >= len(e.NHI) {
+				f.nhi = ip.NoRoute
+			} else {
+				f.nhi = e.NHI[vn]
+			}
+			return
+		}
+		bit := f.req.Addr.Bit(e.Level)
+		next := e.Child[bit]
+		if img.Map.Stage(e.Level+1) == stage {
+			f.idx = next
+			continue
+		}
+		f.idx = next
+		return
+	}
+}
+
+// traceFault marks a traced lookup's last recorded access as the one that
+// terminated it.
+func (s *Sim) traceFault(f *flight) {
+	if f.trace != nil && len(f.trace.visits) > 0 {
+		f.trace.visits[len(f.trace.visits)-1].Fault = true
+	}
+}
+
 // fault terminates f's lookup on a detected memory fault.
 func (s *Sim) fault(f *flight) {
 	f.resolved = true
@@ -269,10 +393,12 @@ func (s *Sim) Run(reqs []Request, interarrival int) ([]Result, Stats, error) {
 			EnterCycle: f.enter,
 			ExitCycle:  s.now - 1, // cycle at which the packet left the last stage
 			Faulted:    f.faulted,
+			Visits:     f.visitLog(),
 		})
+		s.recycle(f)
 	}
 	for i, r := range reqs {
-		collect(s.step(&flight{req: r, idx: 0, enter: s.now}))
+		collect(s.step(s.newFlight(r, s.now)))
 		for g := 1; g < interarrival && i < len(reqs)-1; g++ {
 			collect(s.step(nil))
 		}
@@ -369,19 +495,22 @@ func RunConcurrent(img *Image, reqs []Request) []Result {
 func (s *Sim) Inject(req *Request) (Result, bool) {
 	var in *flight
 	if req != nil {
-		in = &flight{req: *req, idx: 0, enter: s.now}
+		in = s.newFlight(*req, s.now)
 	}
 	out := s.step(in)
 	if out == nil {
 		return Result{}, false
 	}
-	return Result{
+	res := Result{
 		Request:    out.req,
 		NHI:        out.nhi,
 		EnterCycle: out.enter,
 		ExitCycle:  s.now - 1,
 		Faulted:    out.faulted,
-	}, true
+		Visits:     out.visitLog(),
+	}
+	s.recycle(out)
+	return res, true
 }
 
 // BeginUpdate arms a hitless image update: next replaces the serving image
@@ -432,17 +561,23 @@ func (s *Sim) InjectBubble() (Result, bool, error) {
 		return Result{}, false, fmt.Errorf("pipeline: no write bubble pending")
 	}
 	s.bubblesLeft--
-	f := &flight{bubble: true, commit: s.bubblesLeft == 0, enter: s.now}
+	f := s.alloc()
+	f.bubble = true
+	f.commit = s.bubblesLeft == 0
+	f.enter = s.now
 	s.st.Bubbles++
 	out := s.step(f)
 	if out == nil {
 		return Result{}, false, nil
 	}
-	return Result{
+	res := Result{
 		Request:    out.req,
 		NHI:        out.nhi,
 		EnterCycle: out.enter,
 		ExitCycle:  s.now - 1,
 		Faulted:    out.faulted,
-	}, true, nil
+		Visits:     out.visitLog(),
+	}
+	s.recycle(out)
+	return res, true, nil
 }
