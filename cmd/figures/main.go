@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"vrpower/internal/experiments"
 	"vrpower/internal/fpga"
@@ -114,12 +115,14 @@ func main() {
 	sweep.SetWorkers(*jobs)
 	if *httpAddr != "" {
 		// Live exposition for long regenerations: Prometheus counters and
-		// pprof profiling of the sweep workers.
-		addr, err := obs.Serve(*httpAddr, obs.TelemetryMux(nil, nil, nil))
+		// pprof profiling of the sweep workers. Shut down on exit so repeated
+		// smoke runs reuse the port cleanly.
+		srv, err := obs.Serve(*httpAddr, obs.TelemetryMux(nil, nil, nil))
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("telemetry at http://%s/", addr)
+		log.Printf("telemetry at http://%s/", srv.Addr())
+		defer func() { _ = srv.Shutdown(5 * time.Second) }()
 	}
 	// Scope -stats to the experiments actually run: the process-wide metric
 	// registry may already hold counts from package init or earlier runs.

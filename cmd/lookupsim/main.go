@@ -32,6 +32,8 @@
 //	          [-trace-sample R] [-trace-buf N] [-trace-out F]
 //	          [-timeseries-out F] [-events-out F] [-events-level L]
 //	          [-http :addr] [-http-hold]
+//	          [-power-cap W] [-power-cap-device W] [-power-cap-lift C]
+//	          [-governor-report]
 //	          [-j N] [-stats] [-seed 1]
 //
 // Telemetry: -trace-sample R flight-traces about fraction R of all lookups
@@ -43,6 +45,16 @@
 // /timeseries.csv, /traces.jsonl, /events.jsonl and /debug/pprof/ live
 // during the run; -http-hold keeps the process (and the endpoints) up after
 // the run finishes, for scraping.
+//
+// With -power-cap (and/or -power-cap-device) the run is governed by the
+// closed-loop power-envelope controller: every slice the paper's power
+// models are re-evaluated on the measured utilization, and violations walk a
+// strict escalation ladder — DVFS frequency stepping, engine quiescing
+// (lowest-priority VNID first; the merged scheme admission-controls its
+// shared pipeline instead), then brownout — with hysteretic, backoff-paced
+// recovery that never oscillates. -power-cap-lift C removes the caps at
+// cycle C to demonstrate recovery; -governor-report prints time-at-tier and
+// per-VNID degradation. Same seeds, same -j or not, same bytes.
 package main
 
 import (
@@ -51,9 +63,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"vrpower/internal/core"
 	"vrpower/internal/faults"
+	"vrpower/internal/governor"
 	"vrpower/internal/netsim"
 	"vrpower/internal/obs"
 	"vrpower/internal/report"
@@ -98,6 +112,24 @@ type options struct {
 	eventsLevel   string
 	httpAddr      string
 	httpHold      bool
+
+	powerCap       float64
+	powerCapDevice float64
+	powerCapLift   int64
+	governorReport bool
+}
+
+// governor builds the run's power-envelope governor configuration, or nil
+// when no cap flag asked for one.
+func (o *options) governor() *governor.Config {
+	if o.powerCap <= 0 && o.powerCapDevice <= 0 {
+		return nil
+	}
+	return &governor.Config{
+		CapWatts:       o.powerCap,
+		DeviceCapWatts: o.powerCapDevice,
+		LiftCycle:      o.powerCapLift,
+	}
 }
 
 // telemetry builds the run's observer bundle, or returns nil when no
@@ -152,6 +184,10 @@ func main() {
 	flag.StringVar(&o.eventsLevel, "events-level", "info", "minimum event severity to keep: debug, info, warn or error")
 	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /timeseries.csv, /traces.jsonl, /events.jsonl and /debug/pprof/ on this address (e.g. :9090)")
 	flag.BoolVar(&o.httpHold, "http-hold", false, "keep the -http endpoints up after the run finishes (Ctrl-C to exit)")
+	flag.Float64Var(&o.powerCap, "power-cap", 0, "fleet-wide power envelope in Watts enforced by the closed-loop governor (0 = ungoverned)")
+	flag.Float64Var(&o.powerCapDevice, "power-cap-device", 0, "per-device power cap in Watts (0 = no device cap)")
+	flag.Int64Var(&o.powerCapLift, "power-cap-lift", 0, "lift the caps from this cycle on, demonstrating recovery (0 = caps for the whole run)")
+	flag.BoolVar(&o.governorReport, "governor-report", false, "print the governor's time-at-tier and per-VNID degradation detail")
 	jobs := flag.Int("j", 0, "engine worker-pool size (0 = GOMAXPROCS); results are identical at any value")
 	stats := flag.Bool("stats", false, "print run instrumentation to stderr on exit")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for tables and traffic")
@@ -214,12 +250,16 @@ func run(o options) error {
 	if tel != nil {
 		sys.SetTelemetry(tel)
 	}
+	if gcfg := o.governor(); gcfg != nil {
+		sys.SetGovernor(gcfg)
+	}
+	var srv *obs.Server
 	if o.httpAddr != "" {
-		addr, err := obs.Serve(o.httpAddr, obs.TelemetryMux(tel.Series, tel.Traces, tel.Events))
+		srv, err = obs.Serve(o.httpAddr, obs.TelemetryMux(tel.Series, tel.Traces, tel.Events))
 		if err != nil {
 			return err
 		}
-		log.Printf("telemetry at http://%s/", addr)
+		log.Printf("telemetry at http://%s/", srv.Addr())
 	}
 	err = dispatch(sys, gen, scheme, r, o)
 	if tel != nil {
@@ -227,9 +267,16 @@ func run(o options) error {
 			err = derr
 		}
 	}
-	if o.httpAddr != "" && o.httpHold {
-		log.Printf("run finished; holding -http endpoints open (-http-hold), Ctrl-C to exit")
-		select {}
+	if srv != nil {
+		if o.httpHold {
+			log.Printf("run finished; holding -http endpoints open (-http-hold), Ctrl-C to exit")
+			select {}
+		}
+		// Graceful teardown with a deadline: repeated smoke runs must not
+		// collide on the port.
+		if serr := srv.Shutdown(5 * time.Second); serr != nil && err == nil {
+			err = serr
+		}
 	}
 	return err
 }
@@ -259,6 +306,9 @@ func dispatch(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, r 
 				fmt.Sprintf("%d / %d / %d", lrep.Offered[vn], lrep.Delivered[vn], lrep.Dropped[vn]))
 		}
 		fmt.Println(t.String())
+		if lrep.Governor != nil {
+			printGovernor(lrep.Governor, o.governorReport)
+		}
 		return nil
 	}
 
@@ -303,10 +353,69 @@ func dispatch(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, r 
 			fmt.Sprintf("%.3f / %.3f / %.3f", rep.EngineLoad[e], st.Occupancy(), st.Utilization()))
 	}
 	fmt.Println(t.String())
+	// Batch runs have no slice clock to actuate on: the governor assesses
+	// the measured utilization against the caps and reports only.
+	if d, aerr := sys.AssessPower(rep); aerr != nil {
+		return aerr
+	} else if d != nil {
+		verdict := "within cap"
+		if d.Over {
+			verdict = "EXCEEDS cap"
+		}
+		at := report.NewTable("Power assessment (batch run: observe-only)", "Quantity", "Value")
+		at.AddF("Estimated power (W)", fmt.Sprintf("%.2f", d.PowerW))
+		at.AddF("Fleet / device cap (W)", fmt.Sprintf("%.2f / %.2f", d.CapW, d.DeviceCapW))
+		at.AddF("Verdict", verdict)
+		fmt.Println(at.String())
+	}
 	if rep.Mismatches != 0 {
 		return fmt.Errorf("%d lookups disagreed with the reference LPM", rep.Mismatches)
 	}
 	return nil
+}
+
+// printGovernor renders a governor report: the headline control-law numbers
+// always, plus time-at-tier and per-VNID degradation when detailed. All
+// numbers come from the deterministic Report, so the output is byte-
+// identical at any -j.
+func printGovernor(g *governor.Report, detailed bool) {
+	t := report.NewTable(
+		fmt.Sprintf("Power governor: cap %.2f W fleet / %.2f W device, lift cycle %d",
+			g.CapWatts, g.DeviceCapWatts, g.LiftCycle),
+		"Quantity", "Value")
+	t.AddF("Slices observed / in violation", fmt.Sprintf("%d / %d", g.Slices, g.ViolationSlices))
+	t.AddF("Escalations / de-escalations / oscillations",
+		fmt.Sprintf("%d / %d / %d", g.Escalations, g.Deescalations, g.Oscillations))
+	conv := "never"
+	if g.ConvergedAt >= 0 {
+		conv = fmt.Sprintf("cycle %d", g.ConvergedAt)
+	}
+	t.AddF("Converged under cap", conv)
+	t.AddF("Peak / final power (W)", fmt.Sprintf("%.2f / %.2f", g.PeakPowerW, g.FinalPowerW))
+	t.AddF("Final rung", fmt.Sprintf("%d (%s)", g.FinalRung, g.Rungs[g.FinalRung]))
+	var throttled, brownout, deferred int64
+	for vn := range g.ThrottledPerVN {
+		throttled += g.ThrottledPerVN[vn]
+		brownout += g.BrownoutPerVN[vn]
+		deferred += g.DeferredPerVN[vn]
+	}
+	t.AddF("Arrivals throttled / browned out / deferred",
+		fmt.Sprintf("%d / %d / %d", throttled, brownout, deferred))
+	fmt.Println(t.String())
+
+	if !detailed {
+		return
+	}
+	lt := report.NewTable("Governor ladder: time at each tier", "Rung", "Name", "Cycles")
+	for i, name := range g.Rungs {
+		lt.AddF(i, name, g.TimeAtRung[i])
+	}
+	fmt.Println(lt.String())
+	vt := report.NewTable("Governor per-VNID degradation", "VN", "Throttled", "Brownout", "Deferred")
+	for vn := range g.ThrottledPerVN {
+		vt.AddF(vn, g.ThrottledPerVN[vn], g.BrownoutPerVN[vn], g.DeferredPerVN[vn])
+	}
+	fmt.Println(vt.String())
 }
 
 // writeOutput writes one telemetry dump to path; "-" means stdout.
@@ -377,6 +486,9 @@ func runUpdates(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, 
 	}
 	t.AddF("Completed", rep.Completed)
 	fmt.Println(t.String())
+	if rep.Governor != nil {
+		printGovernor(rep.Governor, o.governorReport)
+	}
 
 	if o.updateReport && len(rep.Batches) > 0 {
 		bt := report.NewTable("Churn batch lifecycle (cycles)",
@@ -440,6 +552,9 @@ func runFaults(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, o
 	}
 	t.AddF("Recovered", rep.Recovered)
 	fmt.Println(t.String())
+	if rep.Governor != nil {
+		printGovernor(rep.Governor, o.governorReport)
+	}
 
 	if o.mttrReport && len(rep.SEUs) > 0 {
 		mt := report.NewTable("SEU lifecycle (cycles)",

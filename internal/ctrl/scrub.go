@@ -35,9 +35,20 @@ type ScrubPolicy struct {
 	// BackoffCycles is the pause before the second attempt; it doubles on
 	// every further retry (exponential backoff).
 	BackoffCycles int64
+	// BackoffJitter subtracts up to this fraction of each backoff pause,
+	// drawn deterministically from BackoffSeed (0 keeps the exact
+	// exponential schedule — the legacy behaviour).
+	BackoffJitter float64
+	// BackoffSeed seeds the jitter stream; equal seeds give equal pauses.
+	BackoffSeed int64
 	// WriteCycles is the cost of rewriting one stage-memory word during a
 	// reload (writes are serialised through the configuration port).
 	WriteCycles int64
+}
+
+// Backoff returns the policy's retry pacing as the shared Backoff helper.
+func (p ScrubPolicy) Backoff() Backoff {
+	return Backoff{Base: p.BackoffCycles, Jitter: p.BackoffJitter, Seed: p.BackoffSeed}
 }
 
 // DefaultScrubPolicy allows four attempts with a 512-cycle base backoff and
@@ -68,6 +79,9 @@ func (p ScrubPolicy) Validate() error {
 	}
 	if p.BackoffCycles < 0 || p.WriteCycles < 0 {
 		return fmt.Errorf("ctrl: negative scrub costs (backoff %d, write %d)", p.BackoffCycles, p.WriteCycles)
+	}
+	if p.BackoffJitter < 0 || p.BackoffJitter > 1 {
+		return fmt.Errorf("ctrl: scrub backoff jitter %g outside [0,1]", p.BackoffJitter)
 	}
 	return nil
 }
@@ -127,10 +141,11 @@ func (s *Scrubber) Policy() ScrubPolicy { return s.pol }
 // reports the attempts and latency spent).
 func (s *Scrubber) Scrub(rebuild func() (*pipeline.Image, error)) (ScrubResult, error) {
 	var res ScrubResult
+	bo := s.pol.Backoff()
 	for attempt := 1; attempt <= s.pol.MaxAttempts; attempt++ {
 		res.Attempts = attempt
 		if attempt > 1 {
-			res.LatencyCycles += s.pol.BackoffCycles << (attempt - 2)
+			res.LatencyCycles += bo.Delay(attempt - 1)
 		}
 		img, err := rebuild()
 		if err != nil {

@@ -138,6 +138,80 @@ func TestUpsetsAreInRangeAndOrdered(t *testing.T) {
 	}
 }
 
+// TestZeroRateInjectsNothing: the all-zero fault config is the clean
+// baseline — no upsets over any horizon, no kill, no reconfig failures.
+func TestZeroRateInjectsNothing(t *testing.T) {
+	imgs := []*pipeline.Image{compileImage(t, 500, 1), compileImage(t, 400, 2)}
+	in, err := NewInjector(Config{Seed: 3}, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ups := drain(t, in, 2, 1<<30); len(ups) != 0 {
+		t.Errorf("zero-rate injector scheduled %d upsets", len(ups))
+	}
+	if in.KillDue(0, 1<<30) || in.KillDue(1, 1<<30) {
+		t.Error("kill fired without Kill configured")
+	}
+	if in.FailReconfig() {
+		t.Error("reconfig failure injected with a zero budget")
+	}
+}
+
+// TestDrainOrderIndependence: each engine's physical schedule — cycles and
+// bit coordinates — must not depend on the order or granularity in which
+// engines drain their upsets, the property the -j1 vs -j8 sweep fan-out
+// relies on. Seq is excluded: it numbers upsets in global drain order by
+// design, and its cross-worker stability comes from the fault-run loop
+// draining engines in fixed order on the coordinating goroutine.
+func TestDrainOrderIndependence(t *testing.T) {
+	imgs := []*pipeline.Image{compileImage(t, 500, 1), compileImage(t, 400, 2), compileImage(t, 300, 3)}
+	cfg := Config{Seed: 13, SEURate: 1e-7}
+	const horizon = 200000
+	one, err := NewInjector(cfg, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]Upset, len(imgs))
+	for e := range imgs {
+		want[e] = one.UpsetsThrough(e, horizon)
+	}
+	// Same config, but engines queried in reverse order with interleaved
+	// incremental horizons.
+	two, err := NewInjector(cfg, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]Upset, len(imgs))
+	for limit := int64(25000); limit <= horizon; limit += 25000 {
+		for e := len(imgs) - 1; e >= 0; e-- {
+			got[e] = append(got[e], two.UpsetsThrough(e, limit)...)
+		}
+	}
+	total := 0
+	for e := range want {
+		total += len(want[e])
+	}
+	if total == 0 {
+		t.Fatal("no upsets scheduled; raise the rate or horizon")
+	}
+	stripSeq := func(ups []Upset) []Upset {
+		out := make([]Upset, len(ups))
+		for i, u := range ups {
+			u.Seq = 0
+			out[i] = u
+		}
+		return out
+	}
+	for e := range want {
+		if len(want[e]) == 0 && len(got[e]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(stripSeq(want[e]), stripSeq(got[e])) {
+			t.Errorf("engine %d: drain order changed the schedule", e)
+		}
+	}
+}
+
 func TestKillDueFiresOnce(t *testing.T) {
 	imgs := []*pipeline.Image{compileImage(t, 300, 7), compileImage(t, 300, 8)}
 	in, err := NewInjector(Config{Seed: 1, Kill: true, KillEngine: 1, KillCycle: 5000}, imgs)

@@ -1,0 +1,36 @@
+package governor
+
+// Pacer emits a deterministic serve pattern at a rational fraction of the
+// cycle clock: a Bresenham-style integer accumulator, so a 0.6 fraction
+// yields the same evenly-spaced cadence on every run regardless of worker
+// count. The harnesses use one per engine for DVFS-stepped clocks and one
+// per network for admission control.
+type Pacer struct {
+	num, acc int64
+}
+
+// pacerDen is the accumulator denominator: fractions are quantised to
+// 1/65536, far finer than the ladder's tiers.
+const pacerDen = 1 << 16
+
+// NewPacer builds a pacer serving the given fraction of cycles (clamped to
+// [0,1]). Fraction 1 serves every cycle; 0 serves none.
+func NewPacer(frac float64) Pacer {
+	if frac >= 1 {
+		return Pacer{num: pacerDen}
+	}
+	if frac <= 0 {
+		return Pacer{}
+	}
+	return Pacer{num: int64(frac*pacerDen + 0.5)}
+}
+
+// Tick advances one cycle and reports whether this cycle serves.
+func (p *Pacer) Tick() bool {
+	p.acc += p.num
+	if p.acc >= pacerDen {
+		p.acc -= pacerDen
+		return true
+	}
+	return false
+}

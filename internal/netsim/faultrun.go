@@ -20,6 +20,7 @@ import (
 	"vrpower/internal/core"
 	"vrpower/internal/ctrl"
 	"vrpower/internal/faults"
+	"vrpower/internal/governor"
 	"vrpower/internal/ip"
 	"vrpower/internal/obs"
 	"vrpower/internal/pipeline"
@@ -143,6 +144,9 @@ type FaultReport struct {
 	// Recovered reports that by the end of the drain every engine was back
 	// in service and every injected upset repaired.
 	Recovered bool
+	// Governor is the power-envelope controller's summary when the run was
+	// governed (SetGovernor); nil otherwise.
+	Governor *governor.Report
 }
 
 // Availability returns the fraction of traffic cycles network vn's engine
@@ -296,6 +300,10 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 	tracing := tel.tracing()
 	s.initSeries()
 	scrubber.SetEventLog(tel.Events)
+	gv, err := s.newGovRun()
+	if err != nil {
+		return FaultReport{}, err
+	}
 
 	engineOf := func(vn int) int {
 		if scheme == core.VM {
@@ -423,6 +431,21 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 	}
 	utils := make([]float64, len(engines))
 	upVN := make([]bool, s.k)
+	reloadFlags := make([]bool, len(engines))
+	// observeSlice feeds the governor one slice's measurement (reloading
+	// engines flagged as the transient spikes they are) and returns the
+	// telemetry row's power/cap/rung triple.
+	observeSlice := func(b, cycles int64) (powerW, capW, rung float64) {
+		powerW = s.slicePower(utils)
+		if gv == nil {
+			return powerW, 0, 0
+		}
+		for i, e := range engines {
+			reloadFlags[i] = e.reloading
+		}
+		d := gv.observe(b, cycles, utils, reloadFlags)
+		return d.PowerW, d.CapW, float64(d.ObservedRung)
+	}
 
 	for t := int64(0); t < slices; t++ {
 		b := t * S
@@ -465,6 +488,13 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 			}
 			rep.OfferedPerVN[p.VN]++
 			eIdx := engineOf(p.VN)
+			// Governor throttling at the arrival grain: this harness batches
+			// whole slices through the pipelines, so frequency stepping and
+			// admission control pace the arrivals instead of the clock.
+			if gv != nil && gv.dropPaced(p.VN, eIdx) {
+				rep.DroppedPerVN[p.VN]++
+				continue
+			}
 			// Seq is the arrival cycle — unique at one packet per cycle.
 			seq := b + int64(i)
 			if engines[eIdx].down() {
@@ -568,7 +598,8 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 				}
 			}
 		}
-		s.appendSlice(b, s.slicePower(utils), s.sliceGbps(sliceDelivered, S), 0, downEngines, 0, upVN)
+		powerW, capW, rung := observeSlice(b, S)
+		s.appendSlice(b, powerW, s.sliceGbps(sliceDelivered, S), 0, downEngines, 0, capW, rung, upVN)
 	}
 
 	// Drain: no new traffic or faults, but keep sweeping and scrubbing until
@@ -612,7 +643,8 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 		for vn := 0; vn < s.k; vn++ {
 			upVN[vn] = !engines[engineOf(vn)].down()
 		}
-		s.appendSlice(b, s.slicePower(utils), 0, 0, downEngines, 0, upVN)
+		powerW, capW, rung := observeSlice(b, S)
+		s.appendSlice(b, powerW, 0, 0, downEngines, 0, capW, rung, upVN)
 		drained += S
 	}
 	// A final boundary lands a reload that completed exactly at the bound.
@@ -624,6 +656,9 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 		if e.down() || len(e.outstanding) > 0 {
 			rep.Recovered = false
 		}
+	}
+	if gv != nil {
+		rep.Governor = gv.g.Report()
 	}
 	return rep, nil
 }

@@ -160,6 +160,38 @@ func TestAllSEUsDetectedAndScrubbed(t *testing.T) {
 	}
 }
 
+// TestKillLastEngineDegradesInsteadOfPanicking: killing the only engine of a
+// K=1 system while every reconfiguration attempt fails must leave the run
+// degraded — blackholed traffic, Recovered=false — never panicking or
+// spinning. The reconfig-failure budget outlasts the scrub retry budget, so
+// the scrubber exhausts and declares the engine dead.
+func TestKillLastEngineDegradesInsteadOfPanicking(t *testing.T) {
+	s, _ := buildSystem(t, core.VS, 1)
+	const cycles = 8 * 1024
+	rep, err := s.RunFaults(faultGen(t, s, 37), cycles, FaultConfig{
+		Inject: faults.Config{Seed: 3, Kill: true, KillEngine: 0, KillCycle: 2000, ReconfigFailures: 16},
+		Scrub:  ctrl.ScrubPolicy{MaxAttempts: 2, BackoffCycles: 32, WriteCycles: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ScrubsExhausted == 0 {
+		t.Error("scrub never exhausted its retry budget")
+	}
+	if rep.Recovered {
+		t.Error("run reported recovered with its only engine dead")
+	}
+	if rep.DeliveredPerVN[0] == 0 {
+		t.Error("no traffic delivered before the kill")
+	}
+	if rep.DroppedPerVN[0] == 0 {
+		t.Error("dead engine dropped nothing")
+	}
+	if a := rep.Availability(0); a <= 0 || a >= 1 {
+		t.Errorf("availability %.4f, want in (0,1): up before the kill, down after", a)
+	}
+}
+
 // TestFaultRunDeterministicAcrossWorkers: the full fault report — schedules,
 // stamps, per-VN counters — must be identical at -j1 and -j8 for the same
 // seeds.

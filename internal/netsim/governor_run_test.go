@@ -1,0 +1,315 @@
+package netsim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vrpower/internal/core"
+	"vrpower/internal/faults"
+	"vrpower/internal/governor"
+)
+
+// capBelowSteady picks a cap between the system's gated-idle power floor and
+// its steady-state power at per-engine utilization u: floor + frac of the
+// dynamic span. Any frac < 1 therefore forces throttling under load u.
+func capBelowSteady(s *System, u, frac float64) float64 {
+	utils := make([]float64, len(s.router.Design().Engines))
+	floor := s.slicePower(utils)
+	for i := range utils {
+		utils[i] = u
+	}
+	steady := s.slicePower(utils)
+	return floor + (steady-floor)*frac
+}
+
+// TestGovernedLoadTestConvergesAndRecovers is the tentpole's end-to-end
+// demonstration on the separate scheme: a cap below steady-state power must
+// force the ladder down (frequency first, then shedding the lowest-priority
+// VNIDs), converge under the cap within a ladder-bounded number of violating
+// slices, hold there without oscillating, and — once the cap lifts mid-run —
+// walk all the way back to full speed.
+func TestGovernedLoadTestConvergesAndRecovers(t *testing.T) {
+	s, _ := buildSystem(t, core.VS, 3)
+	const cycles, lift = 64 * 1024, 32 * 1024
+	cap := capBelowSteady(s, 0.9, 0.4)
+	s.SetGovernor(&governor.Config{CapWatts: cap, LiftCycle: lift})
+	defer s.SetGovernor(nil)
+	rep, err := s.LoadTest(faultGen(t, s, 31), 0.9, cycles, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.Governor
+	if g == nil {
+		t.Fatal("governed run returned no governor report")
+	}
+	if g.Escalations == 0 || g.ViolationSlices == 0 {
+		t.Fatalf("cap %.2f W below steady power caused no throttling: %+v", cap, g)
+	}
+	if g.ViolationSlices > int64(len(g.Rungs))+2 {
+		t.Errorf("%d violation slices for a %d-rung ladder: convergence not bounded",
+			g.ViolationSlices, len(g.Rungs))
+	}
+	if g.ConvergedAt < 0 {
+		t.Error("estimated power never converged under the cap")
+	}
+	if g.Oscillations != 0 {
+		t.Errorf("%d oscillations", g.Oscillations)
+	}
+	if g.FinalRung != 0 {
+		t.Errorf("did not recover to full speed after the cap lift: rung %d (%s)",
+			g.FinalRung, g.Rungs[g.FinalRung])
+	}
+	if g.Deescalations == 0 {
+		t.Error("no de-escalations across the cap lift")
+	}
+	// Ladder-order degradation: the separate scheme sheds the highest VNID
+	// first, so VN 2 bears the throttling and VN 0 none; nothing reached
+	// brownout for this cap.
+	if g.ThrottledPerVN[2] == 0 {
+		t.Errorf("lowest-priority VN 2 never throttled: %v", g.ThrottledPerVN)
+	}
+	if g.ThrottledPerVN[0] != 0 {
+		t.Errorf("highest-priority VN 0 throttled %d arrivals before brownout: %v",
+			g.ThrottledPerVN[0], g.ThrottledPerVN)
+	}
+	for vn, n := range g.BrownoutPerVN {
+		if n != 0 {
+			t.Errorf("VN %d saw %d brownout drops below the brownout rung", vn, n)
+		}
+	}
+	if rep.Delivered[0] <= rep.Delivered[2] {
+		t.Errorf("degradation not in priority order: delivered %v", rep.Delivered)
+	}
+	// Time accounting covers the whole run.
+	var at int64
+	for _, c := range g.TimeAtRung {
+		at += c
+	}
+	if at != g.Slices*loadSliceCycles {
+		t.Errorf("TimeAtRung sums to %d cycles over %d slices", at, g.Slices)
+	}
+}
+
+// TestGovernedLoadTestVMThrottlesAllNetworks pins the paper's isolation
+// asymmetry: the merged scheme cannot shed a single VNID, so its ladder goes
+// through admission control on the shared pipeline and every network
+// degrades together.
+func TestGovernedLoadTestVMThrottlesAllNetworks(t *testing.T) {
+	s, _ := buildSystem(t, core.VM, 3)
+	cap := capBelowSteady(s, 1, 0.35)
+	s.SetGovernor(&governor.Config{CapWatts: cap})
+	defer s.SetGovernor(nil)
+	// Shallow queues: the backlog built while the ladder walks down drains
+	// within the first admission slice instead of masquerading as demand.
+	rep, err := s.LoadTest(faultGen(t, s, 37), 0.3, 48*1024, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.Governor
+	if g == nil {
+		t.Fatal("governed run returned no governor report")
+	}
+	if g.ConvergedAt < 0 {
+		t.Fatalf("never converged under cap %.2f W: %+v", cap, g)
+	}
+	if g.Oscillations != 0 {
+		t.Errorf("%d oscillations", g.Oscillations)
+	}
+	if !strings.HasPrefix(g.Rungs[g.FinalRung], "admit") {
+		t.Errorf("merged scheme converged at %q, expected an admission rung (ladder %v)",
+			g.Rungs[g.FinalRung], g.Rungs)
+	}
+	for vn, n := range g.ThrottledPerVN {
+		if n == 0 {
+			t.Errorf("merged-scheme throttling skipped VN %d: %v — admission control cannot discriminate",
+				vn, g.ThrottledPerVN)
+		}
+	}
+}
+
+// TestGovernedUpdatesDeferNeverDrop: the hitless harness under a governor
+// defers throttled arrivals into the engine backlogs instead of dropping
+// them, so once the cap lifts every offered packet is still delivered and
+// every batch still commits.
+func TestGovernedUpdatesDeferNeverDrop(t *testing.T) {
+	s, _ := buildSystem(t, core.VS, 3)
+	cap := capBelowSteady(s, 1.0/3, 0.5)
+	s.SetGovernor(&governor.Config{CapWatts: cap, LiftCycle: 12 * 1024})
+	defer s.SetGovernor(nil)
+	cfg := DefaultUpdateConfig()
+	cfg.MaxDrainSlices = 400
+	rep, err := s.RunUpdates(faultGen(t, s, 41), 24*1024, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.Governor
+	if g == nil {
+		t.Fatal("governed run returned no governor report")
+	}
+	if g.Escalations == 0 {
+		t.Fatalf("cap %.2f W caused no throttling: %+v", cap, g)
+	}
+	var deferred int64
+	for _, n := range g.DeferredPerVN {
+		deferred += n
+	}
+	if deferred == 0 {
+		t.Error("no arrivals accounted as deferred under degradation")
+	}
+	for vn := range g.ThrottledPerVN {
+		if g.ThrottledPerVN[vn] != 0 || g.BrownoutPerVN[vn] != 0 {
+			t.Errorf("hitless run dropped for the governor (vn %d: throttled %d, brownout %d)",
+				vn, g.ThrottledPerVN[vn], g.BrownoutPerVN[vn])
+		}
+	}
+	if !rep.Completed {
+		t.Fatalf("governed update run did not complete: %+v", rep)
+	}
+	if !reflect.DeepEqual(rep.OfferedPerVN, rep.DeliveredPerVN) {
+		t.Errorf("hitless contract broken under governor: offered %v delivered %v",
+			rep.OfferedPerVN, rep.DeliveredPerVN)
+	}
+	if rep.BatchesApplied != cfg.Batches {
+		t.Errorf("applied %d of %d batches under governor", rep.BatchesApplied, cfg.Batches)
+	}
+	if rep.Mismatches != 0 {
+		t.Errorf("%d oracle mismatches", rep.Mismatches)
+	}
+}
+
+// TestGovernedFaultRunRidesOutScrubSpike: a governed fault run treats scrub
+// reloads as transient power spikes (config-port power pinned to full) and
+// still recovers the injected faults; governed drops are charged to the
+// per-VN report counters deterministically.
+func TestGovernedFaultRunRidesOutScrubSpike(t *testing.T) {
+	s, _ := buildSystem(t, core.VS, 3)
+	const cycles = 32 * 1024
+	cap := capBelowSteady(s, 1.0/3, 0.6)
+	s.SetGovernor(&governor.Config{CapWatts: cap})
+	defer s.SetGovernor(nil)
+	rep, err := s.RunFaults(faultGen(t, s, 43), cycles, FaultConfig{
+		Inject: faults.Config{Seed: 7, SEURate: seuRateFor(s, 3, cycles)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Governor == nil {
+		t.Fatal("governed run returned no governor report")
+	}
+	if rep.Governor.Oscillations != 0 {
+		t.Errorf("%d oscillations", rep.Governor.Oscillations)
+	}
+	if rep.HealthyMismatches != 0 {
+		t.Errorf("healthy mismatches = %d, want 0", rep.HealthyMismatches)
+	}
+	if !rep.Recovered {
+		t.Errorf("governed fault run did not recover: %+v", rep)
+	}
+	if rep.Governor.Escalations > 0 {
+		var throttled int64
+		for _, n := range rep.Governor.ThrottledPerVN {
+			throttled += n
+		}
+		var dropped int64
+		for _, n := range rep.DroppedPerVN {
+			dropped += n
+		}
+		if throttled > dropped {
+			t.Errorf("governor charged %d throttled arrivals but the report only dropped %d",
+				throttled, dropped)
+		}
+	}
+}
+
+// TestGovernedRunsDeterministicAcrossWorkers: all three governed harnesses
+// must produce byte-identical telemetry dumps and DeepEqual reports at -j1
+// and -j8 — the governor decides only on the coordinating goroutine.
+func TestGovernedRunsDeterministicAcrossWorkers(t *testing.T) {
+	t.Run("LoadTest", func(t *testing.T) {
+		s, _ := buildSystem(t, core.VS, 3)
+		cap := capBelowSteady(s, 0.9, 0.4)
+		s.SetGovernor(&governor.Config{CapWatts: cap, LiftCycle: 16 * 1024})
+		defer s.SetGovernor(nil)
+		var reps []*LoadReport
+		runDumps(t, "LoadTest/governed", func(tel *Telemetry) {
+			s.SetTelemetry(tel)
+			defer s.SetTelemetry(nil)
+			rep, err := s.LoadTest(faultGen(t, s, 31), 0.9, 32*1024, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps = append(reps, &rep)
+		})
+		if len(reps) == 2 && !reflect.DeepEqual(reps[0], reps[1]) {
+			t.Errorf("governed LoadTest reports differ between -j1 and -j8:\n%+v\n%+v", reps[0], reps[1])
+		}
+	})
+	t.Run("RunFaults", func(t *testing.T) {
+		s, _ := buildSystem(t, core.VS, 3)
+		const cycles = 16 * 1024
+		cap := capBelowSteady(s, 1.0/3, 0.5)
+		s.SetGovernor(&governor.Config{CapWatts: cap})
+		defer s.SetGovernor(nil)
+		cfg := FaultConfig{Inject: faults.Config{Seed: 5, SEURate: seuRateFor(s, 3, cycles)}}
+		var reps []*FaultReport
+		runDumps(t, "RunFaults/governed", func(tel *Telemetry) {
+			s.SetTelemetry(tel)
+			defer s.SetTelemetry(nil)
+			rep, err := s.RunFaults(faultGen(t, s, 29), cycles, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps = append(reps, &rep)
+		})
+		if len(reps) == 2 && !reflect.DeepEqual(reps[0], reps[1]) {
+			t.Errorf("governed RunFaults reports differ between -j1 and -j8:\n%+v\n%+v", reps[0], reps[1])
+		}
+	})
+	t.Run("RunUpdates", func(t *testing.T) {
+		s, _ := buildSystem(t, core.VS, 3)
+		cap := capBelowSteady(s, 1.0/3, 0.5)
+		s.SetGovernor(&governor.Config{CapWatts: cap, LiftCycle: 8 * 1024})
+		defer s.SetGovernor(nil)
+		cfg := DefaultUpdateConfig()
+		cfg.MaxDrainSlices = 400
+		var reps []*UpdateReport
+		runDumps(t, "RunUpdates/governed", func(tel *Telemetry) {
+			s.SetTelemetry(tel)
+			defer s.SetTelemetry(nil)
+			rep, err := s.RunUpdates(faultGen(t, s, 23), 16*1024, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps = append(reps, &rep)
+		})
+		if len(reps) == 2 && !reflect.DeepEqual(reps[0], reps[1]) {
+			t.Errorf("governed RunUpdates reports differ between -j1 and -j8:\n%+v\n%+v", reps[0], reps[1])
+		}
+	})
+}
+
+// TestAssessPowerFlagsBatchRuns: Forward has no slice clock, so the governor
+// only assesses — the decision reports the violation without actuating.
+func TestAssessPowerFlagsBatchRuns(t *testing.T) {
+	s, tables := buildSystem(t, core.VS, 3)
+	rep, err := s.Forward(gen(t, 3, tables, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := s.AssessPower(rep); err != nil || d != nil {
+		t.Fatalf("ungoverned AssessPower = (%v, %v), want (nil, nil)", d, err)
+	}
+	s.SetGovernor(&governor.Config{CapWatts: capBelowSteady(s, 0.5, 0.1)})
+	defer s.SetGovernor(nil)
+	d, err := s.AssessPower(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || !d.Over {
+		t.Errorf("cap near the power floor not flagged: %+v", d)
+	}
+	if d.PowerW <= 0 || d.CapW <= 0 {
+		t.Errorf("assessment missing estimates: %+v", d)
+	}
+}

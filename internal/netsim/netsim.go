@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"vrpower/internal/core"
+	"vrpower/internal/governor"
 	"vrpower/internal/ip"
 	"vrpower/internal/obs"
 	"vrpower/internal/packet"
@@ -36,6 +37,9 @@ type System struct {
 	// tel is the attached telemetry bundle (never nil; defaults to the
 	// shared all-nil noTelemetry).
 	tel *Telemetry
+	// gov is the attached power-envelope governor configuration; nil runs
+	// ungoverned.
+	gov *governor.Config
 }
 
 // New wraps a built router. tables must be the same K tables the router was
@@ -278,6 +282,9 @@ type LoadReport struct {
 	// delivered packets.
 	MeanDelayCycles float64
 	Cycles          int64
+	// Governor is the power-envelope controller's summary when the run was
+	// governed (SetGovernor); nil otherwise.
+	Governor *governor.Report
 }
 
 // DeliveredFraction returns delivered/offered over all networks.
@@ -347,6 +354,10 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 	tel := s.tel
 	tracing := tel.tracing()
 	s.initSeries()
+	gv, err := s.newGovRun()
+	if err != nil {
+		return LoadReport{}, err
+	}
 	// Per-window telemetry cursors: delivered total and per-engine
 	// utilization deltas.
 	var winDelivered, winStart int64
@@ -359,6 +370,10 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 				continue
 			}
 			rep.Offered[vn]++
+			if gv != nil && gv.admitArrival(vn, engineOf(vn)) {
+				rep.Dropped[vn]++
+				continue
+			}
 			if len(queues[vn]) >= queueCap {
 				rep.Dropped[vn]++
 				continue
@@ -380,8 +395,13 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 			queues[vn] = append(queues[vn], q)
 		}
 		// Service: one injection per engine per cycle, round-robin over
-		// the engine's ingress queues.
+		// the engine's ingress queues. A governed engine that loses this
+		// cycle to frequency stepping or quiescing freezes: no injection,
+		// and in-flight packets stall in place.
 		for e := range sims {
+			if gv != nil && !gv.engineServes(e) {
+				continue
+			}
 			var req *pipeline.Request
 			for i := 0; i < s.k; i++ {
 				vn := (rrNext[e] + i) % s.k
@@ -420,7 +440,12 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 			for e := range sims {
 				utils[e], utilCur[e][0], utilCur[e][1] = utilDelta(sims[e].Stats(), utilCur[e][0], utilCur[e][1])
 			}
-			s.appendSlice(winStart, s.slicePower(utils), s.sliceGbps(winDelivered, cyc+1-winStart), backlog, 0, 0, nil)
+			powerW, capW, rung := s.slicePower(utils), 0.0, 0.0
+			if gv != nil {
+				d := gv.observe(winStart, cyc+1-winStart, utils, nil)
+				powerW, capW, rung = d.PowerW, d.CapW, float64(d.ObservedRung)
+			}
+			s.appendSlice(winStart, powerW, s.sliceGbps(winDelivered, cyc+1-winStart), backlog, 0, 0, capW, rung, nil)
 			winDelivered = 0
 			winStart = cyc + 1
 		}
@@ -431,6 +456,9 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 	}
 	if delivered > 0 {
 		rep.MeanDelayCycles = delaySum / float64(delivered)
+	}
+	if gv != nil {
+		rep.Governor = gv.g.Report()
 	}
 	obsLoadCycles.Add(cycles)
 	obsPacketsResolved.Add(delivered)

@@ -30,6 +30,8 @@ var (
 	obsBacklogPkts   = obs.NewGauge("netsim.backlog_pkts")
 	obsScrubsActive  = obs.NewGauge("netsim.scrubs_active")
 	obsUpdatesActive = obs.NewGauge("netsim.updates_active")
+	obsSliceCapW     = obs.NewGauge("netsim.slice_cap_w")
+	obsSliceGovRung  = obs.NewGauge("netsim.slice_gov_rung")
 )
 
 // Telemetry is the set of observers a run feeds. Any field may be nil: a
@@ -118,10 +120,11 @@ func lookupOutcome(res pipeline.Result, want ip.NextHop) string {
 }
 
 // seriesColumns is the unified slice-row schema shared by every run loop:
-// power, throughput, backlog, control-plane activity, then one availability
+// power, throughput, backlog, control-plane activity, the governor's active
+// cap and ladder rung (both zero when ungoverned), then one availability
 // column per network.
 func seriesColumns(k int) []string {
-	cols := []string{"power_w", "throughput_gbps", "backlog_pkts", "scrubs_active", "updates_active"}
+	cols := []string{"power_w", "throughput_gbps", "backlog_pkts", "scrubs_active", "updates_active", "cap_w", "gov_rung"}
 	for vn := 0; vn < k; vn++ {
 		cols = append(cols, fmt.Sprintf("avail_vn%02d", vn))
 	}
@@ -134,18 +137,22 @@ func (s *System) initSeries() {
 }
 
 // appendSlice records one slice row (and mirrors it into the live gauges).
-// cycle is the slice's start; avail may be nil for "all networks up".
-func (s *System) appendSlice(cycle int64, powerW, gbps float64, backlog, scrubs, updates int, avail []bool) {
+// cycle is the slice's start; capW and rung are the governor's active cap
+// and observed ladder rung (zero when ungoverned); avail may be nil for
+// "all networks up".
+func (s *System) appendSlice(cycle int64, powerW, gbps float64, backlog, scrubs, updates int, capW, rung float64, avail []bool) {
 	obsSlicePowerW.Set(powerW)
 	obsSliceGbps.Set(gbps)
 	obsBacklogPkts.SetInt(int64(backlog))
 	obsScrubsActive.SetInt(int64(scrubs))
 	obsUpdatesActive.SetInt(int64(updates))
+	obsSliceCapW.Set(capW)
+	obsSliceGovRung.Set(rung)
 	if s.tel.Series == nil {
 		return
 	}
-	vals := make([]float64, 0, 5+s.k)
-	vals = append(vals, powerW, gbps, float64(backlog), float64(scrubs), float64(updates))
+	vals := make([]float64, 0, 7+s.k)
+	vals = append(vals, powerW, gbps, float64(backlog), float64(scrubs), float64(updates), capW, rung)
 	for vn := 0; vn < s.k; vn++ {
 		up := 1.0
 		if avail != nil && !avail[vn] {

@@ -22,6 +22,7 @@ import (
 
 	"vrpower/internal/core"
 	"vrpower/internal/ctrl"
+	"vrpower/internal/governor"
 	"vrpower/internal/ip"
 	"vrpower/internal/obs"
 	"vrpower/internal/pipeline"
@@ -146,6 +147,10 @@ type UpdateReport struct {
 	// Completed reports that every configured batch committed and every
 	// arrival was delivered before the drain bound.
 	Completed bool
+	// Governor is the power-envelope controller's summary when the run was
+	// governed (SetGovernor); nil otherwise. This harness defers rather
+	// than drops under degradation: throttled arrivals wait in backlogs.
+	Governor *governor.Report
 }
 
 // MeasuredThroughputRetained is the lookup-slot fraction the run actually
@@ -206,12 +211,25 @@ type updEng struct {
 	// cursor over the sim's cumulative stats (read between slices only).
 	prevActive int64
 	prevCycles int64
+	// Governor actuation, installed by the coordinator between slices
+	// (applyGov): govFreq gates the engine's whole clock at the rung's
+	// frequency fraction; govQuiesced/govAdmit gate backlog pulls only, so
+	// arrivals defer and write bubbles still flow.
+	govFreq     *governor.Pacer
+	govQuiesced bool
+	govAdmit    *governor.Pacer
 }
 
 // cycle advances the engine one cycle: bubbles take the input slot first,
 // then the backlog front, then an idle step; whatever lookup exits is
 // checked against its injection epoch's oracle.
 func (e *updEng) cycle(refs []*ip.Table, cyc int64) error {
+	if e.govFreq != nil && !e.govFreq.Tick() {
+		// Frequency-stepped clock: the engine freezes this cycle (bubbles
+		// and lookups alike slow down together, as a real stepped clock
+		// would impose).
+		return nil
+	}
 	var res pipeline.Result
 	var ok bool
 	if e.sim.PendingBubbles() > 0 {
@@ -225,7 +243,7 @@ func (e *updEng) cycle(refs []*ip.Table, cyc int64) error {
 		if err != nil {
 			return err
 		}
-	} else if len(e.backlog) > 0 {
+	} else if len(e.backlog) > 0 && !e.govHold() {
 		m := e.backlog[0]
 		e.backlog = e.backlog[1:]
 		m.ref = refs[m.vn]
@@ -305,6 +323,10 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 	tracing := tel.tracing()
 	s.initSeries()
 	mgr.SetEventLog(tel.Events)
+	gv, err := s.newGovRun()
+	if err != nil {
+		return UpdateReport{}, err
+	}
 	engines := make([]*updEng, len(images))
 	for e := range images {
 		sim := pipeline.NewSim(images[e])
@@ -422,7 +444,15 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 			}
 			delivered += e.delayN
 		}
-		s.appendSlice(b, s.slicePower(utils), s.sliceGbps(delivered-prevDelivered, S), backlog, 0, updating, nil)
+		powerW, capW, rung := s.slicePower(utils), 0.0, 0.0
+		if gv != nil {
+			d := gv.observe(b, S, utils, nil)
+			powerW, capW, rung = d.PowerW, d.CapW, float64(d.ObservedRung)
+			for eIdx, e := range engines {
+				e.applyGov(d.Rung, eIdx)
+			}
+		}
+		s.appendSlice(b, powerW, s.sliceGbps(delivered-prevDelivered, S), backlog, 0, updating, capW, rung, nil)
 		prevDelivered = delivered
 	}
 
@@ -466,6 +496,11 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 				return UpdateReport{}, fmt.Errorf("netsim: packet VN %d outside [0,%d)", p.VN, s.k)
 			}
 			rep.OfferedPerVN[p.VN]++
+			if gv != nil && gv.dec.RungIndex > 0 {
+				// Hitless runs never drop for the governor: the arrival is
+				// deferred into the backlog and accounted as such.
+				gv.g.CountDeferred(p.VN)
+			}
 			reqVN := 0
 			if scheme == core.VM {
 				reqVN = p.VN
@@ -547,6 +582,9 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 		rep.MeanDelayCycles /= float64(delivered)
 	}
 	rep.Completed = !outstanding()
+	if gv != nil {
+		rep.Governor = gv.g.Report()
+	}
 	obsPacketsResolved.Add(delivered)
 	return rep, nil
 }

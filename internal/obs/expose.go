@@ -7,6 +7,7 @@ package obs
 // scrape never blocks the simulator hot path.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -128,17 +129,40 @@ func TelemetryMux(series *TimeSeries, traces *TraceRing, events *EventLog) *http
 	return mux
 }
 
-// Serve starts an HTTP server for the mux on addr in a background
-// goroutine, returning the bound address (useful with ":0") or an error if
-// the listen fails. The server lives until the process exits — the cmd
-// tools' -http endpoints are observation-only, so there is nothing to tear
-// down gracefully.
-func Serve(addr string, mux *http.ServeMux) (string, error) {
+// Server is a running telemetry HTTP endpoint with a graceful teardown, so
+// repeated runs (smoke scripts, tests) release their port instead of leaking
+// a listener until process exit.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// Shutdown stops accepting connections and waits up to timeout for in-flight
+// requests to finish; if the deadline passes it force-closes. Nil-safe.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// Serve starts an HTTP server for the mux on addr in a background goroutine,
+// returning the running Server (its Addr resolves ":0") or an error if the
+// listen fails. Call Shutdown when the run finishes.
+func Serve(addr string, mux *http.ServeMux) (*Server, error) {
 	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	return &Server{srv: srv, addr: ln.Addr().String()}, nil
 }

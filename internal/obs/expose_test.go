@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeShutdownReleasesPort: a graceful Shutdown must free the listen
+// port so a follow-on run (repeated smoke invocations) can bind it again.
+func TestServeShutdownReleasesPort(t *testing.T) {
+	NewCounter("obs.expose_test_probe").Inc()
+	mux := TelemetryMux(nil, nil, nil)
+	srv, err := Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("serving endpoint unreachable: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "vrpower_") {
+		t.Errorf("/metrics served no vrpower metrics:\n%s", body)
+	}
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The exact port must be bindable again immediately.
+	srv2, err := Serve(addr, mux)
+	if err != nil {
+		t.Fatalf("port %s not released after shutdown: %v", addr, err)
+	}
+	if err := srv2.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	// A request after shutdown must fail: the listener is gone.
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("endpoint still serving after shutdown")
+	}
+}
+
+// TestServerShutdownNilSafe: the cmd tools call Shutdown on a possibly-nil
+// server when -http was not set.
+func TestServerShutdownNilSafe(t *testing.T) {
+	var s *Server
+	if err := s.Shutdown(time.Second); err != nil {
+		t.Fatalf("nil Shutdown returned %v", err)
+	}
+}

@@ -94,21 +94,76 @@ func Estimate(d SystemDesign) (Breakdown, error) {
 		scale = 1
 	}
 	b := Breakdown{Static: float64(d.Devices) * StaticWatts(d.Grade) * scale}
-	for _, e := range d.Engines {
-		u := e.Utilization
-		if !d.ClockGating {
-			u = 1
-		}
-		b.Logic += u * float64(e.Stages()) * LogicStageWatts(d.Grade, d.FMHz)
-		for _, bits := range e.StageBits {
-			if d.usesDistRAM(bits) {
-				b.Memory += u * DistRAMWatts(d.Grade, bits, d.FMHz)
-			} else {
-				b.Memory += u * BRAMWatts(d.Grade, d.Mode, bits, d.FMHz)
-			}
-		}
+	for i, e := range d.Engines {
+		lw, mw := d.engineDyn(i, e.Utilization, d.FMHz)
+		b.Logic += lw
+		b.Memory += mw
 	}
 	return b, nil
+}
+
+// engineDyn returns engine e's (logic, memory) dynamic power at utilization
+// u and clock fMHz — the shared inner term of Estimate, DevicePowers and
+// EngineDynamicWatts.
+func (d SystemDesign) engineDyn(e int, u, fMHz float64) (logic, memory float64) {
+	if !d.ClockGating {
+		u = 1
+	}
+	eng := d.Engines[e]
+	logic = u * float64(eng.Stages()) * LogicStageWatts(d.Grade, fMHz)
+	for _, bits := range eng.StageBits {
+		if d.usesDistRAM(bits) {
+			memory += u * DistRAMWatts(d.Grade, bits, fMHz)
+		} else {
+			memory += u * BRAMWatts(d.Grade, d.Mode, bits, fMHz)
+		}
+	}
+	return logic, memory
+}
+
+// EngineDynamicWatts returns engine e's total dynamic power at utilization
+// u and clock fMHz. All dynamic coefficients are linear in frequency, so a
+// DVFS-stepped clock scales this term proportionally — the lever the power
+// governor's frequency rungs pull.
+func (d SystemDesign) EngineDynamicWatts(e int, u, fMHz float64) float64 {
+	lw, mw := d.engineDyn(e, u, fMHz)
+	return lw + mw
+}
+
+// EngineDevice maps engine e to the physical device hosting it: one engine
+// per device when the design powers Devices == len(Engines) FPGAs (the NV
+// organisation, Eq. 2); otherwise every engine shares device 0 (VS and VM,
+// Eq. 4/6) and any further devices are static-only.
+func (d SystemDesign) EngineDevice(e int) int {
+	if d.Devices == len(d.Engines) {
+		return e
+	}
+	return 0
+}
+
+// DevicePowers splits Estimate's breakdown across the physical devices
+// under the EngineDevice mapping — the per-device view a power-cap governor
+// enforces device envelopes against. Summing the breakdowns reproduces
+// Estimate exactly.
+func DevicePowers(d SystemDesign) ([]Breakdown, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	scale := d.StaticScale
+	if scale == 0 {
+		scale = 1
+	}
+	out := make([]Breakdown, d.Devices)
+	for i := range out {
+		out[i].Static = StaticWatts(d.Grade) * scale
+	}
+	for e, eng := range d.Engines {
+		lw, mw := d.engineDyn(e, eng.Utilization, d.FMHz)
+		dev := &out[d.EngineDevice(e)]
+		dev.Logic += lw
+		dev.Memory += mw
+	}
+	return out, nil
 }
 
 // usesDistRAM reports whether a stage of the given size maps to
