@@ -4,7 +4,7 @@
 #   make bench      = every benchmark with allocation counts
 GO ?= go
 
-.PHONY: all build test race race-faults race-updates race-obs race-governor telemetry-smoke governor-smoke vet bench
+.PHONY: all build test race race-faults race-updates race-obs race-governor race-scenarios telemetry-smoke governor-smoke scenario-smoke vet bench
 
 all: build test
 
@@ -44,6 +44,12 @@ race-obs:
 race-governor:
 	$(GO) test -race ./internal/governor/... ./internal/netsim/... ./internal/ctrl/... ./internal/power/... ./internal/sweep/...
 
+# Race-detector pass focused on the composed scenario engine: the shared
+# slice coordinator, its stressor hooks, and every package a compound run
+# (load + faults + churn + power cap) drives concurrently.
+race-scenarios:
+	$(GO) test -race ./internal/scenario/... ./internal/netsim/... ./internal/ctrl/... ./internal/pipeline/... ./internal/governor/... ./internal/sweep/...
+
 # Telemetry smoke run: a fault-injection experiment with tracing, the slice
 # time series and the event log all enabled, dumped into telemetry-smoke/
 # (CI uploads the directory as an artifact).
@@ -72,6 +78,35 @@ governor-smoke:
 	grep -q governor_deescalate governor-smoke/events.jsonl
 	grep -q 'Converged under cap' governor-smoke/report.txt
 	grep -q '0 (full)' governor-smoke/report.txt
+
+# Composed scenario smoke run: the ISSUE's flagship compound spec — surge
+# load, SEU faults, an engine kill, update churn and a power cap in ONE
+# lookupsim run — executed at -j1 and -j8 and byte-compared (report, time
+# series and event log), then grepped for the lifecycle the composition
+# must produce. Dumps land in scenario-smoke/ (CI uploads the directory as
+# an artifact).
+SCENARIO_SPEC = load=surge:0.3:0.9,faults=seu:2e-9,kill=1@3000,churn=6x32,power-cap=38,cycles=16384,queue=32,seed=11
+scenario-smoke:
+	mkdir -p scenario-smoke
+	$(GO) run ./cmd/lookupsim -scheme VS -k 3 -j 1 \
+		-scenario $(SCENARIO_SPEC) -governor-report -update-report \
+		-timeseries-out scenario-smoke/timeseries.csv \
+		-events-out scenario-smoke/events.jsonl \
+		> scenario-smoke/report.txt
+	$(GO) run ./cmd/lookupsim -scheme VS -k 3 -j 8 \
+		-scenario $(SCENARIO_SPEC) -governor-report -update-report \
+		-timeseries-out scenario-smoke/timeseries-j8.csv \
+		-events-out scenario-smoke/events-j8.jsonl \
+		> scenario-smoke/report-j8.txt
+	cmp scenario-smoke/report.txt scenario-smoke/report-j8.txt
+	cmp scenario-smoke/timeseries.csv scenario-smoke/timeseries-j8.csv
+	cmp scenario-smoke/events.jsonl scenario-smoke/events-j8.jsonl
+	grep -q 'load + faults + churn + power-cap' scenario-smoke/report.txt
+	grep -q 'Recovered.*true' scenario-smoke/report.txt
+	grep -q 'Completed.*true' scenario-smoke/report.txt
+	grep -q engine_kill scenario-smoke/events.jsonl
+	grep -q scrub_done scenario-smoke/events.jsonl
+	grep -q update_commit scenario-smoke/events.jsonl
 
 vet:
 	$(GO) vet ./...

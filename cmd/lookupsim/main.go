@@ -24,6 +24,7 @@
 //
 //	lookupsim -scheme VM -k 4 -packets 10000 [-prefixes 1000] [-share 0.5]
 //	          [-dist uniform|zipf] [-routed] [-frames] [-load 0.5]
+//	          [-scenario load=...,faults=...,kill=...,churn=...,power-cap=...]
 //	          [-faults] [-fault-seed 1] [-seu-rate 1e-8]
 //	          [-kill-engine N -kill-cycle C] [-reconfig-failures N]
 //	          [-mttr-report]
@@ -55,6 +56,20 @@
 // recovery that never oscillates. -power-cap-lift C removes the caps at
 // cycle C to demonstrate recovery; -governor-report prints time-at-tier and
 // per-VNID degradation. Same seeds, same -j or not, same bytes.
+//
+// With -scenario SPEC all of the above compose into ONE run: a comma-
+// separated key=value spec selects a load shape, SEU faults, an engine
+// kill, update churn and power caps together, e.g.
+//
+//	lookupsim -scheme VS -k 4 \
+//	  -scenario load=surge,faults=seu:1e-9,churn=100x50,power-cap=45
+//
+// and the report covers every axis at once: per-VNID delivery and
+// availability, SEU/scrub lifecycle, churn batch outcomes, and the
+// governor's control-law summary. The spec owns the stressor knobs
+// (cycles=, seed=, queue= included), so combining -scenario with the
+// legacy per-experiment flags is rejected — see docs/CLI.md for the full
+// grammar. Same seeds, same -j or not, same bytes.
 package main
 
 import (
@@ -63,6 +78,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"vrpower/internal/core"
@@ -72,6 +88,7 @@ import (
 	"vrpower/internal/obs"
 	"vrpower/internal/report"
 	"vrpower/internal/rib"
+	"vrpower/internal/scenario"
 	"vrpower/internal/sweep"
 	"vrpower/internal/traffic"
 )
@@ -88,6 +105,7 @@ type options struct {
 	frames   bool
 	load     float64
 	seed     int64
+	scenario string
 
 	faults           bool
 	faultSeed        int64
@@ -163,6 +181,7 @@ func main() {
 	flag.BoolVar(&o.routed, "routed", true, "draw destinations from the routed space")
 	flag.BoolVar(&o.frames, "frames", false, "drive the full frame path (parse -> lookup -> edit) instead of bare lookups")
 	flag.Float64Var(&o.load, "load", 0, "per-VN offered load for an open-loop run (0 = closed-loop batch)")
+	flag.StringVar(&o.scenario, "scenario", "", "composed scenario spec: comma-separated key=value stressors (load=, faults=, kill=, churn=, power-cap=, ...; see docs/CLI.md)")
 	flag.BoolVar(&o.faults, "faults", false, "run the fault-injection experiment (SEUs, detection, scrubbing)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the fault schedule (independent of -seed)")
 	flag.Float64Var(&o.seuRate, "seu-rate", 1e-8, "SEU probability per data bit per cycle")
@@ -192,6 +211,13 @@ func main() {
 	stats := flag.Bool("stats", false, "print run instrumentation to stderr on exit")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for tables and traffic")
 	flag.Parse()
+
+	if o.scenario != "" {
+		if clash := scenarioConflicts(); len(clash) > 0 {
+			log.Fatalf("-scenario composes its own stressors; drop %s and use the spec's load=/faults=/kill=/churn=/power-cap= keys instead",
+				strings.Join(clash, ", "))
+		}
+	}
 
 	sweep.SetWorkers(*jobs)
 	// Scope -stats to this run: flag parsing and future multi-run drivers
@@ -281,8 +307,33 @@ func run(o options) error {
 	return err
 }
 
+// scenarioConflicts lists the explicitly-set legacy per-experiment flags
+// that -scenario supersedes: the spec owns every stressor knob, so mixing
+// the two would silently ignore one side.
+func scenarioConflicts() []string {
+	conflicting := map[string]bool{
+		"faults": true, "fault-seed": true, "seu-rate": true,
+		"kill-engine": true, "kill-cycle": true, "reconfig-failures": true,
+		"churn": true, "churn-seed": true, "churn-batch": true,
+		"churn-batches": true, "churn-vn": true,
+		"load": true, "frames": true, "packets": true,
+		"power-cap": true, "power-cap-device": true, "power-cap-lift": true,
+	}
+	var clash []string
+	flag.Visit(func(f *flag.Flag) {
+		if conflicting[f.Name] {
+			clash = append(clash, "-"+f.Name)
+		}
+	})
+	return clash
+}
+
 // dispatch runs the experiment the flags selected.
 func dispatch(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, r *core.Router, o options) error {
+	if o.scenario != "" {
+		return runScenario(sys, gen, scheme, o)
+	}
+
 	if o.faults {
 		return runFaults(sys, gen, scheme, o)
 	}
@@ -576,6 +627,103 @@ func runFaults(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, o
 
 	if rep.HealthyMismatches != 0 {
 		return fmt.Errorf("%d healthy lookups disagreed with the reference LPM", rep.HealthyMismatches)
+	}
+	return nil
+}
+
+// runScenario parses the -scenario spec, drives the composed run — every
+// requested stressor in one slice-quantised engine — and prints the unified
+// report: delivery and availability per VNID always, then a section per
+// active stressor. All numbers come from the deterministic ScenarioReport,
+// so the output is byte-identical at any -j.
+func runScenario(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, o options) error {
+	spec, err := scenario.Parse(o.scenario)
+	if err != nil {
+		return err
+	}
+	rep, err := sys.RunScenario(gen, spec)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("%s composed scenario [%s], K=%d, %d traffic cycles (+%d drain), slice %d",
+			scheme, strings.Join(rep.Stressors, " + "), rep.K,
+			rep.TrafficCycles, rep.DrainCycles, rep.SliceCycles),
+		"Quantity", "Value")
+	t.AddF("Spec", rep.Spec)
+	t.AddF("Load shape", spec.Load.String())
+	t.AddF("Delivered fraction", fmt.Sprintf("%.4f", rep.DeliveredFraction()))
+	t.AddF("Mean delay (cycles)", fmt.Sprintf("%.1f", rep.MeanDelayCycles))
+	t.AddF("Backlog peak (pkts)", rep.BacklogPeak)
+	t.AddF("Oracle mismatches", rep.Mismatches)
+	t.AddF("No-route packets", rep.NoRoute)
+	for vn := 0; vn < rep.K; vn++ {
+		t.AddF(fmt.Sprintf("VN %d offered/delivered/dropped, availability", vn),
+			fmt.Sprintf("%d / %d / %d, %.4f",
+				rep.OfferedPerVN[vn], rep.DeliveredPerVN[vn], rep.DroppedPerVN[vn], rep.Availability(vn)))
+	}
+	t.AddF("Completed", rep.Completed)
+	fmt.Println(t.String())
+
+	if spec.SEURate > 0 || spec.Kill != nil {
+		ft := report.NewTable("Fault stressor", "Quantity", "Value")
+		ft.AddF("SEUs injected / detected / repaired",
+			fmt.Sprintf("%d / %d / %d", len(rep.SEUs), rep.DetectedSEUs(), rep.RepairedSEUs()))
+		ft.AddF("Scrubs / attempts / exhausted",
+			fmt.Sprintf("%d / %d / %d", rep.Scrubs, rep.ScrubAttempts, rep.ScrubsExhausted))
+		ft.AddF("Faulted lookups (dropped, not misforwarded)", rep.FaultedLookups)
+		if rep.Kill != nil {
+			ft.AddF(fmt.Sprintf("Engine %d kill at cycle %d", rep.Kill.Engine, rep.Kill.Cycle),
+				fmt.Sprintf("detected %d, repaired %d", rep.Kill.DetectedAt, rep.Kill.RepairedAt))
+		}
+		ft.AddF("Recovered", rep.Recovered)
+		fmt.Println(ft.String())
+		if o.mttrReport && len(rep.SEUs) > 0 {
+			mt := report.NewTable("SEU lifecycle (cycles)",
+				"Seq", "Engine", "Stage/Index/Bit", "Injected", "Detected via", "Repaired", "TTR")
+			for _, u := range rep.SEUs {
+				det, repd, ttr := "-", "-", "-"
+				if u.DetectedAt >= 0 {
+					det = fmt.Sprintf("%d %s", u.DetectedAt, u.Via)
+				}
+				if u.RepairedAt >= 0 {
+					repd = fmt.Sprintf("%d", u.RepairedAt)
+					ttr = fmt.Sprintf("%d", u.RepairedAt-u.Cycle)
+				}
+				mt.AddF(u.Seq, u.Engine, fmt.Sprintf("%d/%d/%d", u.Stage, u.Index, u.Bit),
+					u.Cycle, det, repd, ttr)
+			}
+			fmt.Println(mt.String())
+		}
+	}
+
+	if spec.Churn != nil {
+		ct := report.NewTable("Churn stressor", "Quantity", "Value")
+		ct.AddF("Batches applied / aborted", fmt.Sprintf("%d / %d", rep.BatchesApplied, rep.BatchesAborted))
+		ct.AddF("Stage writes / write bubbles", fmt.Sprintf("%d / %d", rep.UpdateWrites, rep.PlannedBubbles))
+		ct.AddF("Mean update latency (cycles)", fmt.Sprintf("%.1f", rep.MeanUpdateLatencyCycles()))
+		fmt.Println(ct.String())
+		if o.updateReport && len(rep.Batches) > 0 {
+			bt := report.NewTable("Churn batch lifecycle (cycles)",
+				"Seq", "VN", "Engine", "Ops raw/coalesced", "Writes", "Bubbles", "Armed", "Committed", "Latency")
+			for i, b := range rep.Batches {
+				bt.AddF(i, b.VN, b.Engine, fmt.Sprintf("%d/%d", b.RawOps, b.CoalescedOps),
+					b.Writes, b.Bubbles, b.ArmedAt, b.DoneAt, b.LatencyCycles())
+			}
+			fmt.Println(bt.String())
+		}
+	}
+
+	if rep.Governor != nil {
+		printGovernor(rep.Governor, o.governorReport)
+	}
+
+	if rep.Mismatches != 0 {
+		return fmt.Errorf("%d lookups disagreed with their epoch's reference LPM", rep.Mismatches)
+	}
+	if !rep.Completed {
+		return fmt.Errorf("run ended with repairs, updates or backlogs outstanding")
 	}
 	return nil
 }

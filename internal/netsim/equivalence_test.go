@@ -1,0 +1,198 @@
+package netsim
+
+// Equivalence goldens: these snapshots were generated from the standalone
+// per-harness coordinator loops that predate the unified scenario engine
+// (internal/scenario). Every legacy harness — Forward, LoadTest, RunFaults,
+// RunUpdates — must keep producing byte-identical reports AND byte-identical
+// telemetry dumps (traces, time series, events) through the engine, at any
+// worker count. If one of these tests fails after an engine change, the
+// refactor changed observable behaviour: fix the engine, do not regenerate
+// the goldens casually.
+//
+// Regenerate (only for an intentional, documented behaviour change):
+//
+//	go test ./internal/netsim -run TestHarnessEquivalenceGoldens -update-equivalence
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vrpower/internal/core"
+	"vrpower/internal/faults"
+	"vrpower/internal/governor"
+	"vrpower/internal/sweep"
+)
+
+var updateEquivalence = flag.Bool("update-equivalence", false, "rewrite the harness equivalence goldens")
+
+// dumpJSON renders a report deterministically (struct field order).
+func dumpJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// equivalenceCase runs one harness configuration and renders everything
+// observable: the report as JSON plus all three telemetry dumps.
+type equivalenceCase struct {
+	name string
+	run  func(t *testing.T, tel *Telemetry) string // returns the report JSON
+}
+
+func equivalenceCases() []equivalenceCase {
+	return []equivalenceCase{
+		{"forward_vm", func(t *testing.T, tel *Telemetry) string {
+			s, tables := buildSystem(t, core.VM, 3)
+			s.SetTelemetry(tel)
+			defer s.SetTelemetry(nil)
+			rep, err := s.Forward(gen(t, 3, tables, 4000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dumpJSON(t, rep)
+		}},
+		{"load_vs", func(t *testing.T, tel *Telemetry) string {
+			s, _ := buildSystem(t, core.VS, 3)
+			s.SetTelemetry(tel)
+			defer s.SetTelemetry(nil)
+			rep, err := s.LoadTest(faultGen(t, s, 41), 0.8, 6*1024+100, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dumpJSON(t, rep)
+		}},
+		{"load_vm_governed", func(t *testing.T, tel *Telemetry) string {
+			s, _ := buildSystem(t, core.VM, 3)
+			s.SetTelemetry(tel)
+			s.SetGovernor(&governor.Config{CapWatts: capBelowSteady(s, 1, 0.35)})
+			defer s.SetGovernor(nil)
+			defer s.SetTelemetry(nil)
+			rep, err := s.LoadTest(faultGen(t, s, 37), 0.3, 12*1024, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dumpJSON(t, rep)
+		}},
+		{"faults_vs_kill", func(t *testing.T, tel *Telemetry) string {
+			s, _ := buildSystem(t, core.VS, 3)
+			s.SetTelemetry(tel)
+			defer s.SetTelemetry(nil)
+			const cycles = 8 * 1024
+			rep, err := s.RunFaults(faultGen(t, s, 29), cycles, FaultConfig{
+				Inject: faults.Config{
+					Seed: 5, SEURate: seuRateFor(s, 3, cycles),
+					Kill: true, KillEngine: 0, KillCycle: 2000,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dumpJSON(t, rep)
+		}},
+		{"faults_vm_governed", func(t *testing.T, tel *Telemetry) string {
+			s, _ := buildSystem(t, core.VM, 3)
+			s.SetTelemetry(tel)
+			s.SetGovernor(&governor.Config{CapWatts: capBelowSteady(s, 1.0/3, 0.5)})
+			defer s.SetGovernor(nil)
+			defer s.SetTelemetry(nil)
+			const cycles = 16 * 1024
+			rep, err := s.RunFaults(faultGen(t, s, 43), cycles, FaultConfig{
+				Inject: faults.Config{Seed: 7, SEURate: seuRateFor(s, 3, cycles)},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dumpJSON(t, rep)
+		}},
+		{"updates_vs", func(t *testing.T, tel *Telemetry) string {
+			s, _ := buildSystem(t, core.VS, 3)
+			s.SetTelemetry(tel)
+			defer s.SetTelemetry(nil)
+			rep, err := s.RunUpdates(faultGen(t, s, 23), 8*1024, DefaultUpdateConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dumpJSON(t, rep)
+		}},
+		{"updates_vs_governed", func(t *testing.T, tel *Telemetry) string {
+			s, _ := buildSystem(t, core.VS, 3)
+			s.SetTelemetry(tel)
+			s.SetGovernor(&governor.Config{CapWatts: capBelowSteady(s, 1.0/3, 0.5), LiftCycle: 8 * 1024})
+			defer s.SetGovernor(nil)
+			defer s.SetTelemetry(nil)
+			cfg := DefaultUpdateConfig()
+			cfg.MaxDrainSlices = 400
+			rep, err := s.RunUpdates(faultGen(t, s, 23), 16*1024, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dumpJSON(t, rep)
+		}},
+		{"updates_vm", func(t *testing.T, tel *Telemetry) string {
+			s, _ := buildSystem(t, core.VM, 3)
+			s.SetTelemetry(tel)
+			defer s.SetTelemetry(nil)
+			rep, err := s.RunUpdates(faultGen(t, s, 29), 8*1024, DefaultUpdateConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dumpJSON(t, rep)
+		}},
+	}
+}
+
+// TestHarnessEquivalenceGoldens runs every case at -j1 and -j8 and requires
+// the full observable output — report JSON, trace/series/event dumps — to be
+// byte-identical to the pre-refactor snapshot at both worker counts.
+func TestHarnessEquivalenceGoldens(t *testing.T) {
+	defer sweep.SetWorkers(0)
+	for _, c := range equivalenceCases() {
+		t.Run(c.name, func(t *testing.T) {
+			var rendered string
+			for i, workers := range []int{1, 8} {
+				sweep.SetWorkers(workers)
+				tel := testTelemetry(0.05, 99)
+				repJSON := c.run(t, tel)
+				traces, series, events := dumps(t, tel)
+				got := strings.Join([]string{
+					"== report ==", repJSON,
+					"== traces ==", traces,
+					"== series ==", series,
+					"== events ==", events,
+				}, "\n")
+				if i == 0 {
+					rendered = got
+					continue
+				}
+				if got != rendered {
+					t.Fatalf("%s: output differs between -j1 and -j8", c.name)
+				}
+			}
+			path := filepath.Join("testdata", "equiv_"+c.name+".golden")
+			if *updateEquivalence {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(rendered), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden %s (run with -update-equivalence): %v", path, err)
+			}
+			if rendered != string(want) {
+				t.Errorf("%s drifted from the pre-refactor snapshot (%d vs %d bytes).\nIf this change is intentional, regenerate with -update-equivalence and call it out in the PR.\n--- got (first 2000 bytes) ---\n%.2000s",
+					c.name, len(rendered), len(want), rendered)
+			}
+		})
+	}
+}

@@ -9,10 +9,13 @@ package netsim
 // tables, reload under bounded retry + backoff). Degradation follows the
 // schemes' asymmetry: a separate-engine failure blackholes only its own
 // VNID, while the merged engine takes every network down for the reload
-// window. All fault logic runs in the single coordinating goroutine; only
-// the per-engine pipeline simulations fan out over the worker pool, and
-// their results are folded back in engine order — so the same seed yields
-// byte-identical reports at any -j.
+// window.
+//
+// The run is a scenario-engine configuration: faultRun is both the
+// stressor (boundary: land reloads, start scrubs; pre-slice: kills, SEU
+// injection, background sweep) and the kernel (slice-batch arrivals fanned
+// over fresh per-slice simulators, folded in engine order) — so the same
+// seed yields byte-identical reports at any -j.
 
 import (
 	"fmt"
@@ -24,6 +27,7 @@ import (
 	"vrpower/internal/ip"
 	"vrpower/internal/obs"
 	"vrpower/internal/pipeline"
+	"vrpower/internal/scenario"
 	"vrpower/internal/sweep"
 	"vrpower/internal/traffic"
 )
@@ -269,6 +273,343 @@ func (e *engState) sweepStep(words int) bool {
 	return hit
 }
 
+// faultRun is the fault harness's stressor + kernel pair over one shared
+// state: the engine calls Boundary/PreSlice for the control-plane work and
+// RunSlice for the slice-batch traffic.
+type faultRun struct {
+	s        *System
+	cfg      FaultConfig
+	scheme   core.Scheme
+	in       *faults.Injector
+	scrubber *ctrl.Scrubber
+	engines  []*engState
+	rep      *FaultReport
+	gv       *scenario.GovRun
+	gen      *traffic.Generator
+	dropVN   []*obs.Counter
+	S        int64
+	// utils/upVN/reloadFlags are the per-slice measurement scratch; utils
+	// is zeroed for the drain (no offered traffic: static power only).
+	utils       []float64
+	upVN        []bool
+	reloadFlags []bool
+}
+
+func (f *faultRun) Name() string { return "faults" }
+
+// install lands a completed reload: the clean image goes into service and
+// every outstanding upset on the engine is stamped repaired.
+func (f *faultRun) install(eIdx int, e *engState) {
+	rep, tel := f.rep, f.s.tel
+	at := e.repairAt
+	tel.Events.Log(obs.LevelInfo, at, "scrub_done", "engine", eIdx, "repaired", len(e.outstanding))
+	if e.killed && rep.Kill != nil && rep.Kill.Engine == eIdx {
+		rep.Kill.RepairedAt = at
+	}
+	e.img = e.pending
+	e.pending = nil
+	e.reloading = false
+	e.killed = false
+	e.repairAt = -1
+	e.sweepStage, e.sweepIdx = 0, 0
+	for _, i := range e.outstanding {
+		r := &rep.SEUs[i]
+		r.RepairedAt = at
+		if r.Cycle >= at {
+			// The upset landed inside the reload window, after this
+			// word's rewrite would have passed: charge one cycle.
+			r.RepairedAt = r.Cycle + 1
+		}
+		if r.DetectedAt < 0 {
+			r.DetectedAt = r.RepairedAt
+			r.Via = ViaReload
+			obsFaultsDetected.Inc()
+		}
+	}
+	obsFaultsRepaired.Add(int64(len(e.outstanding)))
+	e.outstanding = e.outstanding[:0]
+	e.detectVia = ""
+}
+
+// startScrub consumes a detection flag at boundary b: outstanding upsets
+// are stamped detected and the engine goes down for the repair latency.
+func (f *faultRun) startScrub(eIdx int, e *engState, b int64) {
+	rep, tel := f.rep, f.s.tel
+	via := e.detectVia
+	e.detectVia = ""
+	for _, i := range e.outstanding {
+		if rep.SEUs[i].DetectedAt < 0 {
+			rep.SEUs[i].DetectedAt = b
+			rep.SEUs[i].Via = via
+			obsFaultsDetected.Inc()
+		}
+	}
+	tel.Events.Log(obs.LevelInfo, b, "scrub_start", "engine", eIdx, "via", via, "outstanding", len(e.outstanding))
+	res, err := f.scrubber.Scrub(f.s.rebuildEngine(eIdx))
+	rep.Scrubs++
+	rep.ScrubAttempts += res.Attempts
+	if err != nil {
+		// Retry budget exhausted: the engine is dead for the rest of
+		// the run (separate scheme: its VNID blackholes; merged: all K).
+		rep.ScrubsExhausted++
+		e.dead = true
+		tel.Events.Log(obs.LevelError, b, "engine_dead", "engine", eIdx, "attempts", res.Attempts)
+		return
+	}
+	e.reloading = true
+	e.pending = res.Image
+	e.repairAt = b + res.LatencyCycles
+	tel.Events.Log(obs.LevelInfo, b, "scrub_reload",
+		"engine", eIdx, "attempts", res.Attempts, "writes", res.Writes,
+		"latency_cycles", res.LatencyCycles, "ready_at", e.repairAt)
+}
+
+// Boundary runs the control-plane work at cycle b: land finished reloads,
+// then turn last slice's detection flags into scrubs.
+func (f *faultRun) Boundary(b int64, _ bool) error {
+	rep := f.rep
+	for eIdx, e := range f.engines {
+		// The control-plane heartbeat notices a killed engine at the
+		// boundary even when a reload is already in flight (the reload
+		// then doubles as the repair).
+		if e.killed && rep.Kill != nil && rep.Kill.Engine == eIdx && rep.Kill.DetectedAt < 0 {
+			rep.Kill.DetectedAt = b
+		}
+		if e.reloading && e.repairAt <= b {
+			f.install(eIdx, e)
+		}
+		if !e.dead && !e.reloading && (e.detectVia != "" || e.killed) {
+			if e.detectVia == "" {
+				e.detectVia = ViaHeartbeat
+			}
+			f.startScrub(eIdx, e, b)
+		}
+	}
+	return nil
+}
+
+// PreSlice schedules the slice's adversity before any arrival: the hard
+// kill, this slice's SEUs (live slices only — the drain injects nothing
+// new), then the background readback sweep over in-service engines.
+func (f *faultRun) PreSlice(b, n int64, draining bool) error {
+	rep, tel := f.rep, f.s.tel
+	if !draining {
+		// Scheduled hard failure: the engine drops out mid-slice; the
+		// heartbeat notices at the next boundary.
+		for eIdx, e := range f.engines {
+			if f.in.KillDue(eIdx, b+n) {
+				e.killed = true
+				rep.Kill = &KillRecord{Engine: eIdx, Cycle: f.cfg.Inject.KillCycle, DetectedAt: -1, RepairedAt: -1}
+				tel.Events.Log(obs.LevelError, f.cfg.Inject.KillCycle, "engine_kill", "engine", eIdx)
+			}
+		}
+		// Inject this slice's upsets into the serving images.
+		for eIdx, e := range f.engines {
+			for _, u := range f.in.UpsetsThrough(eIdx, b+n) {
+				faults.ApplyUpset(e.img, u)
+				rep.SEUs = append(rep.SEUs, SEURecord{Upset: u, DetectedAt: -1, RepairedAt: -1})
+				e.outstanding = append(e.outstanding, len(rep.SEUs)-1)
+				tel.Events.Log(obs.LevelWarn, u.Cycle, "seu_inject",
+					"engine", eIdx, "seq", u.Seq, "stage", u.Stage, "index", int(u.Index), "bit", u.Bit)
+			}
+		}
+	}
+	// Background readback sweep over the in-service engines.
+	for _, e := range f.engines {
+		if !e.down() && e.sweepStep(int(n)*f.cfg.SweepWordsPerCycle) && e.detectVia == "" {
+			e.detectVia = ViaSweep
+		}
+	}
+	return nil
+}
+
+// Outstanding keeps the drain going while a reload is in flight, a kill is
+// undetected, or an upset is still detectable (the sweep is running, or a
+// detection flag is already raised).
+func (f *faultRun) Outstanding() bool {
+	for _, e := range f.engines {
+		if e.reloading || e.killed {
+			return true
+		}
+		if !e.dead && len(e.outstanding) > 0 && (f.cfg.SweepWordsPerCycle > 0 || e.detectVia != "") {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSlice offers one packet per cycle (live slices; the drain offers
+// nothing), fans the disjoint per-engine request batches over the worker
+// pool on fresh parity-checking simulators, and folds results back in
+// engine order.
+func (f *faultRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) {
+	s, rep, gv := f.s, f.rep, f.gv
+	tel := s.tel
+	tracing := tel.Tracing()
+	var sliceDelivered int64
+	if live {
+		pkts := f.gen.Batch(int(n))
+		perEngine := make([][]pipeline.Request, len(f.engines))
+		var perEngineSeq [][]int64 // traced runs: each request's arrival cycle
+		if tracing {
+			perEngineSeq = make([][]int64, len(f.engines))
+		}
+		for i, p := range pkts {
+			if p.VN < 0 || p.VN >= s.k {
+				return scenario.SliceStats{}, fmt.Errorf("netsim: packet VN %d outside [0,%d)", p.VN, s.k)
+			}
+			rep.OfferedPerVN[p.VN]++
+			eIdx := s.engineOf(p.VN)
+			// Governor throttling at the arrival grain: this harness batches
+			// whole slices through the pipelines, so frequency stepping and
+			// admission control pace the arrivals instead of the clock.
+			if gv != nil && gv.DropPaced(p.VN, eIdx) {
+				rep.DroppedPerVN[p.VN]++
+				continue
+			}
+			// Seq is the arrival cycle — unique at one packet per cycle.
+			seq := b + int64(i)
+			if f.engines[eIdx].down() {
+				rep.DroppedPerVN[p.VN]++
+				f.dropVN[p.VN].Inc()
+				obsFaultDrops.Inc()
+				if tracing && tel.Sampler.Sample(p.VN, seq) {
+					tel.PutDropTrace(seq, p.VN, eIdx, seq, p.Addr)
+				}
+				continue
+			}
+			reqVN := 0
+			if f.scheme == core.VM {
+				reqVN = p.VN
+			}
+			req := pipeline.Request{Addr: p.Addr, VN: reqVN}
+			if tracing {
+				req.Trace = tel.Sampler.Sample(p.VN, seq)
+				perEngineSeq[eIdx] = append(perEngineSeq[eIdx], seq)
+			}
+			perEngine[eIdx] = append(perEngine[eIdx], req)
+		}
+		downEngines := 0
+		for _, e := range f.engines {
+			if e.down() {
+				downEngines++
+			}
+		}
+		for vn := 0; vn < s.k; vn++ {
+			down := f.engines[s.engineOf(vn)].down()
+			f.upVN[vn] = !down
+			if down {
+				rep.UnavailableCyclesPerVN[vn] += n
+			}
+		}
+		type vnCounts struct {
+			delivered, dropped, noRoute, mismatch, faulted int64
+		}
+		type engineRun struct {
+			perVN   []vnCounts
+			faulted bool
+			// util is the slice-local stage utilization feeding the power model.
+			util float64
+		}
+		// The engines' pipeline simulations are the only fan-out: disjoint
+		// request slices, results folded back in engine order.
+		runs, err := sweep.Run(len(f.engines), func(eIdx int) (engineRun, error) {
+			reqs := perEngine[eIdx]
+			if len(reqs) == 0 {
+				return engineRun{}, nil
+			}
+			sim := pipeline.NewSim(f.engines[eIdx].img)
+			sim.EnableParityCheck()
+			results, st, err := sim.Run(reqs, 1)
+			if err != nil {
+				return engineRun{}, err
+			}
+			run := engineRun{perVN: make([]vnCounts, s.k), util: st.Utilization()}
+			for ri, res := range results {
+				vn := res.VN
+				if f.scheme != core.VM {
+					vn = eIdx
+				}
+				c := &run.perVN[vn]
+				if res.Faulted {
+					// Corruption read mid-lookup: drop, never misforward.
+					c.faulted++
+					c.dropped++
+					run.faulted = true
+					if res.Trace {
+						tel.PutLookupTrace(perEngineSeq[eIdx][ri], vn, eIdx, b, res, 0, "drop-fault")
+					}
+					continue
+				}
+				want := s.refs[vn].Lookup(res.Addr)
+				if res.Trace {
+					tel.PutLookupTrace(perEngineSeq[eIdx][ri], vn, eIdx, b, res, 0, scenario.LookupOutcome(res, want))
+				}
+				if res.NHI != want {
+					c.mismatch++
+					continue
+				}
+				c.delivered++
+				if want == ip.NoRoute {
+					c.noRoute++
+				}
+			}
+			return run, nil
+		})
+		if err != nil {
+			return scenario.SliceStats{}, err
+		}
+		for eIdx, run := range runs {
+			f.utils[eIdx] = run.util
+			if run.faulted && !f.engines[eIdx].down() && f.engines[eIdx].detectVia == "" {
+				f.engines[eIdx].detectVia = ViaAccess
+			}
+			for vn := range run.perVN {
+				c := run.perVN[vn]
+				rep.DeliveredPerVN[vn] += c.delivered
+				rep.DroppedPerVN[vn] += c.dropped
+				rep.NoRoute += c.noRoute
+				rep.HealthyMismatches += c.mismatch
+				rep.FaultedLookups += c.faulted
+				sliceDelivered += c.delivered
+				if c.faulted > 0 {
+					f.dropVN[vn].Add(c.faulted)
+					obsFaultDrops.Add(c.faulted)
+				}
+			}
+		}
+		return scenario.SliceStats{
+			Util: f.utils, Delivered: sliceDelivered, Scrubs: downEngines,
+			Avail: f.upVN, Reloading: f.reloading(),
+		}, nil
+	}
+	// Drain slice: no offered traffic (static power only — utils stay
+	// zeroed), but availability and down counts still feed the row.
+	for i := range f.utils {
+		f.utils[i] = 0
+	}
+	downEngines := 0
+	for _, e := range f.engines {
+		if e.down() {
+			downEngines++
+		}
+	}
+	for vn := 0; vn < s.k; vn++ {
+		f.upVN[vn] = !f.engines[s.engineOf(vn)].down()
+	}
+	return scenario.SliceStats{
+		Util: f.utils, Scrubs: downEngines, Avail: f.upVN, Reloading: f.reloading(),
+	}, nil
+}
+
+// reloading flags engines mid-reload for the governor's sample.
+func (f *faultRun) reloading() []bool {
+	for i, e := range f.engines {
+		f.reloadFlags[i] = e.reloading
+	}
+	return f.reloadFlags
+}
+
 // RunFaults drives the router for trafficCycles cycles of back-to-back
 // offered traffic (one packet per cycle) under the configured fault
 // schedule, then drains until outstanding repairs land. The returned report
@@ -283,7 +624,6 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 		return FaultReport{}, fmt.Errorf("netsim: slice of %d cycles, want >= 1", cfg.SliceCycles)
 	}
 	images := s.router.Images()
-	scheme := s.router.Config().Scheme
 	in, err := faults.NewInjector(cfg.Inject, images)
 	if err != nil {
 		return FaultReport{}, err
@@ -296,21 +636,12 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 	for vn := range dropVN {
 		dropVN[vn] = obs.NewCounter(fmt.Sprintf("netsim.fault_drops.vn%02d", vn))
 	}
-	tel := s.tel
-	tracing := tel.tracing()
-	s.initSeries()
-	scrubber.SetEventLog(tel.Events)
+	scrubber.SetEventLog(s.tel.Events)
 	gv, err := s.newGovRun()
 	if err != nil {
 		return FaultReport{}, err
 	}
 
-	engineOf := func(vn int) int {
-		if scheme == core.VM {
-			return 0
-		}
-		return vn
-	}
 	engines := make([]*engState, len(images))
 	maxWords := 0
 	for e := range images {
@@ -321,289 +652,23 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 	}
 
 	S := cfg.SliceCycles
-	slices := (trafficCycles + S - 1) / S
 	rep := FaultReport{
-		Scheme:                 scheme,
+		Scheme:                 s.router.Config().Scheme,
 		K:                      s.k,
-		TrafficCycles:          slices * S,
 		SliceCycles:            S,
 		OfferedPerVN:           make([]int64, s.k),
 		DeliveredPerVN:         make([]int64, s.k),
 		DroppedPerVN:           make([]int64, s.k),
 		UnavailableCyclesPerVN: make([]int64, s.k),
 	}
-
-	// install lands a completed reload: the clean image goes into service
-	// and every outstanding upset on the engine is stamped repaired.
-	install := func(eIdx int, e *engState) {
-		at := e.repairAt
-		tel.Events.Log(obs.LevelInfo, at, "scrub_done", "engine", eIdx, "repaired", len(e.outstanding))
-		if e.killed && rep.Kill != nil && rep.Kill.Engine == eIdx {
-			rep.Kill.RepairedAt = at
-		}
-		e.img = e.pending
-		e.pending = nil
-		e.reloading = false
-		e.killed = false
-		e.repairAt = -1
-		e.sweepStage, e.sweepIdx = 0, 0
-		for _, i := range e.outstanding {
-			r := &rep.SEUs[i]
-			r.RepairedAt = at
-			if r.Cycle >= at {
-				// The upset landed inside the reload window, after this
-				// word's rewrite would have passed: charge one cycle.
-				r.RepairedAt = r.Cycle + 1
-			}
-			if r.DetectedAt < 0 {
-				r.DetectedAt = r.RepairedAt
-				r.Via = ViaReload
-				obsFaultsDetected.Inc()
-			}
-		}
-		obsFaultsRepaired.Add(int64(len(e.outstanding)))
-		e.outstanding = e.outstanding[:0]
-		e.detectVia = ""
+	f := &faultRun{
+		s: s, cfg: cfg, scheme: rep.Scheme, in: in, scrubber: scrubber,
+		engines: engines, rep: &rep, gv: gv, gen: gen, dropVN: dropVN, S: S,
+		utils:       make([]float64, len(engines)),
+		upVN:        make([]bool, s.k),
+		reloadFlags: make([]bool, len(engines)),
 	}
 
-	// startScrub consumes a detection flag at boundary b: outstanding upsets
-	// are stamped detected and the engine goes down for the repair latency.
-	startScrub := func(eIdx int, e *engState, b int64) {
-		via := e.detectVia
-		e.detectVia = ""
-		for _, i := range e.outstanding {
-			if rep.SEUs[i].DetectedAt < 0 {
-				rep.SEUs[i].DetectedAt = b
-				rep.SEUs[i].Via = via
-				obsFaultsDetected.Inc()
-			}
-		}
-		tel.Events.Log(obs.LevelInfo, b, "scrub_start", "engine", eIdx, "via", via, "outstanding", len(e.outstanding))
-		res, err := scrubber.Scrub(s.rebuildEngine(eIdx))
-		rep.Scrubs++
-		rep.ScrubAttempts += res.Attempts
-		if err != nil {
-			// Retry budget exhausted: the engine is dead for the rest of
-			// the run (separate scheme: its VNID blackholes; merged: all K).
-			rep.ScrubsExhausted++
-			e.dead = true
-			tel.Events.Log(obs.LevelError, b, "engine_dead", "engine", eIdx, "attempts", res.Attempts)
-			return
-		}
-		e.reloading = true
-		e.pending = res.Image
-		e.repairAt = b + res.LatencyCycles
-		tel.Events.Log(obs.LevelInfo, b, "scrub_reload",
-			"engine", eIdx, "attempts", res.Attempts, "writes", res.Writes,
-			"latency_cycles", res.LatencyCycles, "ready_at", e.repairAt)
-	}
-
-	// boundary runs the control-plane work at cycle b = t*S: land finished
-	// reloads, then turn last slice's detection flags into scrubs.
-	boundary := func(b int64) {
-		for eIdx, e := range engines {
-			// The control-plane heartbeat notices a killed engine at the
-			// boundary even when a reload is already in flight (the reload
-			// then doubles as the repair).
-			if e.killed && rep.Kill != nil && rep.Kill.Engine == eIdx && rep.Kill.DetectedAt < 0 {
-				rep.Kill.DetectedAt = b
-			}
-			if e.reloading && e.repairAt <= b {
-				install(eIdx, e)
-			}
-			if !e.dead && !e.reloading && (e.detectVia != "" || e.killed) {
-				if e.detectVia == "" {
-					e.detectVia = ViaHeartbeat
-				}
-				startScrub(eIdx, e, b)
-			}
-		}
-	}
-
-	type vnCounts struct {
-		delivered, dropped, noRoute, mismatch, faulted int64
-	}
-	type engineRun struct {
-		perVN   []vnCounts
-		faulted bool
-		// util is the slice-local stage utilization feeding the power model.
-		util float64
-	}
-	utils := make([]float64, len(engines))
-	upVN := make([]bool, s.k)
-	reloadFlags := make([]bool, len(engines))
-	// observeSlice feeds the governor one slice's measurement (reloading
-	// engines flagged as the transient spikes they are) and returns the
-	// telemetry row's power/cap/rung triple.
-	observeSlice := func(b, cycles int64) (powerW, capW, rung float64) {
-		powerW = s.slicePower(utils)
-		if gv == nil {
-			return powerW, 0, 0
-		}
-		for i, e := range engines {
-			reloadFlags[i] = e.reloading
-		}
-		d := gv.observe(b, cycles, utils, reloadFlags)
-		return d.PowerW, d.CapW, float64(d.ObservedRung)
-	}
-
-	for t := int64(0); t < slices; t++ {
-		b := t * S
-		boundary(b)
-		// Scheduled hard failure: the engine drops out mid-slice; the
-		// heartbeat notices at the next boundary.
-		for eIdx, e := range engines {
-			if in.KillDue(eIdx, b+S) {
-				e.killed = true
-				rep.Kill = &KillRecord{Engine: eIdx, Cycle: cfg.Inject.KillCycle, DetectedAt: -1, RepairedAt: -1}
-				tel.Events.Log(obs.LevelError, cfg.Inject.KillCycle, "engine_kill", "engine", eIdx)
-			}
-		}
-		// Inject this slice's upsets into the serving images.
-		for eIdx, e := range engines {
-			for _, u := range in.UpsetsThrough(eIdx, b+S) {
-				faults.ApplyUpset(e.img, u)
-				rep.SEUs = append(rep.SEUs, SEURecord{Upset: u, DetectedAt: -1, RepairedAt: -1})
-				e.outstanding = append(e.outstanding, len(rep.SEUs)-1)
-				tel.Events.Log(obs.LevelWarn, u.Cycle, "seu_inject",
-					"engine", eIdx, "seq", u.Seq, "stage", u.Stage, "index", int(u.Index), "bit", u.Bit)
-			}
-		}
-		// Background readback sweep over the in-service engines.
-		for _, e := range engines {
-			if !e.down() && e.sweepStep(int(S)*cfg.SweepWordsPerCycle) && e.detectVia == "" {
-				e.detectVia = ViaSweep
-			}
-		}
-		// Offer one packet per cycle; down engines drop theirs on the floor.
-		pkts := gen.Batch(int(S))
-		perEngine := make([][]pipeline.Request, len(engines))
-		var perEngineSeq [][]int64 // traced runs: each request's arrival cycle
-		if tracing {
-			perEngineSeq = make([][]int64, len(engines))
-		}
-		for i, p := range pkts {
-			if p.VN < 0 || p.VN >= s.k {
-				return FaultReport{}, fmt.Errorf("netsim: packet VN %d outside [0,%d)", p.VN, s.k)
-			}
-			rep.OfferedPerVN[p.VN]++
-			eIdx := engineOf(p.VN)
-			// Governor throttling at the arrival grain: this harness batches
-			// whole slices through the pipelines, so frequency stepping and
-			// admission control pace the arrivals instead of the clock.
-			if gv != nil && gv.dropPaced(p.VN, eIdx) {
-				rep.DroppedPerVN[p.VN]++
-				continue
-			}
-			// Seq is the arrival cycle — unique at one packet per cycle.
-			seq := b + int64(i)
-			if engines[eIdx].down() {
-				rep.DroppedPerVN[p.VN]++
-				dropVN[p.VN].Inc()
-				obsFaultDrops.Inc()
-				if tracing && tel.Sampler.Sample(p.VN, seq) {
-					tel.putDropTrace(seq, p.VN, eIdx, seq, p.Addr)
-				}
-				continue
-			}
-			reqVN := 0
-			if scheme == core.VM {
-				reqVN = p.VN
-			}
-			req := pipeline.Request{Addr: p.Addr, VN: reqVN}
-			if tracing {
-				req.Trace = tel.Sampler.Sample(p.VN, seq)
-				perEngineSeq[eIdx] = append(perEngineSeq[eIdx], seq)
-			}
-			perEngine[eIdx] = append(perEngine[eIdx], req)
-		}
-		downEngines := 0
-		for _, e := range engines {
-			if e.down() {
-				downEngines++
-			}
-		}
-		for vn := 0; vn < s.k; vn++ {
-			down := engines[engineOf(vn)].down()
-			upVN[vn] = !down
-			if down {
-				rep.UnavailableCyclesPerVN[vn] += S
-			}
-		}
-		// The engines' pipeline simulations are the only fan-out: disjoint
-		// request slices, results folded back in engine order.
-		runs, err := sweep.Run(len(engines), func(eIdx int) (engineRun, error) {
-			reqs := perEngine[eIdx]
-			if len(reqs) == 0 {
-				return engineRun{}, nil
-			}
-			sim := pipeline.NewSim(engines[eIdx].img)
-			sim.EnableParityCheck()
-			results, st, err := sim.Run(reqs, 1)
-			if err != nil {
-				return engineRun{}, err
-			}
-			run := engineRun{perVN: make([]vnCounts, s.k), util: st.Utilization()}
-			for ri, res := range results {
-				vn := res.VN
-				if scheme != core.VM {
-					vn = eIdx
-				}
-				c := &run.perVN[vn]
-				if res.Faulted {
-					// Corruption read mid-lookup: drop, never misforward.
-					c.faulted++
-					c.dropped++
-					run.faulted = true
-					if res.Trace {
-						tel.putLookupTrace(perEngineSeq[eIdx][ri], vn, eIdx, b, res, 0, "drop-fault")
-					}
-					continue
-				}
-				want := s.refs[vn].Lookup(res.Addr)
-				if res.Trace {
-					tel.putLookupTrace(perEngineSeq[eIdx][ri], vn, eIdx, b, res, 0, lookupOutcome(res, want))
-				}
-				if res.NHI != want {
-					c.mismatch++
-					continue
-				}
-				c.delivered++
-				if want == ip.NoRoute {
-					c.noRoute++
-				}
-			}
-			return run, nil
-		})
-		if err != nil {
-			return FaultReport{}, err
-		}
-		var sliceDelivered int64
-		for eIdx, run := range runs {
-			utils[eIdx] = run.util
-			if run.faulted && !engines[eIdx].down() && engines[eIdx].detectVia == "" {
-				engines[eIdx].detectVia = ViaAccess
-			}
-			for vn := range run.perVN {
-				c := run.perVN[vn]
-				rep.DeliveredPerVN[vn] += c.delivered
-				rep.DroppedPerVN[vn] += c.dropped
-				rep.NoRoute += c.noRoute
-				rep.HealthyMismatches += c.mismatch
-				rep.FaultedLookups += c.faulted
-				sliceDelivered += c.delivered
-				if c.faulted > 0 {
-					dropVN[vn].Add(c.faulted)
-					obsFaultDrops.Add(c.faulted)
-				}
-			}
-		}
-		powerW, capW, rung := observeSlice(b, S)
-		s.appendSlice(b, powerW, s.sliceGbps(sliceDelivered, S), 0, downEngines, 0, capW, rung, upVN)
-	}
-
-	// Drain: no new traffic or faults, but keep sweeping and scrubbing until
-	// every repair lands (or the bound trips — e.g. a dead engine).
 	maxDrain := cfg.MaxDrainSlices
 	if maxDrain == 0 {
 		maxDrain = 16
@@ -611,45 +676,18 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 			maxDrain += 4 * (maxWords/(int(S)*cfg.SweepWordsPerCycle) + 1)
 		}
 	}
-	outstanding := func() bool {
-		for _, e := range engines {
-			if e.reloading || e.killed {
-				return true
-			}
-			if !e.dead && len(e.outstanding) > 0 && (cfg.SweepWordsPerCycle > 0 || e.detectVia != "") {
-				return true
-			}
-		}
-		return false
+	eng := s.engine()
+	eng.Cycles = trafficCycles
+	eng.SliceCycles = S
+	eng.MaxDrainSlices = maxDrain
+	eng.Gov = gv
+	eng.Stressors = []scenario.Stressor{f}
+	eng.Kernel = f
+	if err := eng.Run(); err != nil {
+		return FaultReport{}, err
 	}
-	drained := int64(0)
-	for i := range utils {
-		utils[i] = 0 // no offered traffic in the drain: static power only
-	}
-	for d := 0; d < maxDrain && outstanding(); d++ {
-		b := slices*S + drained
-		boundary(b)
-		for _, e := range engines {
-			if !e.down() && e.sweepStep(int(S)*cfg.SweepWordsPerCycle) && e.detectVia == "" {
-				e.detectVia = ViaSweep
-			}
-		}
-		downEngines := 0
-		for _, e := range engines {
-			if e.down() {
-				downEngines++
-			}
-		}
-		for vn := 0; vn < s.k; vn++ {
-			upVN[vn] = !engines[engineOf(vn)].down()
-		}
-		powerW, capW, rung := observeSlice(b, S)
-		s.appendSlice(b, powerW, 0, 0, downEngines, 0, capW, rung, upVN)
-		drained += S
-	}
-	// A final boundary lands a reload that completed exactly at the bound.
-	boundary(slices*S + drained)
-	rep.DrainCycles = drained
+	rep.TrafficCycles = eng.TrafficCycles
+	rep.DrainCycles = eng.DrainCycles
 
 	rep.Recovered = true
 	for _, e := range engines {
@@ -658,7 +696,7 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 		}
 	}
 	if gv != nil {
-		rep.Governor = gv.g.Report()
+		rep.Governor = gv.Report()
 	}
 	return rep, nil
 }

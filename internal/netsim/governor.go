@@ -1,26 +1,20 @@
 package netsim
 
-// Governor glue: attaches the closed-loop power-envelope controller
-// (internal/governor) to the run harnesses. The harness measures per-engine
-// utilization every slice, the governor re-evaluates the paper's power
-// models against the configured caps and picks a ladder rung, and this file
-// translates the rung into harness actuation — deterministic serve pacers
-// for DVFS frequency stepping, engine quiescing, merged-scheme admission
-// control, and brownout drops. All decisions happen on the coordinating
-// goroutine, so governed runs stay byte-identical at any -j.
+// Governor attachment. The actuation machinery — slice-grain observe,
+// deterministic serve pacers, admission control, per-engine gates — lives in
+// internal/scenario (GovRun, EngineGate) and is driven by the scenario
+// engine; this file keeps the System-level configuration surface and the
+// observe-only batch assessment.
 
 import (
 	"vrpower/internal/governor"
 	"vrpower/internal/obs"
+	"vrpower/internal/scenario"
 )
 
-// obsGovernorDrops counts arrivals the governor refused (throttled or
-// browned out) across all harnesses.
-var obsGovernorDrops = obs.NewCounter("netsim.governor_drops")
-
 // SetGovernor attaches a power-envelope governor configuration; every
-// subsequent LoadTest/RunFaults/RunUpdates call runs governed, and
-// AssessPower becomes available for batch runs. Nil detaches.
+// subsequent LoadTest/RunFaults/RunUpdates/RunScenario call runs governed,
+// and AssessPower becomes available for batch runs. Nil detaches.
 func (s *System) SetGovernor(cfg *governor.Config) { s.gov = cfg }
 
 // plant exposes the router to the governor: the placed design (FMHz at
@@ -33,129 +27,10 @@ func (s *System) plant() governor.Plant {
 	}
 }
 
-// govRun is one harness run's governor instance plus its actuation state:
-// the decision in force and the deterministic serve pacers derived from it.
-type govRun struct {
-	g   *governor.Governor
-	dec governor.Decision
-	// freq paces each engine's serve cycles at the rung's clock fraction;
-	// admit paces each network's admitted arrivals at the rung's admission
-	// fraction (only below 1 for merged-scheme rungs).
-	freq  []governor.Pacer
-	admit []governor.Pacer
-}
-
-// newGovRun builds the run's governor, or returns (nil, nil) when the
+// newGovRun builds one run's governor actuation, or (nil, nil) when the
 // system has none attached.
-func (s *System) newGovRun() (*govRun, error) {
-	if s.gov == nil {
-		return nil, nil
-	}
-	g, err := governor.New(*s.gov, s.plant())
-	if err != nil {
-		return nil, err
-	}
-	g.SetEventLog(s.tel.Events)
-	r, i := g.Current()
-	gv := &govRun{
-		g:     g,
-		freq:  make([]governor.Pacer, len(s.router.Design().Engines)),
-		admit: make([]governor.Pacer, s.k),
-	}
-	gv.apply(governor.Decision{ObservedRung: i, RungIndex: i, Rung: r})
-	return gv, nil
-}
-
-// apply installs a decision: fresh pacers so the new rung's cadence starts
-// phase-aligned at the slice boundary.
-func (gv *govRun) apply(d governor.Decision) {
-	gv.dec = d
-	for e := range gv.freq {
-		gv.freq[e] = governor.NewPacer(d.Rung.FreqFrac)
-	}
-	for vn := range gv.admit {
-		gv.admit[vn] = governor.NewPacer(d.Rung.AdmitFrac)
-	}
-}
-
-// observe feeds one slice's measured utilization (and reload flags) to the
-// governor and actuates its decision for the next slice.
-func (gv *govRun) observe(cycle, cycles int64, util []float64, reloading []bool) governor.Decision {
-	d := gv.g.Observe(governor.Sample{Cycle: cycle, Cycles: cycles, Util: util, Reloading: reloading})
-	gv.apply(d)
-	return d
-}
-
-// engineServes reports whether engine e gets an input slot this cycle:
-// quiesced engines never serve; frequency-stepped ones serve the rung's
-// fraction of cycles on the pacer's even cadence.
-func (gv *govRun) engineServes(e int) bool {
-	if gv.dec.Rung.QuiescedEngine(e) {
-		return false
-	}
-	return gv.freq[e].Tick()
-}
-
-// admitArrival applies the rung's admission policy to one arrival for
-// network vn steered to the given engine; it returns true when the arrival
-// must be dropped, charging the drop to the right per-VNID counter.
-func (gv *govRun) admitArrival(vn, engine int) bool {
-	r := gv.dec.Rung
-	switch {
-	case r.Brownout:
-		gv.g.CountBrownout(vn)
-	case r.QuiescedEngine(engine):
-		gv.g.CountThrottled(vn)
-	case !gv.admit[vn].Tick():
-		gv.g.CountThrottled(vn)
-	default:
-		return false
-	}
-	obsGovernorDrops.Inc()
-	return true
-}
-
-// dropPaced is admitArrival plus frequency pacing at the arrival grain, for
-// harnesses that batch whole slices through the pipelines (no per-cycle
-// service loop to gate): a frequency-stepped engine accepts only the rung's
-// fraction of its arrivals.
-func (gv *govRun) dropPaced(vn, engine int) bool {
-	if gv.admitArrival(vn, engine) {
-		return true
-	}
-	if !gv.freq[engine].Tick() {
-		gv.g.CountThrottled(vn)
-		obsGovernorDrops.Inc()
-		return true
-	}
-	return false
-}
-
-// applyGov installs a rung on one update-run engine. The hitless harness
-// defers rather than drops: quiescing and admission control gate the
-// engine's backlog pulls (arrivals wait), frequency stepping gates its whole
-// clock — but write bubbles always flow, so an armed update still commits.
-func (e *updEng) applyGov(r governor.Rung, idx int) {
-	e.govQuiesced = r.Brownout || r.QuiescedEngine(idx)
-	e.govFreq = nil
-	if r.FreqFrac < 1 {
-		p := governor.NewPacer(r.FreqFrac)
-		e.govFreq = &p
-	}
-	e.govAdmit = nil
-	if r.AdmitFrac < 1 {
-		p := governor.NewPacer(r.AdmitFrac)
-		e.govAdmit = &p
-	}
-}
-
-// govHold reports whether this cycle's backlog pull is gated by the
-// governor (quiesced, or an admission pacer miss).
-func (e *updEng) govHold() bool {
-	if e.govQuiesced {
-		return true
-	}
-	return e.govAdmit != nil && !e.govAdmit.Tick()
+func (s *System) newGovRun() (*scenario.GovRun, error) {
+	return scenario.NewGovRun(s.gov, s.plant(), len(s.router.Design().Engines), s.k, s.tel.Events)
 }
 
 // AssessPower evaluates the attached governor's caps against a completed

@@ -3,6 +3,13 @@
 // right lookup engine, the cycle-accurate pipelines resolve them, and every
 // result is cross-checked against the per-network reference tables. It is
 // the correctness harness tying the whole system together.
+//
+// Every harness — Forward, LoadTest, RunFaults, RunUpdates, and the
+// composable RunScenario — is a thin configuration of the slice-quantized
+// engine in internal/scenario: the engine owns the coordinator loop,
+// telemetry threading and governor actuation; the harnesses supply kernels
+// (how a slice's cycles execute) and stressors (faults, churn) through the
+// engine's hook interface.
 package netsim
 
 import (
@@ -15,6 +22,7 @@ import (
 	"vrpower/internal/packet"
 	"vrpower/internal/pipeline"
 	"vrpower/internal/rib"
+	"vrpower/internal/scenario"
 	"vrpower/internal/sweep"
 	"vrpower/internal/traffic"
 )
@@ -59,6 +67,26 @@ func New(r *core.Router, tables []*rib.Table) (*System, error) {
 	return &System{router: r, refs: refs, tables: tables, k: k, tel: noTelemetry}, nil
 }
 
+// engineOf maps a network to the engine serving it: the shared engine 0
+// under the merged scheme, the network's own engine otherwise.
+func (s *System) engineOf(vn int) int {
+	if s.router.Config().Scheme == core.VM {
+		return 0
+	}
+	return vn
+}
+
+// engine returns a scenario engine preconfigured with this system's plant
+// (design, fmax, K) and attached telemetry.
+func (s *System) engine() scenario.Engine {
+	return scenario.Engine{
+		K:       s.k,
+		Design:  s.router.Design(),
+		FmaxMHz: s.router.Fmax(),
+		Tel:     s.tel,
+	}
+}
+
 // Report summarises a forwarding run.
 type Report struct {
 	// Packets is the number of packets forwarded.
@@ -75,25 +103,34 @@ type Report struct {
 	EngineLoad []float64
 }
 
-// Forward distributes the packets to the router's engines, simulates every
-// pipeline cycle-accurately, and verifies each resolved next hop against
-// the reference tables.
-func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
+// forwardKernel is the one-shot batch kernel: the whole packet set runs as
+// a single slice — distribute per engine, simulate the disjoint request
+// slices on the worker pool, fold in engine order.
+type forwardKernel struct {
+	s    *System
+	pkts []traffic.Packet
+	rep  Report
+}
+
+func (k *forwardKernel) Outstanding() bool { return false }
+
+func (k *forwardKernel) RunSlice(_, _ int64, _ bool) (scenario.SliceStats, error) {
+	s := k.s
 	images := s.router.Images()
 	scheme := s.router.Config().Scheme
 
 	// Distributor (Assumption 3): split the merged flow per engine. The
 	// merged scheme keeps one stream; NV/VS steer by VNID.
 	tel := s.tel
-	tracing := tel.tracing()
+	tracing := tel.Tracing()
 	perEngine := make([][]pipeline.Request, len(images))
 	var perEngineSeq [][]int64 // traced runs: the batch index of each request
 	if tracing {
 		perEngineSeq = make([][]int64, len(images))
 	}
-	for i, p := range pkts {
+	for i, p := range k.pkts {
 		if p.VN < 0 || p.VN >= s.k {
-			return Report{}, fmt.Errorf("netsim: packet VN %d outside [0,%d)", p.VN, s.k)
+			return scenario.SliceStats{}, fmt.Errorf("netsim: packet VN %d outside [0,%d)", p.VN, s.k)
 		}
 		e, vn := 0, p.VN
 		if scheme != core.VM {
@@ -110,8 +147,8 @@ func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
 		perEngine[e] = append(perEngine[e], req)
 	}
 
-	rep := Report{
-		Packets:    len(pkts),
+	k.rep = Report{
+		Packets:    len(k.pkts),
 		PerEngine:  make([]pipeline.Stats, len(images)),
 		EngineLoad: make([]float64, len(images)),
 	}
@@ -149,24 +186,45 @@ func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
 			if res.Trace {
 				// Results exit in injection order, so ri indexes the seq
 				// slice built by the distributor.
-				tel.putLookupTrace(perEngineSeq[e][ri], vn, e, 0, res, 0, lookupOutcome(res, want))
+				tel.PutLookupTrace(perEngineSeq[e][ri], vn, e, 0, res, 0, scenario.LookupOutcome(res, want))
 			}
 		}
 		return run, nil
 	})
 	if err != nil {
-		return Report{}, err
+		return scenario.SliceStats{}, err
 	}
 	for e, run := range runs {
-		if len(pkts) > 0 {
-			rep.EngineLoad[e] = float64(len(perEngine[e])) / float64(len(pkts))
+		if len(k.pkts) > 0 {
+			k.rep.EngineLoad[e] = float64(len(perEngine[e])) / float64(len(k.pkts))
 		}
-		rep.PerEngine[e] = run.st
-		rep.Mismatches += run.mismatches
-		rep.NoRoute += run.noRoute
+		k.rep.PerEngine[e] = run.st
+		k.rep.Mismatches += run.mismatches
+		k.rep.NoRoute += run.noRoute
+	}
+	return scenario.SliceStats{}, nil
+}
+
+// Forward distributes the packets to the router's engines, simulates every
+// pipeline cycle-accurately, and verifies each resolved next hop against
+// the reference tables.
+func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
+	k := &forwardKernel{s: s, pkts: pkts}
+	eng := s.engine()
+	// The whole batch is one slice; there is no slice clock, so no series.
+	eng.Cycles = int64(len(pkts))
+	if eng.Cycles == 0 {
+		eng.Cycles = 1
+	}
+	eng.SliceCycles = eng.Cycles
+	eng.Truncate = true
+	eng.NoSeries = true
+	eng.Kernel = k
+	if err := eng.Run(); err != nil {
+		return Report{}, err
 	}
 	obsPacketsResolved.Add(int64(len(pkts)))
-	return rep, nil
+	return k.rep, nil
 }
 
 // FrameReport summarises a frame-level forwarding run: the full data plane
@@ -313,6 +371,114 @@ type queued struct {
 // this many cycles (matching the fault/update harnesses' default slice).
 const loadSliceCycles = 1024
 
+// loadKernel is the coupled sequential kernel behind LoadTest: per-VN
+// Bernoulli arrivals share one generator stream whose draw count depends on
+// queue state, so the whole cycle loop runs on the coordinator — no
+// fan-out, trivially deterministic at any -j.
+type loadKernel struct {
+	s         *System
+	gen       *traffic.Generator
+	perVNLoad float64
+	queueCap  int
+	scheme    core.Scheme
+	sims      []*pipeline.Sim
+	queues    [][]queued
+	exitVN    [][]queued // FIFO of in-flight metadata per engine
+	rrNext    []int      // round-robin pointer per engine
+	gv        *scenario.GovRun
+	rep       LoadReport
+	delaySum  float64
+	delivered int64
+	// Per-window telemetry cursors: per-engine utilization deltas.
+	utilCur [][2]int64 // {activeSum, cycles} per engine
+	utils   []float64
+}
+
+func (k *loadKernel) Outstanding() bool { return false }
+
+func (k *loadKernel) RunSlice(b, n int64, _ bool) (scenario.SliceStats, error) {
+	s, gen, gv := k.s, k.gen, k.gv
+	var winDelivered int64
+	for cyc := b; cyc < b+n; cyc++ {
+		// Arrivals.
+		for vn := 0; vn < s.k; vn++ {
+			if !gen.Bernoulli(k.perVNLoad) {
+				continue
+			}
+			k.rep.Offered[vn]++
+			if gv != nil && gv.AdmitArrival(vn, s.engineOf(vn)) {
+				k.rep.Dropped[vn]++
+				continue
+			}
+			if len(k.queues[vn]) >= k.queueCap {
+				k.rep.Dropped[vn]++
+				continue
+			}
+			p := gen.NextFor(vn)
+			reqVN := 0
+			if k.scheme == core.VM {
+				reqVN = vn
+			}
+			q := queued{
+				req:     pipeline.Request{Addr: p.Addr, VN: reqVN},
+				vn:      vn,
+				arrival: cyc,
+				seq:     cyc*int64(s.k) + int64(vn),
+			}
+			if s.tel.Tracing() {
+				q.req.Trace = s.tel.Sampler.Sample(vn, q.seq)
+			}
+			k.queues[vn] = append(k.queues[vn], q)
+		}
+		// Service: one injection per engine per cycle, round-robin over
+		// the engine's ingress queues. A governed engine that loses this
+		// cycle to frequency stepping or quiescing freezes: no injection,
+		// and in-flight packets stall in place.
+		for e := range k.sims {
+			if gv != nil && !gv.EngineServes(e) {
+				continue
+			}
+			var req *pipeline.Request
+			for i := 0; i < s.k; i++ {
+				vn := (k.rrNext[e] + i) % s.k
+				if s.engineOf(vn) != e || len(k.queues[vn]) == 0 {
+					continue
+				}
+				q := k.queues[vn][0]
+				k.queues[vn] = k.queues[vn][1:]
+				req = &q.req
+				k.exitVN[e] = append(k.exitVN[e], q)
+				k.rrNext[e] = (vn + 1) % s.k
+				break
+			}
+			res, done := k.sims[e].Inject(req)
+			if done {
+				meta := k.exitVN[e][0]
+				k.exitVN[e] = k.exitVN[e][1:]
+				k.rep.Delivered[meta.vn]++
+				winDelivered++
+				k.delaySum += float64(cyc - meta.arrival)
+				if meta.req.Trace {
+					outcome := "forward"
+					if res.NHI == ip.NoRoute {
+						outcome = "noroute"
+					}
+					s.tel.PutLookupTrace(meta.seq, meta.vn, e, 0, res, res.EnterCycle-meta.arrival, outcome)
+				}
+			}
+		}
+	}
+	k.delivered += winDelivered
+	backlog := 0
+	for vn := range k.queues {
+		backlog += len(k.queues[vn])
+	}
+	for e := range k.sims {
+		k.utils[e], k.utilCur[e][0], k.utilCur[e][1] = scenario.UtilDelta(k.sims[e].Stats(), k.utilCur[e][0], k.utilCur[e][1])
+	}
+	return scenario.SliceStats{Util: k.utils, Delivered: winDelivered, Backlog: backlog}, nil
+}
+
 // LoadTest drives the router open-loop for the given number of cycles:
 // every cycle, each virtual network independently offers a packet with
 // probability perVNLoad (a Bernoulli arrival at that fraction of line
@@ -329,138 +495,58 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 		return LoadReport{}, fmt.Errorf("netsim: queue capacity %d, want >= 1", queueCap)
 	}
 	images := s.router.Images()
-	scheme := s.router.Config().Scheme
-	sims := make([]*pipeline.Sim, len(images))
-	for e := range images {
-		sims[e] = pipeline.NewSim(images[e])
-	}
-	// Per-VN ingress queues; engineOf maps a VN's queue to its engine.
-	queues := make([][]queued, s.k)
-	engineOf := func(vn int) int {
-		if scheme == core.VM {
-			return 0
-		}
-		return vn
-	}
-	rep := LoadReport{
-		Offered:   make([]int64, s.k),
-		Delivered: make([]int64, s.k),
-		Dropped:   make([]int64, s.k),
-		Cycles:    cycles,
-	}
-	var delaySum float64
-	exitVN := make([][]queued, len(images)) // FIFO of in-flight metadata per engine
-	rrNext := make([]int, len(images))      // round-robin pointer per engine
-	tel := s.tel
-	tracing := tel.tracing()
-	s.initSeries()
 	gv, err := s.newGovRun()
 	if err != nil {
 		return LoadReport{}, err
 	}
-	// Per-window telemetry cursors: delivered total and per-engine
-	// utilization deltas.
-	var winDelivered, winStart int64
-	utilCur := make([][2]int64, len(images)) // {activeSum, cycles} per engine
-	utils := make([]float64, len(images))
-	for cyc := int64(0); cyc < cycles; cyc++ {
-		// Arrivals.
-		for vn := 0; vn < s.k; vn++ {
-			if !gen.Bernoulli(perVNLoad) {
-				continue
-			}
-			rep.Offered[vn]++
-			if gv != nil && gv.admitArrival(vn, engineOf(vn)) {
-				rep.Dropped[vn]++
-				continue
-			}
-			if len(queues[vn]) >= queueCap {
-				rep.Dropped[vn]++
-				continue
-			}
-			p := gen.NextFor(vn)
-			reqVN := 0
-			if scheme == core.VM {
-				reqVN = vn
-			}
-			q := queued{
-				req:     pipeline.Request{Addr: p.Addr, VN: reqVN},
-				vn:      vn,
-				arrival: cyc,
-				seq:     cyc*int64(s.k) + int64(vn),
-			}
-			if tracing {
-				q.req.Trace = tel.Sampler.Sample(vn, q.seq)
-			}
-			queues[vn] = append(queues[vn], q)
-		}
-		// Service: one injection per engine per cycle, round-robin over
-		// the engine's ingress queues. A governed engine that loses this
-		// cycle to frequency stepping or quiescing freezes: no injection,
-		// and in-flight packets stall in place.
-		for e := range sims {
-			if gv != nil && !gv.engineServes(e) {
-				continue
-			}
-			var req *pipeline.Request
-			for i := 0; i < s.k; i++ {
-				vn := (rrNext[e] + i) % s.k
-				if engineOf(vn) != e || len(queues[vn]) == 0 {
-					continue
-				}
-				q := queues[vn][0]
-				queues[vn] = queues[vn][1:]
-				req = &q.req
-				exitVN[e] = append(exitVN[e], q)
-				rrNext[e] = (vn + 1) % s.k
-				break
-			}
-			res, done := sims[e].Inject(req)
-			if done {
-				meta := exitVN[e][0]
-				exitVN[e] = exitVN[e][1:]
-				rep.Delivered[meta.vn]++
-				winDelivered++
-				delaySum += float64(cyc - meta.arrival)
-				if meta.req.Trace {
-					outcome := "forward"
-					if res.NHI == ip.NoRoute {
-						outcome = "noroute"
-					}
-					tel.putLookupTrace(meta.seq, meta.vn, e, 0, res, res.EnterCycle-meta.arrival, outcome)
-				}
-			}
-		}
-		// One telemetry row per window (and at the end of a short run).
-		if (cyc+1)%loadSliceCycles == 0 || cyc == cycles-1 {
-			backlog := 0
-			for vn := range queues {
-				backlog += len(queues[vn])
-			}
-			for e := range sims {
-				utils[e], utilCur[e][0], utilCur[e][1] = utilDelta(sims[e].Stats(), utilCur[e][0], utilCur[e][1])
-			}
-			powerW, capW, rung := s.slicePower(utils), 0.0, 0.0
-			if gv != nil {
-				d := gv.observe(winStart, cyc+1-winStart, utils, nil)
-				powerW, capW, rung = d.PowerW, d.CapW, float64(d.ObservedRung)
-			}
-			s.appendSlice(winStart, powerW, s.sliceGbps(winDelivered, cyc+1-winStart), backlog, 0, 0, capW, rung, nil)
-			winDelivered = 0
-			winStart = cyc + 1
-		}
+	k := &loadKernel{
+		s:         s,
+		gen:       gen,
+		perVNLoad: perVNLoad,
+		queueCap:  queueCap,
+		scheme:    s.router.Config().Scheme,
+		sims:      make([]*pipeline.Sim, len(images)),
+		queues:    make([][]queued, s.k),
+		exitVN:    make([][]queued, len(images)),
+		rrNext:    make([]int, len(images)),
+		gv:        gv,
+		utilCur:   make([][2]int64, len(images)),
+		utils:     make([]float64, len(images)),
+		rep: LoadReport{
+			Offered:   make([]int64, s.k),
+			Delivered: make([]int64, s.k),
+			Dropped:   make([]int64, s.k),
+			Cycles:    cycles,
+		},
 	}
-	var delivered int64
-	for _, d := range rep.Delivered {
-		delivered += d
+	for e := range images {
+		k.sims[e] = pipeline.NewSim(images[e])
 	}
-	if delivered > 0 {
-		rep.MeanDelayCycles = delaySum / float64(delivered)
+	if cycles <= 0 {
+		// Degenerate zero-cycle run: an initialised (empty) series and an
+		// untouched report, as the pre-engine loop produced.
+		s.tel.InitSeries(s.k)
+		if gv != nil {
+			k.rep.Governor = gv.Report()
+		}
+		return k.rep, nil
+	}
+	eng := s.engine()
+	eng.Cycles = cycles
+	eng.SliceCycles = loadSliceCycles
+	eng.Truncate = true
+	eng.Gov = gv
+	eng.Kernel = k
+	if err := eng.Run(); err != nil {
+		return LoadReport{}, err
+	}
+	if k.delivered > 0 {
+		k.rep.MeanDelayCycles = k.delaySum / float64(k.delivered)
 	}
 	if gv != nil {
-		rep.Governor = gv.g.Report()
+		k.rep.Governor = gv.Report()
 	}
 	obsLoadCycles.Add(cycles)
-	obsPacketsResolved.Add(delivered)
-	return rep, nil
+	obsPacketsResolved.Add(k.delivered)
+	return k.rep, nil
 }

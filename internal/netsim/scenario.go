@@ -1,0 +1,860 @@
+package netsim
+
+// This file is the composable scenario runner behind cmd/lookupsim
+// -scenario: one engine-driven run in which a shaped offered load, SEU/kill
+// fault injection, hitless update churn and a power cap all act on the same
+// router at the same time. Each adversity source is a scenario.Stressor
+// over shared run state — faults registered before churn, so a scrub
+// decision at a boundary is visible to the same boundary's arm decision —
+// and the kernel is a sequential per-cycle loop in the LoadTest mould:
+// per-network Bernoulli arrivals (probability from the load shape) wait in
+// bounded ingress queues, each engine injects one packet per cycle into a
+// persistent parity-checking simulator, and every exit is checked against
+// the reference table of its injection epoch. Because arrivals share one
+// generator stream and all control decisions run on the coordinator, the
+// whole composed run is a pure function of its seeds — byte-identical at
+// any -j.
+//
+// Cross-stressor semantics (the interesting part):
+//
+//   - A down engine (killed, reloading, dead) blackholes its arrivals and
+//     flushes its in-flight lookups; its queued packets hold for recovery.
+//   - A scrub reload rebuilds from the control plane's current tables, so
+//     a repair that lands after a churn commit reloads the *churned*
+//     routes — repair and update compose instead of fighting.
+//   - A scrub on an engine with an update in flight aborts the update
+//     (the reload would clobber its shadow writes); a batch aimed at a
+//     dead engine is aborted too, so the run always terminates.
+//   - The governor acts at the arrival/service grain (admission drops,
+//     frequency-paced service, quiescing) exactly as in LoadTest; a
+//     reloading engine's utilization is pinned by the reload flags it
+//     reports, so caps and scrubs interact the way the governor expects.
+
+import (
+	"fmt"
+
+	"vrpower/internal/core"
+	"vrpower/internal/ctrl"
+	"vrpower/internal/faults"
+	"vrpower/internal/governor"
+	"vrpower/internal/ip"
+	"vrpower/internal/obs"
+	"vrpower/internal/pipeline"
+	"vrpower/internal/scenario"
+	"vrpower/internal/traffic"
+	"vrpower/internal/update"
+)
+
+// ScenarioReport summarises a composed run: the union of the per-harness
+// report surfaces over one shared packet accounting.
+type ScenarioReport struct {
+	// Spec is the scenario string the run was built from; Stressors the
+	// active stressor names.
+	Spec      string
+	Stressors []string
+	Scheme    core.Scheme
+	K         int
+	// TrafficCycles is the offered-traffic window (rounded up to whole
+	// slices); DrainCycles the tail spent finishing repairs, commits,
+	// queues and in-flight lookups.
+	TrafficCycles int64
+	DrainCycles   int64
+	SliceCycles   int64
+	// Per-VN packet accounting. Dropped counts governor drops, down-engine
+	// blackholing, queue overflow and faulted lookups alike.
+	OfferedPerVN   []int64
+	DeliveredPerVN []int64
+	DroppedPerVN   []int64
+	// UnavailableCyclesPerVN counts traffic cycles each network's engine
+	// was down, quantised to slices — the NV/VS vs VM asymmetry readout.
+	UnavailableCyclesPerVN []int64
+	// NoRoute counts delivered packets that correctly resolved to no route;
+	// Mismatches oracle disagreements (zero for a correct build);
+	// FaultedLookups parity refusals (dropped, never misforwarded).
+	NoRoute        int64
+	Mismatches     int64
+	FaultedLookups int64
+	// MeanDelayCycles is the average arrival-to-exit latency over delivered
+	// packets; BacklogPeak the deepest any ingress queue set grew.
+	MeanDelayCycles float64
+	BacklogPeak     int
+	// Fault section (empty without faults=/kill=).
+	SEUs            []SEURecord
+	Kill            *KillRecord
+	Scrubs          int
+	ScrubAttempts   int
+	ScrubsExhausted int
+	// Recovered reports every engine back in service and every upset
+	// repaired by run end.
+	Recovered bool
+	// Churn section (empty without churn=).
+	Batches        []UpdateBatch
+	BatchesApplied int
+	// BatchesAborted counts updates cancelled by a scrub on their engine or
+	// aimed at a dead engine.
+	BatchesAborted int
+	UpdateWrites   int64
+	PlannedBubbles int64
+	// Completed reports that every queue, in-flight lookup, repair and
+	// batch finished inside the drain bound.
+	Completed bool
+	// Governor is the power-envelope controller's summary for capped runs
+	// (power-cap= / power-cap-device= or an attached SetGovernor config).
+	Governor *governor.Report
+}
+
+// Availability returns the fraction of traffic cycles network vn's engine
+// was in service.
+func (r *ScenarioReport) Availability(vn int) float64 {
+	if r.TrafficCycles == 0 {
+		return 1
+	}
+	return 1 - float64(r.UnavailableCyclesPerVN[vn])/float64(r.TrafficCycles)
+}
+
+// DeliveredFraction returns delivered/offered over all networks.
+func (r *ScenarioReport) DeliveredFraction() float64 {
+	var off, del int64
+	for i := range r.OfferedPerVN {
+		off += r.OfferedPerVN[i]
+		del += r.DeliveredPerVN[i]
+	}
+	if off == 0 {
+		return 1
+	}
+	return float64(del) / float64(off)
+}
+
+// DetectedSEUs counts upsets with a detection stamp.
+func (r *ScenarioReport) DetectedSEUs() int {
+	n := 0
+	for i := range r.SEUs {
+		if r.SEUs[i].DetectedAt >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RepairedSEUs counts upsets whose engine was scrubbed clean.
+func (r *ScenarioReport) RepairedSEUs() int {
+	n := 0
+	for i := range r.SEUs {
+		if r.SEUs[i].RepairedAt >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanUpdateLatencyCycles is the average arm-to-commit latency over applied
+// batches; 0 when none committed.
+func (r *ScenarioReport) MeanUpdateLatencyCycles() float64 {
+	if len(r.Batches) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range r.Batches {
+		sum += float64(b.LatencyCycles())
+	}
+	return sum / float64(len(r.Batches))
+}
+
+// scenExit is one in-flight lookup's metadata: the network, the arrival
+// cycle (delay accounting), the trace seq, and the reference table of its
+// injection epoch.
+type scenExit struct {
+	vn      int
+	arrival int64
+	seq     int64
+	ref     *ip.Table
+	trace   bool
+}
+
+// scenEng is one engine's composed-run state: a persistent parity-checking
+// simulator, the fault lifecycle (reusing the fault harness's engState over
+// the serving image), the armed-update lifecycle, and the in-flight FIFO.
+type scenEng struct {
+	sim *pipeline.Sim
+	// fs is the fault lifecycle over the serving image (down/dead flags,
+	// sweep cursor, outstanding upsets, pending reload).
+	fs engState
+	// exit mirrors the sim's in-flight lookups in injection order.
+	exit []scenExit
+	// rrNext is the engine's round-robin pointer over its ingress queues.
+	rrNext int
+	// Armed hitless update, as in the update harness.
+	handle *ctrl.HitlessUpdate
+	newRef *ip.Table
+	refVN  int
+	batch  UpdateBatch
+	doneAt int64
+}
+
+// scenRun is the composed run's shared state: the kernel plus the state the
+// fault and churn stressors act on.
+type scenRun struct {
+	s      *System
+	spec   scenario.Spec
+	gen    *traffic.Generator
+	scheme core.Scheme
+
+	engines []*scenEng
+	// queues[vn] is network vn's bounded ingress queue; refs[vn] its
+	// current-epoch oracle (flipped by commit bubbles, as in RunUpdates).
+	queues [][]queued
+	refs   []*ip.Table
+
+	// mgr is the control plane for churn and (when churn is active) scrub
+	// rebuilds; nil without churn. in/scrubber drive faults; nil without.
+	mgr      *ctrl.Manager
+	in       *faults.Injector
+	scrubber *ctrl.Scrubber
+	started  int
+
+	rep *ScenarioReport
+	gv  *scenario.GovRun
+
+	delaySum  float64
+	delivered int64
+	maxWords  int
+
+	// Per-slice measurement scratch.
+	utilCur     [][2]int64
+	utils       []float64
+	upVN        []bool
+	reloadFlags []bool
+	dropVN      []*obs.Counter
+}
+
+func (r *scenRun) engineOf(vn int) int { return r.s.engineOf(vn) }
+
+// flushExits drops an engine's in-flight lookups when it goes down: the
+// pipeline's contents are lost with the reload (or the corpse).
+func (r *scenRun) flushExits(e *scenEng) {
+	for _, m := range e.exit {
+		r.rep.DroppedPerVN[m.vn]++
+		r.dropVN[m.vn].Inc()
+		obsFaultDrops.Inc()
+	}
+	e.exit = e.exit[:0]
+}
+
+// abortUpdate cancels an engine's in-flight update (scrub reload would
+// clobber its shadow writes).
+func (r *scenRun) abortUpdate(e *scenEng, b int64) {
+	if e.handle == nil {
+		return
+	}
+	e.handle.Abort()
+	r.rep.BatchesAborted++
+	r.s.tel.Events.Log(obs.LevelWarn, b, "update_abort",
+		"vn", e.batch.VN, "engine", e.batch.Engine, "writes", e.batch.Writes)
+	e.handle = nil
+	e.newRef = nil
+	e.doneAt = -1
+}
+
+// ---- fault stressor -------------------------------------------------------
+
+// scenFaults is the composed run's fault stressor: the fault harness's
+// boundary/pre-slice protocol acting on the shared scenRun state.
+type scenFaults struct {
+	scenario.NopStressor
+	r *scenRun
+}
+
+func (scenFaults) Name() string { return "faults" }
+
+// rebuild returns the scrub rebuild closure for engine e: from the control
+// plane's current (possibly churned) tables when churn is active, from the
+// router's original tables otherwise.
+func (f scenFaults) rebuild(e int) func() (*pipeline.Image, error) {
+	r := f.r
+	if r.mgr == nil {
+		return r.s.rebuildEngine(e)
+	}
+	return func() (*pipeline.Image, error) {
+		imgs, err := r.mgr.PinnedImages()
+		if err != nil {
+			return nil, err
+		}
+		return imgs[e], nil
+	}
+}
+
+func (f scenFaults) install(eIdx int, e *scenEng) {
+	r := f.r
+	rep, tel := r.rep, r.s.tel
+	fs := &e.fs
+	at := fs.repairAt
+	tel.Events.Log(obs.LevelInfo, at, "scrub_done", "engine", eIdx, "repaired", len(fs.outstanding))
+	if fs.killed && rep.Kill != nil && rep.Kill.Engine == eIdx {
+		rep.Kill.RepairedAt = at
+	}
+	fs.img = fs.pending
+	fs.pending = nil
+	fs.reloading = false
+	fs.killed = false
+	fs.repairAt = -1
+	fs.sweepStage, fs.sweepIdx = 0, 0
+	for _, i := range fs.outstanding {
+		rec := &rep.SEUs[i]
+		rec.RepairedAt = at
+		if rec.Cycle >= at {
+			rec.RepairedAt = rec.Cycle + 1
+		}
+		if rec.DetectedAt < 0 {
+			rec.DetectedAt = rec.RepairedAt
+			rec.Via = ViaReload
+			obsFaultsDetected.Inc()
+		}
+	}
+	obsFaultsRepaired.Add(int64(len(fs.outstanding)))
+	fs.outstanding = fs.outstanding[:0]
+	fs.detectVia = ""
+	// The repaired engine serves a fresh simulator over the clean image.
+	e.sim = pipeline.NewSim(fs.img)
+	e.sim.EnableParityCheck()
+}
+
+func (f scenFaults) startScrub(eIdx int, e *scenEng, b int64) {
+	r := f.r
+	rep, tel := r.rep, r.s.tel
+	fs := &e.fs
+	via := fs.detectVia
+	fs.detectVia = ""
+	for _, i := range fs.outstanding {
+		if rep.SEUs[i].DetectedAt < 0 {
+			rep.SEUs[i].DetectedAt = b
+			rep.SEUs[i].Via = via
+			obsFaultsDetected.Inc()
+		}
+	}
+	tel.Events.Log(obs.LevelInfo, b, "scrub_start", "engine", eIdx, "via", via, "outstanding", len(fs.outstanding))
+	// Going down: in-flight lookups are lost, an in-flight update aborts.
+	r.abortUpdate(e, b)
+	r.flushExits(e)
+	res, err := r.scrubber.Scrub(f.rebuild(eIdx))
+	rep.Scrubs++
+	rep.ScrubAttempts += res.Attempts
+	if err != nil {
+		rep.ScrubsExhausted++
+		fs.dead = true
+		tel.Events.Log(obs.LevelError, b, "engine_dead", "engine", eIdx, "attempts", res.Attempts)
+		return
+	}
+	fs.reloading = true
+	fs.pending = res.Image
+	fs.repairAt = b + res.LatencyCycles
+	tel.Events.Log(obs.LevelInfo, b, "scrub_reload",
+		"engine", eIdx, "attempts", res.Attempts, "writes", res.Writes,
+		"latency_cycles", res.LatencyCycles, "ready_at", fs.repairAt)
+}
+
+func (f scenFaults) Boundary(b int64, _ bool) error {
+	r := f.r
+	rep := r.rep
+	for eIdx, e := range r.engines {
+		fs := &e.fs
+		if fs.killed && rep.Kill != nil && rep.Kill.Engine == eIdx && rep.Kill.DetectedAt < 0 {
+			rep.Kill.DetectedAt = b
+		}
+		if fs.reloading && fs.repairAt <= b {
+			f.install(eIdx, e)
+		}
+		if !fs.dead && !fs.reloading && (fs.detectVia != "" || fs.killed) {
+			if fs.detectVia == "" {
+				fs.detectVia = ViaHeartbeat
+			}
+			f.startScrub(eIdx, e, b)
+		}
+	}
+	return nil
+}
+
+func (f scenFaults) PreSlice(b, n int64, draining bool) error {
+	r := f.r
+	rep, tel := r.rep, r.s.tel
+	if !draining {
+		for eIdx, e := range r.engines {
+			if r.in.KillDue(eIdx, b+n) {
+				e.fs.killed = true
+				rep.Kill = &KillRecord{Engine: eIdx, Cycle: r.spec.Kill.Cycle, DetectedAt: -1, RepairedAt: -1}
+				tel.Events.Log(obs.LevelError, r.spec.Kill.Cycle, "engine_kill", "engine", eIdx)
+				// The kill takes the pipeline's contents with it.
+				r.flushExits(e)
+			}
+		}
+		for eIdx, e := range r.engines {
+			for _, u := range r.in.UpsetsThrough(eIdx, b+n) {
+				faults.ApplyUpset(e.fs.img, u)
+				rep.SEUs = append(rep.SEUs, SEURecord{Upset: u, DetectedAt: -1, RepairedAt: -1})
+				e.fs.outstanding = append(e.fs.outstanding, len(rep.SEUs)-1)
+				tel.Events.Log(obs.LevelWarn, u.Cycle, "seu_inject",
+					"engine", eIdx, "seq", u.Seq, "stage", u.Stage, "index", int(u.Index), "bit", u.Bit)
+			}
+		}
+	}
+	for _, e := range r.engines {
+		if !e.fs.down() && e.fs.sweepStep(int(n)) && e.fs.detectVia == "" {
+			e.fs.detectVia = ViaSweep
+		}
+	}
+	return nil
+}
+
+func (f scenFaults) Outstanding() bool {
+	for _, e := range f.r.engines {
+		fs := &e.fs
+		if fs.reloading || fs.killed {
+			return true
+		}
+		if !fs.dead && len(fs.outstanding) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- churn stressor -------------------------------------------------------
+
+// scenChurn is the composed run's update stressor: the hitless-update
+// harness's commit-then-arm boundary protocol acting on the shared state.
+// It runs after the fault stressor's boundary, so it never arms an update
+// on an engine that just went down.
+type scenChurn struct {
+	scenario.NopStressor
+	r *scenRun
+}
+
+func (scenChurn) Name() string { return "churn" }
+
+func (c scenChurn) Boundary(b int64, _ bool) error {
+	r := c.r
+	rep, tel := r.rep, r.s.tel
+	for _, e := range r.engines {
+		if e.handle == nil || e.doneAt < 0 {
+			continue
+		}
+		if _, err := e.handle.Commit(); err != nil {
+			return err
+		}
+		e.batch.DoneAt = e.doneAt
+		rep.Batches = append(rep.Batches, e.batch)
+		rep.BatchesApplied++
+		rep.UpdateWrites += int64(e.batch.Writes)
+		rep.PlannedBubbles += int64(e.batch.Bubbles)
+		obsUpdateBatches.Inc()
+		obsUpdateWrites.Add(int64(e.batch.Writes))
+		obsUpdateBubbles.Add(int64(e.batch.Bubbles))
+		tel.Events.Log(obs.LevelInfo, e.doneAt, "update_commit",
+			"vn", e.batch.VN, "engine", e.batch.Engine, "writes", e.batch.Writes,
+			"bubbles", e.batch.Bubbles, "latency_cycles", e.batch.LatencyCycles())
+		e.handle = nil
+		e.newRef = nil
+		e.doneAt = -1
+	}
+	for _, e := range r.engines {
+		if e.handle != nil {
+			return nil // one batch in flight at a time
+		}
+	}
+	churn := r.spec.Churn
+	if r.started >= churn.Batches {
+		return nil
+	}
+	vn := churn.TargetVN
+	if vn < 0 {
+		vn = r.started % r.s.k
+	}
+	target := r.engines[r.engineOf(vn)]
+	if target.fs.dead {
+		// The batch's engine is gone for good: abort rather than wait
+		// forever, so the run terminates.
+		rep.BatchesAborted++
+		tel.Events.Log(obs.LevelWarn, b, "update_abort", "vn", vn, "engine", r.engineOf(vn), "writes", 0)
+		r.started++
+		return nil
+	}
+	if target.fs.down() {
+		return nil // engine mid-repair: retry at the next boundary
+	}
+	ops, err := update.Churn(r.mgr.Tables()[vn], churn.Ops, update.ChurnConfig{Seed: r.spec.Seed + int64(r.started)})
+	if err != nil {
+		return err
+	}
+	h, err := r.mgr.BeginHitlessUpdate(vn, ops)
+	if err != nil {
+		return err
+	}
+	e := r.engines[h.Engine()]
+	if err := e.sim.BeginUpdate(h.Image(), h.Bubbles()); err != nil {
+		h.Abort()
+		return err
+	}
+	e.handle = h
+	e.newRef = h.Table().Reference()
+	e.refVN = vn
+	e.doneAt = -1
+	e.batch = UpdateBatch{
+		VN:           vn,
+		Engine:       h.Engine(),
+		RawOps:       h.RawOps(),
+		CoalescedOps: len(h.Ops()),
+		Writes:       h.Writes(),
+		Bubbles:      h.Bubbles(),
+		ArmedAt:      b,
+	}
+	tel.Events.Log(obs.LevelInfo, b, "update_arm",
+		"vn", vn, "engine", h.Engine(), "raw_ops", h.RawOps(), "coalesced_ops", len(h.Ops()),
+		"writes", h.Writes(), "bubbles", h.Bubbles())
+	r.started++
+	return nil
+}
+
+func (c scenChurn) Outstanding() bool {
+	r := c.r
+	if r.started < r.spec.Churn.Batches {
+		return true
+	}
+	for _, e := range r.engines {
+		if e.handle != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- kernel ---------------------------------------------------------------
+
+// Outstanding keeps the drain going while any live engine still has queued
+// or in-flight packets.
+func (r *scenRun) Outstanding() bool {
+	for vn := range r.queues {
+		if len(r.queues[vn]) > 0 && !r.engines[r.engineOf(vn)].fs.dead {
+			return true
+		}
+	}
+	for _, e := range r.engines {
+		if len(e.exit) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSlice executes cycles [b, b+n): shaped Bernoulli arrivals into the
+// ingress queues (live slices only), then one service step per engine per
+// cycle — bubbles first, queued lookups second, exactly the per-harness
+// semantics — all sequentially on the coordinator.
+func (r *scenRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) {
+	s, gen, gv, rep := r.s, r.gen, r.gv, r.rep
+	tel := s.tel
+	tracing := tel.Tracing()
+	var winDelivered int64
+	for cyc := b; cyc < b+n; cyc++ {
+		if live {
+			p := r.spec.Load.At(cyc, r.spec.Cycles)
+			for vn := 0; vn < s.k; vn++ {
+				if !gen.Bernoulli(p) {
+					continue
+				}
+				rep.OfferedPerVN[vn]++
+				eIdx := r.engineOf(vn)
+				if gv != nil && gv.AdmitArrival(vn, eIdx) {
+					rep.DroppedPerVN[vn]++
+					continue
+				}
+				// Seq is worker-independent: cycle-major, network-minor.
+				seq := cyc*int64(s.k) + int64(vn)
+				if r.engines[eIdx].fs.down() {
+					rep.DroppedPerVN[vn]++
+					r.dropVN[vn].Inc()
+					obsFaultDrops.Inc()
+					if tracing && tel.Sampler.Sample(vn, seq) {
+						tel.PutDropTrace(seq, vn, eIdx, cyc, gen.NextFor(vn).Addr)
+						continue
+					}
+					continue
+				}
+				if len(r.queues[vn]) >= r.spec.Queue {
+					rep.DroppedPerVN[vn]++
+					continue
+				}
+				pkt := gen.NextFor(vn)
+				reqVN := 0
+				if r.scheme == core.VM {
+					reqVN = vn
+				}
+				q := queued{
+					req:     pipeline.Request{Addr: pkt.Addr, VN: reqVN},
+					vn:      vn,
+					arrival: cyc,
+					seq:     seq,
+				}
+				if tracing {
+					q.req.Trace = tel.Sampler.Sample(vn, seq)
+				}
+				r.queues[vn] = append(r.queues[vn], q)
+			}
+			backlog := 0
+			for vn := range r.queues {
+				backlog += len(r.queues[vn])
+			}
+			if backlog > rep.BacklogPeak {
+				rep.BacklogPeak = backlog
+			}
+		}
+		// Service: one input slot per engine per cycle; write bubbles take
+		// the slot first, then the engine's queues round-robin.
+		for eIdx, e := range r.engines {
+			if e.fs.down() {
+				continue
+			}
+			if gv != nil && !gv.EngineServes(eIdx) {
+				continue
+			}
+			var res pipeline.Result
+			var done bool
+			if e.sim.PendingBubbles() > 0 {
+				if e.sim.PendingBubbles() == 1 {
+					// Commit bubble: the oracle flips with the shadow bank.
+					r.refs[e.refVN] = e.newRef
+				}
+				var err error
+				res, done, err = e.sim.InjectBubble()
+				if err != nil {
+					return scenario.SliceStats{}, err
+				}
+			} else {
+				var req *pipeline.Request
+				for i := 0; i < s.k; i++ {
+					vn := (e.rrNext + i) % s.k
+					if r.engineOf(vn) != eIdx || len(r.queues[vn]) == 0 {
+						continue
+					}
+					q := r.queues[vn][0]
+					r.queues[vn] = r.queues[vn][1:]
+					req = &q.req
+					e.exit = append(e.exit, scenExit{
+						vn: q.vn, arrival: q.arrival, seq: q.seq,
+						ref: r.refs[q.vn], trace: q.req.Trace,
+					})
+					e.rrNext = (vn + 1) % s.k
+					break
+				}
+				res, done = e.sim.Inject(req)
+			}
+			if done {
+				m := e.exit[0]
+				e.exit = e.exit[1:]
+				outcome := "forward"
+				switch {
+				case res.Faulted:
+					// Corruption read mid-lookup: drop, never misforward.
+					rep.FaultedLookups++
+					rep.DroppedPerVN[m.vn]++
+					r.dropVN[m.vn].Inc()
+					obsFaultDrops.Inc()
+					if e.fs.detectVia == "" {
+						e.fs.detectVia = ViaAccess
+					}
+					outcome = "drop-fault"
+				default:
+					want := m.ref.Lookup(res.Addr)
+					if res.NHI != want {
+						rep.Mismatches++
+						outcome = "mismatch"
+					} else {
+						rep.DeliveredPerVN[m.vn]++
+						winDelivered++
+						r.delaySum += float64(cyc - m.arrival)
+						if want == ip.NoRoute {
+							rep.NoRoute++
+							outcome = "noroute"
+						}
+					}
+				}
+				if m.trace {
+					tel.PutLookupTrace(m.seq, m.vn, eIdx, 0, res, res.EnterCycle-m.arrival, outcome)
+				}
+			}
+			if e.handle != nil && e.doneAt < 0 && !e.sim.Updating() {
+				e.doneAt = cyc
+			}
+		}
+	}
+	r.delivered += winDelivered
+
+	// Slice measurement for the telemetry row and the governor's sample.
+	backlog, updating, downEngines := 0, 0, 0
+	for vn := range r.queues {
+		backlog += len(r.queues[vn])
+	}
+	for eIdx, e := range r.engines {
+		r.utils[eIdx], r.utilCur[eIdx][0], r.utilCur[eIdx][1] =
+			scenario.UtilDelta(e.sim.Stats(), r.utilCur[eIdx][0], r.utilCur[eIdx][1])
+		if e.handle != nil {
+			updating++
+		}
+		if e.fs.down() {
+			downEngines++
+		}
+		r.reloadFlags[eIdx] = e.fs.reloading
+	}
+	for vn := 0; vn < s.k; vn++ {
+		down := r.engines[r.engineOf(vn)].fs.down()
+		r.upVN[vn] = !down
+		if down && live {
+			rep.UnavailableCyclesPerVN[vn] += n
+		}
+	}
+	return scenario.SliceStats{
+		Util: r.utils, Delivered: winDelivered, Backlog: backlog,
+		Scrubs: downEngines, Updates: updating, Avail: r.upVN, Reloading: r.reloadFlags,
+	}, nil
+}
+
+// RunScenario runs one composed scenario: the spec's load shape, fault
+// schedule, update churn and power caps acting together on this system.
+// The report is a pure function of the spec and the generator's seed —
+// byte-identical at any -j.
+func (s *System) RunScenario(gen *traffic.Generator, spec scenario.Spec) (ScenarioReport, error) {
+	scheme := s.router.Config().Scheme
+	if spec.Churn != nil && spec.Churn.TargetVN >= s.k {
+		return ScenarioReport{}, fmt.Errorf("netsim: churn target network %d outside [0,%d)", spec.Churn.TargetVN, s.k)
+	}
+	if spec.Kill != nil && spec.Kill.Engine >= len(s.router.Images()) {
+		return ScenarioReport{}, fmt.Errorf("netsim: kill engine %d with %d engines", spec.Kill.Engine, len(s.router.Images()))
+	}
+
+	r := &scenRun{s: s, spec: spec, gen: gen, scheme: scheme}
+	rep := &ScenarioReport{
+		Spec:                   spec.Raw,
+		Stressors:              spec.Stressors(),
+		Scheme:                 scheme,
+		K:                      s.k,
+		SliceCycles:            spec.Slice,
+		OfferedPerVN:           make([]int64, s.k),
+		DeliveredPerVN:         make([]int64, s.k),
+		DroppedPerVN:           make([]int64, s.k),
+		UnavailableCyclesPerVN: make([]int64, s.k),
+	}
+	r.rep = rep
+
+	// The serving images: the control plane's pinned compilation when churn
+	// is active (successive recompilations diff word-for-word), clones of
+	// the router's build images otherwise (the fault harness's model).
+	var images []*pipeline.Image
+	if spec.Churn != nil {
+		mgr, err := ctrl.New(s.router.Config(), s.tables)
+		if err != nil {
+			return ScenarioReport{}, err
+		}
+		mgr.SetEventLog(s.tel.Events)
+		if images, err = mgr.PinnedImages(); err != nil {
+			return ScenarioReport{}, err
+		}
+		r.mgr = mgr
+	} else {
+		for _, img := range s.router.Images() {
+			images = append(images, img.Clone())
+		}
+	}
+
+	var stressors []scenario.Stressor
+	if spec.SEURate > 0 || spec.Kill != nil {
+		fc := faults.Config{Seed: spec.Seed, SEURate: spec.SEURate}
+		if spec.Kill != nil {
+			fc.Kill = true
+			fc.KillEngine = spec.Kill.Engine
+			fc.KillCycle = spec.Kill.Cycle
+		}
+		in, err := faults.NewInjector(fc, images)
+		if err != nil {
+			return ScenarioReport{}, err
+		}
+		scrubber, err := ctrl.NewScrubber(ctrl.ScrubPolicy{}, in)
+		if err != nil {
+			return ScenarioReport{}, err
+		}
+		scrubber.SetEventLog(s.tel.Events)
+		r.in = in
+		r.scrubber = scrubber
+		stressors = append(stressors, scenFaults{r: r})
+	}
+	if spec.Churn != nil {
+		stressors = append(stressors, scenChurn{r: r})
+	}
+
+	gcfg := s.gov
+	if spec.CapW > 0 || spec.DeviceCapW > 0 {
+		gcfg = &governor.Config{CapWatts: spec.CapW, DeviceCapWatts: spec.DeviceCapW}
+	}
+	gv, err := scenario.NewGovRun(gcfg, s.plant(), len(images), s.k, s.tel.Events)
+	if err != nil {
+		return ScenarioReport{}, err
+	}
+	r.gv = gv
+
+	r.engines = make([]*scenEng, len(images))
+	for e := range images {
+		sim := pipeline.NewSim(images[e])
+		sim.EnableParityCheck()
+		r.engines[e] = &scenEng{sim: sim, fs: engState{img: images[e], repairAt: -1}, doneAt: -1}
+		if w := images[e].Words(); w > r.maxWords {
+			r.maxWords = w
+		}
+	}
+	r.queues = make([][]queued, s.k)
+	r.refs = make([]*ip.Table, s.k)
+	r.dropVN = make([]*obs.Counter, s.k)
+	for vn := 0; vn < s.k; vn++ {
+		r.refs[vn] = s.tables[vn].Reference()
+		r.dropVN[vn] = obs.NewCounter(fmt.Sprintf("netsim.fault_drops.vn%02d", vn))
+	}
+	r.utilCur = make([][2]int64, len(images))
+	r.utils = make([]float64, len(images))
+	r.upVN = make([]bool, s.k)
+	r.reloadFlags = make([]bool, len(images))
+
+	maxDrain := 16 + 4*(r.maxWords/int(spec.Slice)+1)
+	if spec.Churn != nil {
+		maxDrain += 8 * spec.Churn.Batches
+	}
+	eng := s.engine()
+	eng.Cycles = spec.Cycles
+	eng.SliceCycles = spec.Slice
+	eng.MaxDrainSlices = maxDrain
+	eng.Gov = gv
+	eng.Stressors = stressors
+	eng.Kernel = r
+	if err := eng.Run(); err != nil {
+		return ScenarioReport{}, err
+	}
+	rep.TrafficCycles = eng.TrafficCycles
+	rep.DrainCycles = eng.DrainCycles
+
+	if r.delivered > 0 {
+		rep.MeanDelayCycles = r.delaySum / float64(r.delivered)
+	}
+	rep.Recovered = true
+	for _, e := range r.engines {
+		if e.fs.down() || len(e.fs.outstanding) > 0 {
+			rep.Recovered = false
+		}
+	}
+	rep.Completed = !r.Outstanding()
+	for _, st := range stressors {
+		if st.Outstanding() {
+			rep.Completed = false
+		}
+	}
+	if gv != nil {
+		rep.Governor = gv.Report()
+	}
+	obsPacketsResolved.Add(r.delivered)
+	obsLoadCycles.Add(rep.TrafficCycles)
+	return *rep, nil
+}

@@ -1,52 +1,20 @@
 package netsim
 
-// Telemetry plumbing for the run harnesses. A Telemetry bundle attaches the
-// optional observers — trace sampler + ring, slice time series, event log —
-// to a System; every obs component is nil-safe, so the run loops call
-// through the bundle unguarded and a detached System pays only nil checks.
-//
-// Determinism contract: sampling decisions are pure functions of
-// (sampler seed, VNID, seq); series rows and events are appended only from
-// the single coordinating goroutine; trace Puts may come from engine
-// workers, but the ring's dump orders by Seq. The same run seeds therefore
-// yield byte-identical telemetry dumps at any -j (for traces: as long as
-// the sampled volume stays within ring capacity).
+// Telemetry attachment. The plumbing itself — the bundle type, trace/series
+// helpers, the unified slice-row schema, the power/throughput conversions —
+// lives in internal/scenario and is shared by every harness through the
+// scenario engine; this file keeps only the System-level attachment surface.
 
 import (
-	"fmt"
-
-	"vrpower/internal/fpga"
-	"vrpower/internal/ip"
-	"vrpower/internal/obs"
-	"vrpower/internal/pipeline"
-	"vrpower/internal/power"
+	"vrpower/internal/scenario"
 )
 
-// Live gauges mirroring the most recent slice row (surfaced by -stats and
-// the -http /metrics endpoint while a run is in progress).
-var (
-	obsSlicePowerW   = obs.NewGauge("netsim.slice_power_w")
-	obsSliceGbps     = obs.NewGauge("netsim.slice_throughput_gbps")
-	obsBacklogPkts   = obs.NewGauge("netsim.backlog_pkts")
-	obsScrubsActive  = obs.NewGauge("netsim.scrubs_active")
-	obsUpdatesActive = obs.NewGauge("netsim.updates_active")
-	obsSliceCapW     = obs.NewGauge("netsim.slice_cap_w")
-	obsSliceGovRung  = obs.NewGauge("netsim.slice_gov_rung")
-)
-
-// Telemetry is the set of observers a run feeds. Any field may be nil: a
-// nil Sampler/Traces disables flight tracing, a nil Series disables the
-// slice time series, a nil Events disables the event log.
-type Telemetry struct {
-	Sampler *obs.TraceSampler
-	Traces  *obs.TraceRing
-	Series  *obs.TimeSeries
-	Events  *obs.EventLog
-}
+// Telemetry is the observer bundle a run feeds (see scenario.Telemetry).
+type Telemetry = scenario.Telemetry
 
 // noTelemetry is the shared all-nil default bundle; System methods call
 // through it so they never need a nil guard on s.tel itself.
-var noTelemetry = &Telemetry{}
+var noTelemetry = scenario.NoTelemetry
 
 // SetTelemetry attaches the bundle to the system; nil detaches.
 func (s *System) SetTelemetry(t *Telemetry) {
@@ -56,163 +24,8 @@ func (s *System) SetTelemetry(t *Telemetry) {
 	s.tel = t
 }
 
-// tracing reports whether flight tracing is live (a sampler and a ring are
-// both attached).
-func (t *Telemetry) tracing() bool { return t.Sampler != nil && t.Traces != nil }
-
-// putLookupTrace records one sampled lookup that completed a pipeline
-// traversal. base offsets the sim-local Enter/Exit stamps into run cycles
-// (zero when the sim already runs on the run clock); wait is the cycles the
-// packet spent queued before entry.
-func (t *Telemetry) putLookupTrace(seq int64, vn, engine int, base int64, res pipeline.Result, wait int64, outcome string) {
-	if t.Traces == nil {
-		return
-	}
-	nhi := int(res.NHI)
-	if res.Faulted || res.NHI == ip.NoRoute {
-		nhi = -1
-	}
-	t.Traces.Put(&obs.FlightTrace{
-		Seq:       seq,
-		VN:        vn,
-		Engine:    engine,
-		Addr:      res.Addr.String(),
-		Enter:     base + res.EnterCycle,
-		Exit:      base + res.ExitCycle,
-		Wait:      wait,
-		Displaced: wait > 0,
-		Outcome:   outcome,
-		NHI:       nhi,
-		Visits:    res.Visits,
-	})
-}
-
-// putDropTrace records a sampled packet refused at ingress (its engine was
-// down): no pipeline traversal, Enter == Exit == the drop cycle.
-func (t *Telemetry) putDropTrace(seq int64, vn, engine int, cycle int64, addr ip.Addr) {
-	if t.Traces == nil {
-		return
-	}
-	t.Traces.Put(&obs.FlightTrace{
-		Seq:     seq,
-		VN:      vn,
-		Engine:  engine,
-		Addr:    addr.String(),
-		Enter:   cycle,
-		Exit:    cycle,
-		Outcome: "drop-down",
-		NHI:     -1,
-	})
-}
-
-// lookupOutcome classifies a completed lookup against its oracle's answer.
-func lookupOutcome(res pipeline.Result, want ip.NextHop) string {
-	switch {
-	case res.Faulted:
-		return "drop-fault"
-	case res.NHI != want:
-		return "mismatch"
-	case want == ip.NoRoute:
-		return "noroute"
-	default:
-		return "forward"
-	}
-}
-
-// seriesColumns is the unified slice-row schema shared by every run loop:
-// power, throughput, backlog, control-plane activity, the governor's active
-// cap and ladder rung (both zero when ungoverned), then one availability
-// column per network.
-func seriesColumns(k int) []string {
-	cols := []string{"power_w", "throughput_gbps", "backlog_pkts", "scrubs_active", "updates_active", "cap_w", "gov_rung"}
-	for vn := 0; vn < k; vn++ {
-		cols = append(cols, fmt.Sprintf("avail_vn%02d", vn))
-	}
-	return cols
-}
-
-// initSeries starts a fresh series for this run under the unified schema.
-func (s *System) initSeries() {
-	s.tel.Series.Init(seriesColumns(s.k)...)
-}
-
-// appendSlice records one slice row (and mirrors it into the live gauges).
-// cycle is the slice's start; capW and rung are the governor's active cap
-// and observed ladder rung (zero when ungoverned); avail may be nil for
-// "all networks up".
-func (s *System) appendSlice(cycle int64, powerW, gbps float64, backlog, scrubs, updates int, capW, rung float64, avail []bool) {
-	obsSlicePowerW.Set(powerW)
-	obsSliceGbps.Set(gbps)
-	obsBacklogPkts.SetInt(int64(backlog))
-	obsScrubsActive.SetInt(int64(scrubs))
-	obsUpdatesActive.SetInt(int64(updates))
-	obsSliceCapW.Set(capW)
-	obsSliceGovRung.Set(rung)
-	if s.tel.Series == nil {
-		return
-	}
-	vals := make([]float64, 0, 7+s.k)
-	vals = append(vals, powerW, gbps, float64(backlog), float64(scrubs), float64(updates), capW, rung)
-	for vn := 0; vn < s.k; vn++ {
-		up := 1.0
-		if avail != nil && !avail[vn] {
-			up = 0
-		}
-		vals = append(vals, up)
-	}
-	s.tel.Series.Append(cycle, vals...)
-}
-
-// slicePower evaluates the paper's power model over this slice: the
-// router's design with each engine's nominal utilization replaced by its
-// measured slice-local activity (pipeline Stats stage-active fraction).
-// Idle engines still pay static and clock power, matching the model's
-// utilization semantics.
+// slicePower evaluates the paper's power model over one slice with this
+// router's design and the measured per-engine utilization.
 func (s *System) slicePower(util []float64) float64 {
-	d := s.router.Design()
-	engines := make([]power.EngineDesign, len(d.Engines))
-	copy(engines, d.Engines)
-	for i := range engines {
-		u := 0.0
-		if i < len(util) {
-			u = util[i]
-		}
-		if u < 0 {
-			u = 0
-		} else if u > 1 {
-			u = 1
-		}
-		engines[i].Utilization = u
-	}
-	d.Engines = engines
-	br, err := power.Estimate(d)
-	if err != nil {
-		return 0
-	}
-	return br.Total()
-}
-
-// sliceGbps converts packets delivered over a cycle window into line-rate
-// throughput: the fraction of cycles that carried a packet times one
-// engine-slot's worth of minimum-size-packet bandwidth at Fmax.
-func (s *System) sliceGbps(delivered, cycles int64) float64 {
-	if cycles <= 0 {
-		return 0
-	}
-	return float64(delivered) / float64(cycles) * fpga.ThroughputGbps(s.router.Fmax(), 1)
-}
-
-// utilDelta turns a cumulative pipeline.Stats into this window's stage
-// utilization, given the previous window's (activeSum, cycles) cursor; it
-// returns the utilization plus the new cursor.
-func utilDelta(st pipeline.Stats, prevActive, prevCycles int64) (float64, int64, int64) {
-	var active int64
-	for _, a := range st.StageActive {
-		active += a
-	}
-	dc := st.Cycles - prevCycles
-	if dc <= 0 || len(st.StageActive) == 0 {
-		return 0, active, st.Cycles
-	}
-	return float64(active-prevActive) / float64(dc*int64(len(st.StageActive))), active, st.Cycles
+	return scenario.SlicePower(s.router.Design(), util)
 }

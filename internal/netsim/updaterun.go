@@ -11,11 +11,14 @@ package netsim
 // result is checked against the reference table of the epoch it was
 // injected in: the oracle for the updated network flips to the post-update
 // table exactly when the commit bubble enters the pipeline, mirroring the
-// shadow-bank flip inside the sim. All update decisions run in the single
-// coordinating goroutine; only the per-engine cycle loops fan out over the
-// worker pool, each touching engine-local state only, and their results
-// fold back in engine order — so the same seeds yield byte-identical
-// reports at any -j.
+// shadow-bank flip inside the sim.
+//
+// The run is a scenario-engine configuration: updRun is the stressor
+// (boundary: commit-then-arm) and the kernel (persistent per-engine sims
+// cycled in parallel — engine state is disjoint, so only the barrier at
+// slice end coordinates) — and the decision kernel: the governor's fresh
+// rung is pushed into each engine's gate between slices, so the same seeds
+// yield byte-identical reports at any -j.
 
 import (
 	"fmt"
@@ -26,6 +29,7 @@ import (
 	"vrpower/internal/ip"
 	"vrpower/internal/obs"
 	"vrpower/internal/pipeline"
+	"vrpower/internal/scenario"
 	"vrpower/internal/sweep"
 	"vrpower/internal/traffic"
 	"vrpower/internal/update"
@@ -211,20 +215,18 @@ type updEng struct {
 	// cursor over the sim's cumulative stats (read between slices only).
 	prevActive int64
 	prevCycles int64
-	// Governor actuation, installed by the coordinator between slices
-	// (applyGov): govFreq gates the engine's whole clock at the rung's
-	// frequency fraction; govQuiesced/govAdmit gate backlog pulls only, so
-	// arrivals defer and write bubbles still flow.
-	govFreq     *governor.Pacer
-	govQuiesced bool
-	govAdmit    *governor.Pacer
+	// gate is the governor actuation, installed by the coordinator between
+	// slices (ApplyDecision): its frequency pacer gates the engine's whole
+	// clock at the rung's fraction; its quiesce/admit side gates backlog
+	// pulls only, so arrivals defer and write bubbles still flow.
+	gate scenario.EngineGate
 }
 
 // cycle advances the engine one cycle: bubbles take the input slot first,
 // then the backlog front, then an idle step; whatever lookup exits is
 // checked against its injection epoch's oracle.
 func (e *updEng) cycle(refs []*ip.Table, cyc int64) error {
-	if e.govFreq != nil && !e.govFreq.Tick() {
+	if !e.gate.ClockRuns() {
 		// Frequency-stepped clock: the engine freezes this cycle (bubbles
 		// and lookups alike slow down together, as a real stepped clock
 		// would impose).
@@ -243,7 +245,7 @@ func (e *updEng) cycle(refs []*ip.Table, cyc int64) error {
 		if err != nil {
 			return err
 		}
-	} else if len(e.backlog) > 0 && !e.govHold() {
+	} else if len(e.backlog) > 0 && !e.gate.Hold() {
 		m := e.backlog[0]
 		e.backlog = e.backlog[1:]
 		m.ref = refs[m.vn]
@@ -274,13 +276,218 @@ func (e *updEng) cycle(refs []*ip.Table, cyc int64) error {
 		if res.Trace {
 			// The arrival cycle doubles as the trace seq; Wait is the
 			// backlog time bubbles displaced this packet by.
-			e.tel.putLookupTrace(m.arrival, m.vn, e.engine, 0, res, res.EnterCycle-m.arrival, outcome)
+			e.tel.PutLookupTrace(m.arrival, m.vn, e.engine, 0, res, res.EnterCycle-m.arrival, outcome)
 		}
 	}
 	if e.handle != nil && e.doneAt < 0 && !e.sim.Updating() {
 		e.doneAt = cyc
 	}
 	return nil
+}
+
+// updRun is the update harness's stressor + kernel pair over one shared
+// state: the engine calls Boundary for the commit-then-arm control plane,
+// RunSlice for the per-engine cycle fan-out, and ApplyDecision to push the
+// governor's fresh rung into the engine gates between slices.
+type updRun struct {
+	scenario.NopStressor
+	s       *System
+	cfg     UpdateConfig
+	scheme  core.Scheme
+	mgr     *ctrl.Manager
+	engines []*updEng
+	refs    []*ip.Table
+	rep     *UpdateReport
+	gv      *scenario.GovRun
+	gen     *traffic.Generator
+	tracing bool
+	started int
+	// utils / prevDelivered are the coordinator's per-slice measurement
+	// scratch over the sims' cumulative stats.
+	utils         []float64
+	prevDelivered int64
+}
+
+func (u *updRun) Name() string { return "updates" }
+
+// Boundary runs the control plane at cycle b: commit the finished batch,
+// then arm the next one. One batch is in flight at a time — the manager's
+// reload guard enforces that anyway.
+func (u *updRun) Boundary(b int64, _ bool) error {
+	rep, tel := u.rep, u.s.tel
+	for _, e := range u.engines {
+		if e.handle == nil || e.doneAt < 0 {
+			continue
+		}
+		if _, err := e.handle.Commit(); err != nil {
+			return err
+		}
+		e.batch.DoneAt = e.doneAt
+		rep.Batches = append(rep.Batches, e.batch)
+		rep.BatchesApplied++
+		rep.Writes += int64(e.batch.Writes)
+		rep.PlannedBubbles += int64(e.batch.Bubbles)
+		obsUpdateBatches.Inc()
+		obsUpdateWrites.Add(int64(e.batch.Writes))
+		obsUpdateBubbles.Add(int64(e.batch.Bubbles))
+		tel.Events.Log(obs.LevelInfo, e.doneAt, "update_commit",
+			"vn", e.batch.VN, "engine", e.batch.Engine, "writes", e.batch.Writes,
+			"bubbles", e.batch.Bubbles, "latency_cycles", e.batch.LatencyCycles())
+		e.handle = nil
+		e.newRef = nil
+		e.doneAt = -1
+	}
+	inFlight := false
+	for _, e := range u.engines {
+		if e.handle != nil {
+			inFlight = true
+		}
+	}
+	if inFlight || u.started >= u.cfg.Batches {
+		return nil
+	}
+	vn := u.cfg.TargetVN
+	if vn < 0 {
+		vn = u.started % u.s.k
+	}
+	ops, err := update.Churn(u.mgr.Tables()[vn], u.cfg.BatchOps, update.ChurnConfig{
+		Seed:         u.cfg.Seed + int64(u.started),
+		AnnounceFrac: u.cfg.AnnounceFrac,
+		WithdrawFrac: u.cfg.WithdrawFrac,
+	})
+	if err != nil {
+		return err
+	}
+	h, err := u.mgr.BeginHitlessUpdate(vn, ops)
+	if err != nil {
+		return err
+	}
+	e := u.engines[h.Engine()]
+	if err := e.sim.BeginUpdate(h.Image(), h.Bubbles()); err != nil {
+		h.Abort()
+		return err
+	}
+	e.handle = h
+	e.newRef = h.Table().Reference()
+	e.refVN = vn
+	e.batch = UpdateBatch{
+		VN:           vn,
+		Engine:       h.Engine(),
+		RawOps:       h.RawOps(),
+		CoalescedOps: len(h.Ops()),
+		Writes:       h.Writes(),
+		Bubbles:      h.Bubbles(),
+		ArmedAt:      b,
+	}
+	tel.Events.Log(obs.LevelInfo, b, "update_arm",
+		"vn", vn, "engine", h.Engine(), "raw_ops", h.RawOps(), "coalesced_ops", len(h.Ops()),
+		"writes", h.Writes(), "bubbles", h.Bubbles())
+	u.started++
+	return nil
+}
+
+// Outstanding keeps the drain going while batches remain to arm or any
+// engine still has an armed batch, a backlog, or in-flight lookups.
+func (u *updRun) Outstanding() bool {
+	if u.started < u.cfg.Batches {
+		return true
+	}
+	for _, e := range u.engines {
+		if e.handle != nil || len(e.backlog) > 0 || len(e.pending) > 0 || e.sim.Updating() {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyDecision pushes the governor's fresh rung into every engine's gate;
+// it takes effect from the next slice's cycles.
+func (u *updRun) ApplyDecision(d governor.Decision) {
+	for eIdx, e := range u.engines {
+		e.gate.Apply(d.Rung, eIdx)
+	}
+}
+
+// RunSlice offers one packet per cycle (live slices; the drain offers
+// nothing), steers each arrival to its engine with the arrival cycle
+// stamped, and fans the per-engine cycle loops out over the worker pool.
+// Engine state is disjoint, so the only coordination is the barrier at the
+// end of the slice.
+func (u *updRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) {
+	s, rep, gv, tel := u.s, u.rep, u.gv, u.s.tel
+	var arrivals [][]updMeta
+	if live {
+		pkts := u.gen.Batch(int(n))
+		arrivals = make([][]updMeta, len(u.engines))
+		for i, p := range pkts {
+			if p.VN < 0 || p.VN >= s.k {
+				return scenario.SliceStats{}, fmt.Errorf("netsim: packet VN %d outside [0,%d)", p.VN, s.k)
+			}
+			rep.OfferedPerVN[p.VN]++
+			if gv != nil && gv.Decision().RungIndex > 0 {
+				// Hitless runs never drop for the governor: the arrival is
+				// deferred into the backlog and accounted as such.
+				gv.CountDeferred(p.VN)
+			}
+			reqVN := 0
+			if u.scheme == core.VM {
+				reqVN = p.VN
+			}
+			eIdx := s.engineOf(p.VN)
+			m := updMeta{
+				req:     pipeline.Request{Addr: p.Addr, VN: reqVN},
+				vn:      p.VN,
+				arrival: b + int64(i),
+			}
+			if u.tracing {
+				// The arrival cycle is unique (one packet per cycle) and
+				// worker-independent: it doubles as the trace seq.
+				m.req.Trace = tel.Sampler.Sample(p.VN, m.arrival)
+			}
+			arrivals[eIdx] = append(arrivals[eIdx], m)
+		}
+	}
+	if _, err := sweep.Run(len(u.engines), func(eIdx int) (struct{}, error) {
+		e := u.engines[eIdx]
+		var next int
+		for i := int64(0); i < n; i++ {
+			if arrivals != nil {
+				for next < len(arrivals[eIdx]) && arrivals[eIdx][next].arrival == b+i {
+					e.backlog = append(e.backlog, arrivals[eIdx][next])
+					next++
+				}
+				if len(e.backlog) > e.backlogPeak {
+					e.backlogPeak = len(e.backlog)
+				}
+			}
+			if err := e.cycle(u.refs, b+i); err != nil {
+				return struct{}{}, err
+			}
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		return scenario.SliceStats{}, err
+	}
+	// Slice measurement: utilization deltas over the sims' cumulative
+	// stats, backlog depth, armed-batch count and delivered throughput.
+	backlog, updating := 0, 0
+	var delivered int64
+	for eIdx, e := range u.engines {
+		u.utils[eIdx], e.prevActive, e.prevCycles = scenario.UtilDelta(e.sim.Stats(), e.prevActive, e.prevCycles)
+		backlog += len(e.backlog)
+		if e.handle != nil {
+			updating++
+		}
+		delivered += e.delayN
+	}
+	st := scenario.SliceStats{
+		Util:      u.utils,
+		Delivered: delivered - u.prevDelivered,
+		Backlog:   backlog,
+		Updates:   updating,
+	}
+	u.prevDelivered = delivered
+	return st, nil
 }
 
 // RunUpdates drives the router for trafficCycles cycles of back-to-back
@@ -313,15 +520,7 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 	if err != nil {
 		return UpdateReport{}, err
 	}
-	engineOf := func(vn int) int {
-		if scheme == core.VM {
-			return 0
-		}
-		return vn
-	}
 	tel := s.tel
-	tracing := tel.tracing()
-	s.initSeries()
 	mgr.SetEventLog(tel.Events)
 	gv, err := s.newGovRun()
 	if err != nil {
@@ -341,223 +540,35 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 		refs[vn] = s.tables[vn].Reference()
 	}
 
-	S := cfg.SliceCycles
-	slices := (trafficCycles + S - 1) / S
 	rep := UpdateReport{
 		Scheme:         scheme,
 		K:              s.k,
-		TrafficCycles:  slices * S,
-		SliceCycles:    S,
+		SliceCycles:    cfg.SliceCycles,
 		OfferedPerVN:   make([]int64, s.k),
 		DeliveredPerVN: make([]int64, s.k),
 	}
-
-	started := 0
-	// boundary runs the control plane at cycle b: commit the finished batch,
-	// then arm the next one. One batch is in flight at a time — the manager's
-	// reload guard enforces that anyway.
-	boundary := func(b int64) error {
-		for _, e := range engines {
-			if e.handle == nil || e.doneAt < 0 {
-				continue
-			}
-			if _, err := e.handle.Commit(); err != nil {
-				return err
-			}
-			e.batch.DoneAt = e.doneAt
-			rep.Batches = append(rep.Batches, e.batch)
-			rep.BatchesApplied++
-			rep.Writes += int64(e.batch.Writes)
-			rep.PlannedBubbles += int64(e.batch.Bubbles)
-			obsUpdateBatches.Inc()
-			obsUpdateWrites.Add(int64(e.batch.Writes))
-			obsUpdateBubbles.Add(int64(e.batch.Bubbles))
-			tel.Events.Log(obs.LevelInfo, e.doneAt, "update_commit",
-				"vn", e.batch.VN, "engine", e.batch.Engine, "writes", e.batch.Writes,
-				"bubbles", e.batch.Bubbles, "latency_cycles", e.batch.LatencyCycles())
-			e.handle = nil
-			e.newRef = nil
-			e.doneAt = -1
-		}
-		inFlight := false
-		for _, e := range engines {
-			if e.handle != nil {
-				inFlight = true
-			}
-		}
-		if inFlight || started >= cfg.Batches {
-			return nil
-		}
-		vn := cfg.TargetVN
-		if vn < 0 {
-			vn = started % s.k
-		}
-		ops, err := update.Churn(mgr.Tables()[vn], cfg.BatchOps, update.ChurnConfig{
-			Seed:         cfg.Seed + int64(started),
-			AnnounceFrac: cfg.AnnounceFrac,
-			WithdrawFrac: cfg.WithdrawFrac,
-		})
-		if err != nil {
-			return err
-		}
-		h, err := mgr.BeginHitlessUpdate(vn, ops)
-		if err != nil {
-			return err
-		}
-		e := engines[h.Engine()]
-		if err := e.sim.BeginUpdate(h.Image(), h.Bubbles()); err != nil {
-			h.Abort()
-			return err
-		}
-		e.handle = h
-		e.newRef = h.Table().Reference()
-		e.refVN = vn
-		e.batch = UpdateBatch{
-			VN:           vn,
-			Engine:       h.Engine(),
-			RawOps:       h.RawOps(),
-			CoalescedOps: len(h.Ops()),
-			Writes:       h.Writes(),
-			Bubbles:      h.Bubbles(),
-			ArmedAt:      b,
-		}
-		tel.Events.Log(obs.LevelInfo, b, "update_arm",
-			"vn", vn, "engine", h.Engine(), "raw_ops", h.RawOps(), "coalesced_ops", len(h.Ops()),
-			"writes", h.Writes(), "bubbles", h.Bubbles())
-		started++
-		return nil
+	u := &updRun{
+		s: s, cfg: cfg, scheme: scheme, mgr: mgr, engines: engines, refs: refs,
+		rep: &rep, gv: gv, gen: gen, tracing: tel.Tracing(),
+		utils: make([]float64, len(engines)),
 	}
 
-	// recordSlice appends the slice's telemetry row: measured utilization
-	// feeding the power model, delivered-packet throughput, backlog depth
-	// and armed-batch count. Coordinator-only, between slice fan-outs.
-	utils := make([]float64, len(engines))
-	var prevDelivered int64
-	recordSlice := func(b int64) {
-		backlog, updating := 0, 0
-		var delivered int64
-		for eIdx, e := range engines {
-			utils[eIdx], e.prevActive, e.prevCycles = utilDelta(e.sim.Stats(), e.prevActive, e.prevCycles)
-			backlog += len(e.backlog)
-			if e.handle != nil {
-				updating++
-			}
-			delivered += e.delayN
-		}
-		powerW, capW, rung := s.slicePower(utils), 0.0, 0.0
-		if gv != nil {
-			d := gv.observe(b, S, utils, nil)
-			powerW, capW, rung = d.PowerW, d.CapW, float64(d.ObservedRung)
-			for eIdx, e := range engines {
-				e.applyGov(d.Rung, eIdx)
-			}
-		}
-		s.appendSlice(b, powerW, s.sliceGbps(delivered-prevDelivered, S), backlog, 0, updating, capW, rung, nil)
-		prevDelivered = delivered
-	}
-
-	// runSlice fans the per-engine cycle loops out over the worker pool.
-	// Engine state is disjoint, so the only coordination is the barrier at
-	// the end of the slice.
-	runSlice := func(base int64, arrivals [][]updMeta) error {
-		_, err := sweep.Run(len(engines), func(eIdx int) (struct{}, error) {
-			e := engines[eIdx]
-			var next int
-			for i := int64(0); i < S; i++ {
-				if arrivals != nil {
-					for next < len(arrivals[eIdx]) && arrivals[eIdx][next].arrival == base+i {
-						e.backlog = append(e.backlog, arrivals[eIdx][next])
-						next++
-					}
-					if len(e.backlog) > e.backlogPeak {
-						e.backlogPeak = len(e.backlog)
-					}
-				}
-				if err := e.cycle(refs, base+i); err != nil {
-					return struct{}{}, err
-				}
-			}
-			return struct{}{}, nil
-		})
-		return err
-	}
-
-	for t := int64(0); t < slices; t++ {
-		b := t * S
-		if err := boundary(b); err != nil {
-			return UpdateReport{}, err
-		}
-		// One offered packet per cycle, steered to its engine with the
-		// arrival cycle stamped so delay accounting survives the backlog.
-		pkts := gen.Batch(int(S))
-		arrivals := make([][]updMeta, len(engines))
-		for i, p := range pkts {
-			if p.VN < 0 || p.VN >= s.k {
-				return UpdateReport{}, fmt.Errorf("netsim: packet VN %d outside [0,%d)", p.VN, s.k)
-			}
-			rep.OfferedPerVN[p.VN]++
-			if gv != nil && gv.dec.RungIndex > 0 {
-				// Hitless runs never drop for the governor: the arrival is
-				// deferred into the backlog and accounted as such.
-				gv.g.CountDeferred(p.VN)
-			}
-			reqVN := 0
-			if scheme == core.VM {
-				reqVN = p.VN
-			}
-			eIdx := engineOf(p.VN)
-			m := updMeta{
-				req:     pipeline.Request{Addr: p.Addr, VN: reqVN},
-				vn:      p.VN,
-				arrival: b + int64(i),
-			}
-			if tracing {
-				// The arrival cycle is unique (one packet per cycle) and
-				// worker-independent: it doubles as the trace seq.
-				m.req.Trace = tel.Sampler.Sample(p.VN, m.arrival)
-			}
-			arrivals[eIdx] = append(arrivals[eIdx], m)
-		}
-		if err := runSlice(b, arrivals); err != nil {
-			return UpdateReport{}, err
-		}
-		recordSlice(b)
-	}
-
-	// Drain: no new arrivals, but keep cycling until every batch commits and
-	// every backlog and in-flight lookup empties (or the bound trips).
 	maxDrain := cfg.MaxDrainSlices
 	if maxDrain == 0 {
 		maxDrain = 16 + 8*cfg.Batches
 	}
-	outstanding := func() bool {
-		if started < cfg.Batches {
-			return true
-		}
-		for _, e := range engines {
-			if e.handle != nil || len(e.backlog) > 0 || len(e.pending) > 0 || e.sim.Updating() {
-				return true
-			}
-		}
-		return false
-	}
-	drained := int64(0)
-	for d := 0; d < maxDrain && outstanding(); d++ {
-		b := slices*S + drained
-		if err := boundary(b); err != nil {
-			return UpdateReport{}, err
-		}
-		if err := runSlice(b, nil); err != nil {
-			return UpdateReport{}, err
-		}
-		recordSlice(b)
-		drained += S
-	}
-	// A final boundary commits a batch that finished exactly at the bound.
-	if err := boundary(slices*S + drained); err != nil {
+	eng := s.engine()
+	eng.Cycles = trafficCycles
+	eng.SliceCycles = cfg.SliceCycles
+	eng.MaxDrainSlices = maxDrain
+	eng.Gov = gv
+	eng.Stressors = []scenario.Stressor{u}
+	eng.Kernel = u
+	if err := eng.Run(); err != nil {
 		return UpdateReport{}, err
 	}
-	rep.DrainCycles = drained
+	rep.TrafficCycles = eng.TrafficCycles
+	rep.DrainCycles = eng.DrainCycles
 
 	for _, e := range engines {
 		st := e.sim.Stats()
@@ -581,9 +592,9 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 	if delivered > 0 {
 		rep.MeanDelayCycles /= float64(delivered)
 	}
-	rep.Completed = !outstanding()
+	rep.Completed = !u.Outstanding()
 	if gv != nil {
-		rep.Governor = gv.g.Report()
+		rep.Governor = gv.Report()
 	}
 	obsPacketsResolved.Add(delivered)
 	return rep, nil

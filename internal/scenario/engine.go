@@ -1,0 +1,220 @@
+// Package scenario is the slice-quantized run engine behind every netsim
+// harness and the composable-scenario runner. It owns the pieces the four
+// original harnesses each re-wired by hand — the coordinator loop (traffic
+// slices, then a bounded drain, then a final boundary), telemetry threading
+// (one unified series row per slice, flight traces, events), and governor
+// actuation (slice-grain observe, deterministic pacer actuation) — while
+// pluggable stressors and a per-run kernel supply the harness-specific
+// behaviour through a small hook surface.
+//
+// Determinism: every control decision (stressor hooks, governor observe,
+// telemetry rows) runs on the coordinating goroutine; kernels may fan
+// disjoint per-engine work out over the sweep worker pool, but must fold
+// results back in engine order. A run is then a pure function of its seeds
+// and configuration — byte-identical at any -j.
+package scenario
+
+import (
+	"fmt"
+
+	"vrpower/internal/governor"
+	"vrpower/internal/power"
+)
+
+// SliceStats is what a kernel measured over one executed slice; the Engine
+// turns it into the unified telemetry row and the governor's sample.
+type SliceStats struct {
+	// Util is the per-engine slice-local stage utilization feeding the
+	// power model.
+	Util []float64
+	// Delivered is the number of packets delivered during this slice (the
+	// throughput column's numerator).
+	Delivered int64
+	// Backlog is the queued-arrival depth at slice end.
+	Backlog int
+	// Scrubs and Updates are the active control-plane operation counts
+	// (down/reloading engines, armed update batches).
+	Scrubs, Updates int
+	// Avail flags each network as in service; nil means all up.
+	Avail []bool
+	// Reloading flags engines mid-reload for the governor's sample (their
+	// utilization spike is transient); nil when none are.
+	Reloading []bool
+}
+
+// A Kernel executes the data-plane cycles of one slice. Exactly one kernel
+// drives a run; stressors modulate it through shared state.
+type Kernel interface {
+	// RunSlice executes cycles [b, b+n). live is false during the drain
+	// (no new arrivals). The returned stats feed the slice's telemetry row
+	// and governor sample.
+	RunSlice(b, n int64, live bool) (SliceStats, error)
+	// Outstanding reports in-flight work (queued arrivals, pending
+	// lookups) that must complete before the run can end.
+	Outstanding() bool
+}
+
+// DecisionKernel is implemented by kernels that need the governor's fresh
+// decision pushed into per-engine state between slices (the hitless-update
+// actuation model); the Engine calls it after each governed observe.
+type DecisionKernel interface {
+	Kernel
+	ApplyDecision(d governor.Decision)
+}
+
+// Engine is one slice-quantized run: configuration plus the plumbing every
+// harness shares. Zero value is not usable; fill the struct and call Run.
+type Engine struct {
+	// Cycles is the offered-traffic window; SliceCycles the control-plane
+	// quantum. When Truncate is set the last slice is clipped to Cycles
+	// (the open-loop load harness's semantics); otherwise the window is
+	// rounded up to whole slices.
+	Cycles      int64
+	SliceCycles int64
+	Truncate    bool
+	// MaxDrainSlices bounds the post-traffic drain in which stressors and
+	// the kernel finish outstanding work. Zero means no drain at all.
+	MaxDrainSlices int
+
+	// K, Design, FmaxMHz describe the plant for power/throughput telemetry
+	// and the governor.
+	K       int
+	Design  power.SystemDesign
+	FmaxMHz float64
+
+	// Tel is the run's telemetry bundle; nil defaults to NoTelemetry.
+	Tel *Telemetry
+	// Gov is the run's governor actuation, built by NewGovRun; nil runs
+	// ungoverned.
+	Gov *GovRun
+
+	Stressors []Stressor
+	Kernel    Kernel
+
+	// NoSeries suppresses series initialisation and slice rows (the batch
+	// Forward path, which has no slice clock).
+	NoSeries bool
+
+	// TrafficCycles and DrainCycles are filled in by Run.
+	TrafficCycles int64
+	DrainCycles   int64
+}
+
+// observe closes one slice: telemetry row from the kernel's stats, governor
+// observe + actuation for the next slice.
+func (e *Engine) observe(b, n int64, st SliceStats) {
+	powerW, capW, rung := SlicePower(e.Design, st.Util), 0.0, 0.0
+	if e.Gov != nil {
+		d := e.Gov.Observe(b, n, st.Util, st.Reloading)
+		powerW, capW, rung = d.PowerW, d.CapW, float64(d.ObservedRung)
+		if dk, ok := e.Kernel.(DecisionKernel); ok {
+			dk.ApplyDecision(d)
+		}
+	}
+	if e.NoSeries {
+		return
+	}
+	e.Tel.AppendSlice(e.K, b, powerW, SliceGbps(e.FmaxMHz, st.Delivered, n), st.Backlog,
+		st.Scrubs, st.Updates, capW, rung, st.Avail)
+}
+
+// boundary runs every stressor's Boundary hook in registration order.
+func (e *Engine) boundary(b int64, draining bool) error {
+	for _, s := range e.Stressors {
+		if err := s.Boundary(b, draining); err != nil {
+			return fmt.Errorf("scenario: %s boundary at %d: %w", s.Name(), b, err)
+		}
+	}
+	return nil
+}
+
+// preSlice runs every stressor's PreSlice hook in registration order.
+func (e *Engine) preSlice(b, n int64, draining bool) error {
+	for _, s := range e.Stressors {
+		if err := s.PreSlice(b, n, draining); err != nil {
+			return fmt.Errorf("scenario: %s pre-slice at %d: %w", s.Name(), b, err)
+		}
+	}
+	return nil
+}
+
+// outstanding reports whether any stressor or the kernel still has work.
+func (e *Engine) outstanding() bool {
+	if e.Kernel.Outstanding() {
+		return true
+	}
+	for _, s := range e.Stressors {
+		if s.Outstanding() {
+			return true
+		}
+	}
+	return false
+}
+
+// Run drives the full lifecycle: traffic slices, bounded drain, final
+// boundary. See the package comment for the per-slice hook order.
+func (e *Engine) Run() error {
+	if e.Cycles <= 0 {
+		return fmt.Errorf("scenario: run of %d cycles, want > 0", e.Cycles)
+	}
+	if e.SliceCycles < 1 {
+		return fmt.Errorf("scenario: slice of %d cycles, want >= 1", e.SliceCycles)
+	}
+	if e.Kernel == nil {
+		return fmt.Errorf("scenario: no kernel")
+	}
+	if e.Tel == nil {
+		e.Tel = NoTelemetry
+	}
+	S := e.SliceCycles
+	slices := (e.Cycles + S - 1) / S
+	e.TrafficCycles = slices * S
+	if e.Truncate {
+		e.TrafficCycles = e.Cycles
+	}
+	if !e.NoSeries {
+		e.Tel.InitSeries(e.K)
+	}
+
+	for t := int64(0); t < slices; t++ {
+		b := t * S
+		n := S
+		if e.Truncate && b+n > e.Cycles {
+			n = e.Cycles - b
+		}
+		if err := e.boundary(b, false); err != nil {
+			return err
+		}
+		if err := e.preSlice(b, n, false); err != nil {
+			return err
+		}
+		st, err := e.Kernel.RunSlice(b, n, true)
+		if err != nil {
+			return err
+		}
+		e.observe(b, n, st)
+	}
+
+	// Drain: no new traffic, but stressors and the kernel keep working
+	// until everything outstanding lands (or the bound trips — e.g. a dead
+	// engine that will never come back).
+	drained := int64(0)
+	for d := 0; d < e.MaxDrainSlices && e.outstanding(); d++ {
+		b := e.TrafficCycles + drained
+		if err := e.boundary(b, true); err != nil {
+			return err
+		}
+		if err := e.preSlice(b, S, true); err != nil {
+			return err
+		}
+		st, err := e.Kernel.RunSlice(b, S, false)
+		if err != nil {
+			return err
+		}
+		e.observe(b, S, st)
+		drained += S
+	}
+	e.DrainCycles = drained
+	// A final boundary lands work that completed exactly at the bound.
+	return e.boundary(e.TrafficCycles+drained, true)
+}

@@ -1,0 +1,176 @@
+package scenario
+
+// Governor actuation shared by every run harness. The engine measures
+// per-engine utilization every slice, the governor (internal/governor)
+// re-evaluates the paper's power models against the configured caps and
+// picks a ladder rung, and this file translates the rung into run actuation
+// — deterministic serve pacers for DVFS frequency stepping, engine
+// quiescing, merged-scheme admission control, and brownout drops. All
+// decisions happen on the coordinating goroutine, so governed runs stay
+// byte-identical at any -j.
+
+import (
+	"vrpower/internal/governor"
+	"vrpower/internal/obs"
+)
+
+// obsGovernorDrops counts arrivals the governor refused (throttled or
+// browned out) across all harnesses. The name keeps the historical netsim.
+// prefix: it is a published metrics contract.
+var obsGovernorDrops = obs.NewCounter("netsim.governor_drops")
+
+// GovRun is one run's governor instance plus its actuation state: the
+// decision in force and the deterministic serve pacers derived from it.
+type GovRun struct {
+	g   *governor.Governor
+	dec governor.Decision
+	// freq paces each engine's serve cycles at the rung's clock fraction;
+	// admit paces each network's admitted arrivals at the rung's admission
+	// fraction (only below 1 for merged-scheme rungs).
+	freq  []governor.Pacer
+	admit []governor.Pacer
+}
+
+// NewGovRun builds a run's governor from its configuration, or returns
+// (nil, nil) when cfg is nil (ungoverned run). engines and k size the
+// pacer sets; the event log receives the governor's escalation events.
+func NewGovRun(cfg *governor.Config, plant governor.Plant, engines, k int, events *obs.EventLog) (*GovRun, error) {
+	if cfg == nil {
+		return nil, nil
+	}
+	g, err := governor.New(*cfg, plant)
+	if err != nil {
+		return nil, err
+	}
+	g.SetEventLog(events)
+	r, i := g.Current()
+	gv := &GovRun{
+		g:     g,
+		freq:  make([]governor.Pacer, engines),
+		admit: make([]governor.Pacer, k),
+	}
+	gv.apply(governor.Decision{ObservedRung: i, RungIndex: i, Rung: r})
+	return gv, nil
+}
+
+// Governor exposes the underlying controller (for Report and the deferred/
+// brownout counters).
+func (gv *GovRun) Governor() *governor.Governor { return gv.g }
+
+// Decision returns the decision currently in force.
+func (gv *GovRun) Decision() governor.Decision { return gv.dec }
+
+// Report returns the controller's run summary.
+func (gv *GovRun) Report() *governor.Report { return gv.g.Report() }
+
+// apply installs a decision: fresh pacers so the new rung's cadence starts
+// phase-aligned at the slice boundary.
+func (gv *GovRun) apply(d governor.Decision) {
+	gv.dec = d
+	for e := range gv.freq {
+		gv.freq[e] = governor.NewPacer(d.Rung.FreqFrac)
+	}
+	for vn := range gv.admit {
+		gv.admit[vn] = governor.NewPacer(d.Rung.AdmitFrac)
+	}
+}
+
+// Observe feeds one slice's measured utilization (and reload flags) to the
+// governor and actuates its decision for the next slice.
+func (gv *GovRun) Observe(cycle, cycles int64, util []float64, reloading []bool) governor.Decision {
+	d := gv.g.Observe(governor.Sample{Cycle: cycle, Cycles: cycles, Util: util, Reloading: reloading})
+	gv.apply(d)
+	return d
+}
+
+// EngineServes reports whether engine e gets an input slot this cycle:
+// quiesced engines never serve; frequency-stepped ones serve the rung's
+// fraction of cycles on the pacer's even cadence.
+func (gv *GovRun) EngineServes(e int) bool {
+	if gv.dec.Rung.QuiescedEngine(e) {
+		return false
+	}
+	return gv.freq[e].Tick()
+}
+
+// AdmitArrival applies the rung's admission policy to one arrival for
+// network vn steered to the given engine; it returns true when the arrival
+// must be dropped, charging the drop to the right per-VNID counter.
+func (gv *GovRun) AdmitArrival(vn, engine int) bool {
+	r := gv.dec.Rung
+	switch {
+	case r.Brownout:
+		gv.g.CountBrownout(vn)
+	case r.QuiescedEngine(engine):
+		gv.g.CountThrottled(vn)
+	case !gv.admit[vn].Tick():
+		gv.g.CountThrottled(vn)
+	default:
+		return false
+	}
+	obsGovernorDrops.Inc()
+	return true
+}
+
+// DropPaced is AdmitArrival plus frequency pacing at the arrival grain, for
+// kernels that batch whole slices through the pipelines (no per-cycle
+// service loop to gate): a frequency-stepped engine accepts only the rung's
+// fraction of its arrivals.
+func (gv *GovRun) DropPaced(vn, engine int) bool {
+	if gv.AdmitArrival(vn, engine) {
+		return true
+	}
+	if !gv.freq[engine].Tick() {
+		gv.g.CountThrottled(vn)
+		obsGovernorDrops.Inc()
+		return true
+	}
+	return false
+}
+
+// CountDeferred charges one deferred (delayed, not dropped) arrival to
+// network vn — the defer-never-drop accounting used by hitless kernels.
+func (gv *GovRun) CountDeferred(vn int) { gv.g.CountDeferred(vn) }
+
+// EngineGate is per-engine governor actuation for kernels that run
+// persistent per-cycle simulators (the hitless-update model): quiescing and
+// admission control gate the engine's backlog pulls (arrivals wait),
+// frequency stepping gates its whole clock — but write bubbles always flow,
+// so an armed update still commits. Install a rung with Apply between
+// slices; consult ClockRuns/Hold inside the engine's cycle loop.
+type EngineGate struct {
+	quiesced bool
+	freq     *governor.Pacer
+	admit    *governor.Pacer
+}
+
+// Apply installs a rung on engine idx's gate.
+func (g *EngineGate) Apply(r governor.Rung, idx int) {
+	g.quiesced = r.Brownout || r.QuiescedEngine(idx)
+	g.freq = nil
+	if r.FreqFrac < 1 {
+		p := governor.NewPacer(r.FreqFrac)
+		g.freq = &p
+	}
+	g.admit = nil
+	if r.AdmitFrac < 1 {
+		p := governor.NewPacer(r.AdmitFrac)
+		g.admit = &p
+	}
+}
+
+// ClockRuns reports whether the engine's clock advances this cycle (false
+// under a frequency-stepped rung's off beats: bubbles and lookups alike
+// freeze, as a real stepped clock would impose).
+func (g *EngineGate) ClockRuns() bool {
+	return g.freq == nil || g.freq.Tick()
+}
+
+// Hold reports whether this cycle's backlog pull is gated by the governor
+// (quiesced, or an admission pacer miss).
+func (g *EngineGate) Hold() bool {
+	if g.quiesced {
+		return true
+	}
+	return g.admit != nil && !g.admit.Tick()
+}

@@ -1,0 +1,393 @@
+package scenario
+
+// Spec is the composable scenario description behind cmd/lookupsim
+// -scenario: a comma-separated key=value list selecting which stressors run
+// together in one engine-driven simulation and how they are shaped. The
+// grammar (see docs/CLI.md for the cookbook):
+//
+//	load=saturate | const:P | surge[:P0:P1:START:LEN] | burst:P:PERIOD:DUTY | ramp:P0:P1
+//	faults=seu:RATE          SEU injection at RATE upsets per data bit-cycle
+//	kill=ENGINE@CYCLE        scheduled hard failure of one engine
+//	churn=BATCHESxOPS[:vn=N] hitless route-update batches (round-robin, or pinned)
+//	power-cap=W              fleet-wide governor cap in Watts
+//	power-cap-device=W       per-device governor cap in Watts
+//	cycles=N                 offered-traffic window (default 32768)
+//	slice=N                  control-plane quantum (default 1024)
+//	queue=N                  per-network ingress queue capacity (default 64)
+//	seed=N                   load-shape default seed offset (default 1)
+//
+// Every value is validated at parse time with a specific error; a Spec that
+// parses is runnable.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Load-shape kinds.
+const (
+	LoadSaturate = "saturate"
+	LoadConst    = "const"
+	LoadSurge    = "surge"
+	LoadBurst    = "burst"
+	LoadRamp     = "ramp"
+)
+
+// LoadShape is the offered-load schedule: the per-network Bernoulli arrival
+// probability as a function of the run cycle.
+type LoadShape struct {
+	Kind string
+	// P0 is the baseline probability; P1 the elevated one (surge target,
+	// ramp endpoint). Const and burst use P0 only.
+	P0, P1 float64
+	// Start/Len bound the surge window; negative values mean "resolve
+	// against the run length" (Start = cycles/4, Len = cycles/2).
+	Start, Len int64
+	// Period/Duty shape the burst square wave: P0 for the first Duty
+	// fraction of every Period cycles, idle for the rest.
+	Period int64
+	Duty   float64
+}
+
+// At returns the per-network arrival probability at cycle cyc of a
+// total-cycle run.
+func (l LoadShape) At(cyc, total int64) float64 {
+	switch l.Kind {
+	case LoadConst:
+		return l.P0
+	case LoadSurge:
+		start, length := l.Start, l.Len
+		if start < 0 {
+			start = total / 4
+		}
+		if length < 0 {
+			length = total / 2
+		}
+		if cyc >= start && cyc < start+length {
+			return l.P1
+		}
+		return l.P0
+	case LoadBurst:
+		if float64(cyc%l.Period) < l.Duty*float64(l.Period) {
+			return l.P0
+		}
+		return 0
+	case LoadRamp:
+		if total <= 1 {
+			return l.P1
+		}
+		return l.P0 + (l.P1-l.P0)*float64(cyc)/float64(total-1)
+	default: // LoadSaturate
+		return 1
+	}
+}
+
+// String renders the shape back in spec syntax.
+func (l LoadShape) String() string {
+	switch l.Kind {
+	case LoadConst:
+		return fmt.Sprintf("const:%g", l.P0)
+	case LoadSurge:
+		if l.Start < 0 {
+			return fmt.Sprintf("surge:%g:%g", l.P0, l.P1)
+		}
+		return fmt.Sprintf("surge:%g:%g:%d:%d", l.P0, l.P1, l.Start, l.Len)
+	case LoadBurst:
+		return fmt.Sprintf("burst:%g:%d:%g", l.P0, l.Period, l.Duty)
+	case LoadRamp:
+		return fmt.Sprintf("ramp:%g:%g", l.P0, l.P1)
+	default:
+		return LoadSaturate
+	}
+}
+
+// KillSpec schedules a hard failure of one engine.
+type KillSpec struct {
+	Engine int
+	Cycle  int64
+}
+
+// ChurnSpec schedules hitless route-update batches.
+type ChurnSpec struct {
+	Batches int
+	Ops     int
+	// TargetVN pins every batch to one network; -1 round-robins.
+	TargetVN int
+}
+
+// Spec is one parsed scenario: which stressors run and how they are shaped.
+// Zero-valued optional sections (SEURate 0, nil Kill/Churn, zero caps) mean
+// that stressor is absent from the run.
+type Spec struct {
+	Load    LoadShape
+	SEURate float64
+	Kill    *KillSpec
+	Churn   *ChurnSpec
+	// CapW / DeviceCapW configure the power-envelope governor; both zero
+	// runs ungoverned (unless the harness has a governor attached).
+	CapW       float64
+	DeviceCapW float64
+	Cycles     int64
+	Slice      int64
+	Queue      int
+	Seed       int64
+	// Raw is the spec string as given, for reports.
+	Raw string
+}
+
+// Stressors lists the active stressor names, for reports and logs.
+func (s Spec) Stressors() []string {
+	names := []string{"load"}
+	if s.SEURate > 0 || s.Kill != nil {
+		names = append(names, "faults")
+	}
+	if s.Churn != nil {
+		names = append(names, "churn")
+	}
+	if s.CapW > 0 || s.DeviceCapW > 0 {
+		names = append(names, "power-cap")
+	}
+	return names
+}
+
+func parseFloat(key, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: %s: %q is not a number", key, v)
+	}
+	return f, nil
+}
+
+func parseInt(key, v string) (int64, error) {
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: %s: %q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+func parseLoad(v string) (LoadShape, error) {
+	parts := strings.Split(v, ":")
+	l := LoadShape{Kind: parts[0]}
+	args := parts[1:]
+	want := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("scenario: load=%s takes %d argument(s), got %d (grammar: %s)",
+				l.Kind, n, len(args), loadGrammar(l.Kind))
+		}
+		return nil
+	}
+	var err error
+	num := func(i int) float64 {
+		if err != nil {
+			return 0
+		}
+		var f float64
+		f, err = parseFloat("load", args[i])
+		return f
+	}
+	switch l.Kind {
+	case LoadSaturate:
+		if err := want(0); err != nil {
+			return l, err
+		}
+		return l, nil
+	case LoadConst:
+		if err := want(1); err != nil {
+			return l, err
+		}
+		l.P0 = num(0)
+	case LoadSurge:
+		l.Start, l.Len = -1, -1
+		switch len(args) {
+		case 0:
+			l.P0, l.P1 = 0.3, 0.9
+		case 2:
+			l.P0, l.P1 = num(0), num(1)
+		case 4:
+			l.P0, l.P1 = num(0), num(1)
+			if err == nil {
+				l.Start, err = parseInt("load", args[2])
+			}
+			if err == nil {
+				l.Len, err = parseInt("load", args[3])
+			}
+			if err == nil && (l.Start < 0 || l.Len < 1) {
+				return l, fmt.Errorf("scenario: load=surge window [%d,+%d) invalid, want start >= 0 and len >= 1", l.Start, l.Len)
+			}
+		default:
+			return l, fmt.Errorf("scenario: load=surge takes 0, 2 or 4 arguments, got %d (grammar: %s)",
+				len(args), loadGrammar(LoadSurge))
+		}
+	case LoadBurst:
+		if err := want(3); err != nil {
+			return l, err
+		}
+		l.P0 = num(0)
+		if err == nil {
+			l.Period, err = parseInt("load", args[1])
+		}
+		l.Duty = num(2)
+		if err == nil && l.Period < 1 {
+			return l, fmt.Errorf("scenario: load=burst period %d, want >= 1", l.Period)
+		}
+		if err == nil && (l.Duty <= 0 || l.Duty > 1) {
+			return l, fmt.Errorf("scenario: load=burst duty %g outside (0,1]", l.Duty)
+		}
+	case LoadRamp:
+		if err := want(2); err != nil {
+			return l, err
+		}
+		l.P0, l.P1 = num(0), num(1)
+	default:
+		return l, fmt.Errorf("scenario: unknown load shape %q (want saturate, const, surge, burst or ramp)", l.Kind)
+	}
+	if err != nil {
+		return l, err
+	}
+	for _, p := range []float64{l.P0, l.P1} {
+		if p < 0 || p > 1 {
+			return l, fmt.Errorf("scenario: load probability %g outside [0,1]", p)
+		}
+	}
+	return l, nil
+}
+
+func loadGrammar(kind string) string {
+	switch kind {
+	case LoadConst:
+		return "const:P"
+	case LoadSurge:
+		return "surge[:P0:P1[:START:LEN]]"
+	case LoadBurst:
+		return "burst:P:PERIOD:DUTY"
+	case LoadRamp:
+		return "ramp:P0:P1"
+	default:
+		return "saturate"
+	}
+}
+
+// Parse parses a -scenario spec string. The empty string is an error; every
+// malformed key or value yields a specific message naming the key and the
+// expected grammar.
+func Parse(spec string) (Spec, error) {
+	s := Spec{
+		Load:   LoadShape{Kind: LoadSaturate},
+		Cycles: 32768,
+		Slice:  1024,
+		Queue:  64,
+		Seed:   1,
+		Raw:    spec,
+	}
+	if strings.TrimSpace(spec) == "" {
+		return s, fmt.Errorf("scenario: empty spec (example: load=surge,faults=seu:1e-9,churn=100x50,power-cap=45)")
+	}
+	seen := map[string]bool{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, found := strings.Cut(item, "=")
+		if !found {
+			return s, fmt.Errorf("scenario: %q is not key=value", item)
+		}
+		if seen[key] {
+			return s, fmt.Errorf("scenario: duplicate key %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "load":
+			s.Load, err = parseLoad(val)
+		case "faults":
+			kind, rate, found := strings.Cut(val, ":")
+			if !found || kind != "seu" {
+				return s, fmt.Errorf("scenario: faults=%q, want faults=seu:RATE (upsets per bit-cycle)", val)
+			}
+			s.SEURate, err = parseFloat("faults", rate)
+			if err == nil && (s.SEURate <= 0 || s.SEURate >= 1) {
+				return s, fmt.Errorf("scenario: SEU rate %g outside (0,1) per bit-cycle", s.SEURate)
+			}
+		case "kill":
+			e, c, found := strings.Cut(val, "@")
+			if !found {
+				return s, fmt.Errorf("scenario: kill=%q, want kill=ENGINE@CYCLE", val)
+			}
+			var eng, cyc int64
+			if eng, err = parseInt("kill", e); err == nil {
+				cyc, err = parseInt("kill", c)
+			}
+			if err == nil && (eng < 0 || cyc < 0) {
+				return s, fmt.Errorf("scenario: kill of engine %d at cycle %d, want both >= 0", eng, cyc)
+			}
+			s.Kill = &KillSpec{Engine: int(eng), Cycle: cyc}
+		case "churn":
+			body, vnPart, hasVN := strings.Cut(val, ":")
+			b, o, found := strings.Cut(body, "x")
+			if !found {
+				return s, fmt.Errorf("scenario: churn=%q, want churn=BATCHESxOPS[:vn=N]", val)
+			}
+			var batches, ops int64
+			if batches, err = parseInt("churn", b); err == nil {
+				ops, err = parseInt("churn", o)
+			}
+			if err == nil && (batches < 1 || ops < 1) {
+				return s, fmt.Errorf("scenario: churn of %d batches x %d ops, want both >= 1", batches, ops)
+			}
+			c := &ChurnSpec{Batches: int(batches), Ops: int(ops), TargetVN: -1}
+			if hasVN && err == nil {
+				n, ok := strings.CutPrefix(vnPart, "vn=")
+				if !ok {
+					return s, fmt.Errorf("scenario: churn option %q, want vn=N", vnPart)
+				}
+				var vn int64
+				if vn, err = parseInt("churn", n); err == nil && vn < 0 {
+					return s, fmt.Errorf("scenario: churn vn %d, want >= 0", vn)
+				}
+				c.TargetVN = int(vn)
+			}
+			s.Churn = c
+		case "power-cap":
+			s.CapW, err = parseFloat("power-cap", val)
+			if err == nil && s.CapW <= 0 {
+				return s, fmt.Errorf("scenario: power-cap %g W, want > 0", s.CapW)
+			}
+		case "power-cap-device":
+			s.DeviceCapW, err = parseFloat("power-cap-device", val)
+			if err == nil && s.DeviceCapW <= 0 {
+				return s, fmt.Errorf("scenario: power-cap-device %g W, want > 0", s.DeviceCapW)
+			}
+		case "cycles":
+			s.Cycles, err = parseInt("cycles", val)
+			if err == nil && s.Cycles < 1 {
+				return s, fmt.Errorf("scenario: cycles=%d, want >= 1", s.Cycles)
+			}
+		case "slice":
+			s.Slice, err = parseInt("slice", val)
+			if err == nil && s.Slice < 1 {
+				return s, fmt.Errorf("scenario: slice=%d, want >= 1", s.Slice)
+			}
+		case "queue":
+			var q int64
+			q, err = parseInt("queue", val)
+			if err == nil && q < 1 {
+				return s, fmt.Errorf("scenario: queue=%d, want >= 1", q)
+			}
+			s.Queue = int(q)
+		case "seed":
+			s.Seed, err = parseInt("seed", val)
+		default:
+			return s, fmt.Errorf("scenario: unknown key %q (want load, faults, kill, churn, power-cap, power-cap-device, cycles, slice, queue or seed)", key)
+		}
+		if err != nil {
+			return s, err
+		}
+	}
+	if s.Kill != nil && s.Kill.Cycle >= s.Cycles {
+		return s, fmt.Errorf("scenario: kill at cycle %d is past the %d-cycle run", s.Kill.Cycle, s.Cycles)
+	}
+	return s, nil
+}

@@ -1,0 +1,56 @@
+package scenario
+
+// A Stressor is a pluggable source of controlled adversity — fault
+// injection, update churn, load shaping, a power cap — that the Engine
+// drives through a common hook interface. Stressors never touch each other
+// directly: they act on the run through their hooks and observe it through
+// whatever state they share with the kernel.
+//
+// Ordering and priority rules (the determinism contract):
+//
+//  1. All hooks run on the single coordinating goroutine, never inside the
+//     kernel's worker fan-out. A stressor may therefore keep plain state.
+//  2. At each slice boundary b the Engine calls every stressor's Boundary
+//     in registration order — control-plane work first (land reloads,
+//     commit/arm update batches), so a repair and a commit scheduled for
+//     the same boundary land in a fixed order regardless of -j.
+//  3. After the boundary, still before any arrival of the slice, the
+//     Engine calls every stressor's PreSlice in registration order — the
+//     data-plane-adjacent work (engine kills, SEU injection, background
+//     readback sweeps) that must precede the slice's traffic.
+//  4. The kernel then executes the slice. It may consult stressor state
+//     (is this engine down? is an update in flight?) but must not mutate
+//     it from worker goroutines.
+//  5. After the kernel's slice, the Engine observes telemetry and the
+//     governor; the governor's new decision takes effect from the next
+//     slice's first cycle.
+//
+// Registration order is the priority order. The composed runner registers
+// faults before churn: a scrub decision made at boundary b is visible to
+// the churn stressor's arm decision at the same boundary (it will not arm
+// an update on an engine that just went down).
+type Stressor interface {
+	// Name identifies the stressor in reports and error messages.
+	Name() string
+	// Boundary runs control-plane work at slice boundary b (b = t*S, and
+	// once more after the drain loop exits, so work that completes exactly
+	// at the bound still lands). draining marks post-traffic slices.
+	Boundary(b int64, draining bool) error
+	// PreSlice runs data-plane-adjacent work for the slice starting at b,
+	// after every stressor's Boundary and before any arrival. n is the
+	// slice's cycle count. draining marks post-traffic slices (no new
+	// faults are scheduled there, but e.g. background sweeps continue).
+	PreSlice(b, n int64, draining bool) error
+	// Outstanding reports work that must complete before the run can end;
+	// the Engine keeps draining (up to its bound) while any stressor or
+	// the kernel reports outstanding work.
+	Outstanding() bool
+}
+
+// NopStressor implements Stressor with no-ops; embed it to implement only
+// the hooks a stressor needs.
+type NopStressor struct{}
+
+func (NopStressor) Boundary(int64, bool) error        { return nil }
+func (NopStressor) PreSlice(int64, int64, bool) error { return nil }
+func (NopStressor) Outstanding() bool                 { return false }
