@@ -4,7 +4,7 @@
 #   make bench      = every benchmark with allocation counts
 GO ?= go
 
-.PHONY: all build test race race-faults race-updates race-obs race-governor race-scenarios telemetry-smoke governor-smoke scenario-smoke vet bench
+.PHONY: all build test race race-faults race-updates race-obs race-governor race-scenarios race-chaos telemetry-smoke governor-smoke scenario-smoke chaos-smoke fuzz-smoke vet vuln bench
 
 all: build test
 
@@ -49,6 +49,12 @@ race-governor:
 # (load + faults + churn + power cap) drives concurrently.
 race-scenarios:
 	$(GO) test -race ./internal/scenario/... ./internal/netsim/... ./internal/ctrl/... ./internal/pipeline/... ./internal/governor/... ./internal/sweep/...
+
+# Race-detector pass focused on the crash-consistency path: the journal and
+# watchdog, the control-plane fault injector, the invariant auditor, and the
+# chaos-composed scenario runner over the sweep pool.
+race-chaos:
+	$(GO) test -race ./internal/ctrl/... ./internal/faults/... ./internal/pipeline/... ./internal/netsim/... ./internal/sweep/...
 
 # Telemetry smoke run: a fault-injection experiment with tracing, the slice
 # time series and the event log all enabled, dumped into telemetry-smoke/
@@ -108,8 +114,54 @@ scenario-smoke:
 	grep -q scrub_done scenario-smoke/events.jsonl
 	grep -q update_commit scenario-smoke/events.jsonl
 
+# Chaos smoke run: the crash-consistency flagship — surge load, SEU scrubs,
+# churn, a power cap, and every control-plane fault class (crash-before-
+# commit, reload stall, torn write, watchdog false positive) in ONE run —
+# executed at -j1 and -j8 and byte-compared, then grepped for the recovery
+# lifecycle: injected faults, journaled rollback AND replay, and a clean
+# invariant audit. Dumps land in chaos-smoke/ (CI uploads the directory as
+# an artifact). lookupsim exits nonzero if any post-recovery audit probe
+# misforwards, so the smoke also gates the drop-never-misforward invariant.
+CHAOS_SPEC = load=surge:0.3:0.9,faults=seu:2e-8,churn=8x24,power-cap=38,chaos=crash:3+stall:1+torn:1+falsepos:1,cycles=16384,queue=32,seed=11
+chaos-smoke:
+	mkdir -p chaos-smoke
+	$(GO) run ./cmd/lookupsim -scheme VS -k 3 -j 1 \
+		-scenario $(CHAOS_SPEC) -governor-report -update-report \
+		-timeseries-out chaos-smoke/timeseries.csv \
+		-events-out chaos-smoke/events.jsonl \
+		> chaos-smoke/report.txt
+	$(GO) run ./cmd/lookupsim -scheme VS -k 3 -j 8 \
+		-scenario $(CHAOS_SPEC) -governor-report -update-report \
+		-timeseries-out chaos-smoke/timeseries-j8.csv \
+		-events-out chaos-smoke/events-j8.jsonl \
+		> chaos-smoke/report-j8.txt
+	cmp chaos-smoke/report.txt chaos-smoke/report-j8.txt
+	cmp chaos-smoke/timeseries.csv chaos-smoke/timeseries-j8.csv
+	cmp chaos-smoke/events.jsonl chaos-smoke/events-j8.jsonl
+	grep -q 'load + faults + chaos + churn + power-cap' chaos-smoke/report.txt
+	grep -q 'Completed.*true' chaos-smoke/report.txt
+	grep -q chaos_inject chaos-smoke/events.jsonl
+	grep -q crash_before_commit chaos-smoke/events.jsonl
+	grep -q recovery_rollback chaos-smoke/events.jsonl
+	grep -q recovery_replay chaos-smoke/events.jsonl
+	grep -q invariant_audit chaos-smoke/events.jsonl
+
+# Short deterministic fuzz pass over the operator-facing spec parser (the
+# full corpus run is `go test -fuzz=FuzzParse ./internal/scenario`).
+fuzz-smoke:
+	$(GO) test ./internal/scenario -run='^$$' -fuzz=FuzzParse -fuzztime=10s
+
 vet:
 	$(GO) vet ./...
+
+# Known-vulnerability scan. govulncheck is not vendored; skip gracefully
+# where it is not installed (CI installs it in the lint job).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

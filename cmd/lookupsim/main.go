@@ -24,7 +24,7 @@
 //
 //	lookupsim -scheme VM -k 4 -packets 10000 [-prefixes 1000] [-share 0.5]
 //	          [-dist uniform|zipf] [-routed] [-frames] [-load 0.5]
-//	          [-scenario load=...,faults=...,kill=...,churn=...,power-cap=...]
+//	          [-scenario load=...,faults=...,kill=...,churn=...,chaos=...,power-cap=...]
 //	          [-faults] [-fault-seed 1] [-seu-rate 1e-8]
 //	          [-kill-engine N -kill-cycle C] [-reconfig-failures N]
 //	          [-mttr-report]
@@ -59,17 +59,23 @@
 //
 // With -scenario SPEC all of the above compose into ONE run: a comma-
 // separated key=value spec selects a load shape, SEU faults, an engine
-// kill, update churn and power caps together, e.g.
+// kill, update churn, control-plane chaos and power caps together, e.g.
 //
 //	lookupsim -scheme VS -k 4 \
-//	  -scenario load=surge,faults=seu:1e-9,churn=100x50,power-cap=45
+//	  -scenario load=surge,faults=seu:1e-9,churn=100x50,chaos=crash:2+stall:1,power-cap=45
 //
 // and the report covers every axis at once: per-VNID delivery and
-// availability, SEU/scrub lifecycle, churn batch outcomes, and the
-// governor's control-law summary. The spec owns the stressor knobs
-// (cycles=, seed=, queue= included), so combining -scenario with the
-// legacy per-experiment flags is rejected — see docs/CLI.md for the full
-// grammar. Same seeds, same -j or not, same bytes.
+// availability, SEU/scrub lifecycle, churn batch outcomes, journaled
+// recovery (rollbacks/replays, watchdog ladder, invariant audits), and the
+// governor's control-law summary. chaos=KIND:N[+KIND:N...] injects
+// control-plane faults — crash (hitless commit dies mid-write), stall
+// (scrub reload hangs), torn (reload dies half-written), falsepos (watchdog
+// fires spuriously) — each recovered through the write-ahead journal to a
+// defined image; the run exits nonzero if any post-recovery audit probe
+// misforwards. The spec owns the stressor knobs (cycles=, seed=, queue=
+// included), so combining -scenario with the legacy per-experiment flags is
+// rejected — see docs/CLI.md for the full grammar. Same seeds, same -j or
+// not, same bytes.
 package main
 
 import (
@@ -181,7 +187,7 @@ func main() {
 	flag.BoolVar(&o.routed, "routed", true, "draw destinations from the routed space")
 	flag.BoolVar(&o.frames, "frames", false, "drive the full frame path (parse -> lookup -> edit) instead of bare lookups")
 	flag.Float64Var(&o.load, "load", 0, "per-VN offered load for an open-loop run (0 = closed-loop batch)")
-	flag.StringVar(&o.scenario, "scenario", "", "composed scenario spec: comma-separated key=value stressors (load=, faults=, kill=, churn=, power-cap=, ...; see docs/CLI.md)")
+	flag.StringVar(&o.scenario, "scenario", "", "composed scenario spec: comma-separated key=value stressors (load=, faults=, kill=, churn=, chaos=, power-cap=, ...; see docs/CLI.md)")
 	flag.BoolVar(&o.faults, "faults", false, "run the fault-injection experiment (SEUs, detection, scrubbing)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the fault schedule (independent of -seed)")
 	flag.Float64Var(&o.seuRate, "seu-rate", 1e-8, "SEU probability per data bit per cycle")
@@ -715,12 +721,38 @@ func runScenario(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme,
 		}
 	}
 
+	if rep.Chaos != nil {
+		ch := rep.Chaos
+		xt := report.NewTable("Chaos stressor (control-plane faults)", "Quantity", "Value")
+		xt.AddF("Injected crash / stall / torn / falsepos",
+			fmt.Sprintf("%d / %d / %d / %d",
+				ch.InjectedCrashes, ch.InjectedStalls, ch.InjectedTorn, ch.InjectedFalsePositives))
+		xt.AddF("Journal rollbacks / replays", fmt.Sprintf("%d / %d", ch.Rollbacks, ch.Replays))
+		xt.AddF("Journal ops begun / committed / aborted",
+			fmt.Sprintf("%d / %d / %d", ch.JournalBegun, ch.JournalCommits, ch.JournalAborts))
+		xt.AddF("Watchdog retries / false positives / escalations",
+			fmt.Sprintf("%d / %d / %d", ch.WatchdogRetries, ch.FalsePositives, ch.Escalations))
+		xt.AddF("Batches retried after rollback", ch.RetriedBatches)
+		xt.AddF("Mean recovery latency (cycles)", fmt.Sprintf("%.1f", ch.MeanRecoveryCycles()))
+		xt.AddF("Invariant audits / probes / faulted / mismatches",
+			fmt.Sprintf("%d / %d / %d / %d", ch.Audits, ch.AuditProbes, ch.AuditFaulted, ch.AuditMismatches))
+		for vn, n := range ch.DegradedSlicesPerVN {
+			if n > 0 {
+				xt.AddF(fmt.Sprintf("VN %d degraded slices", vn), n)
+			}
+		}
+		fmt.Println(xt.String())
+	}
+
 	if rep.Governor != nil {
 		printGovernor(rep.Governor, o.governorReport)
 	}
 
 	if rep.Mismatches != 0 {
 		return fmt.Errorf("%d lookups disagreed with their epoch's reference LPM", rep.Mismatches)
+	}
+	if rep.Chaos != nil && rep.Chaos.AuditMismatches != 0 {
+		return fmt.Errorf("%d invariant-audit probes misforwarded after recovery", rep.Chaos.AuditMismatches)
 	}
 	if !rep.Completed {
 		return fmt.Errorf("run ended with repairs, updates or backlogs outstanding")

@@ -103,7 +103,7 @@ func (m *Manager) record(ev Event) {
 // structure being rewritten. It fails if a reload is already open.
 func (m *Manager) BeginReload() error {
 	if m.reloading {
-		return fmt.Errorf("ctrl: reload already in flight")
+		return fmt.Errorf("ctrl: reload already open: %w", ErrReloadInFlight)
 	}
 	m.reloading = true
 	return nil
@@ -118,7 +118,7 @@ func (m *Manager) Reloading() bool { return m.reloading }
 // guardMutation rejects lifecycle operations while a reload is in flight.
 func (m *Manager) guardMutation(action Action) error {
 	if m.reloading {
-		return fmt.Errorf("ctrl: %s rejected: data-plane reload in flight", action)
+		return fmt.Errorf("ctrl: %s rejected: %w", action, ErrReloadInFlight)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package ctrl
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -103,21 +104,21 @@ func TestMutationsRejectedDuringReload(t *testing.T) {
 	if err := m.BeginReload(); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.BeginReload(); err == nil {
-		t.Error("nested BeginReload accepted")
+	if err := m.BeginReload(); !errors.Is(err, ErrReloadInFlight) {
+		t.Errorf("nested BeginReload error %v, want ErrReloadInFlight", err)
 	}
 	ops, err := update.Churn(m.Tables()[1], 10, update.ChurnConfig{Seed: 35})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.ApplyUpdates(1, ops); err == nil {
-		t.Error("ApplyUpdates during in-flight reload succeeded")
+	if _, err := m.ApplyUpdates(1, ops); !errors.Is(err, ErrReloadInFlight) {
+		t.Errorf("ApplyUpdates during reload error %v, want ErrReloadInFlight", err)
 	}
-	if _, err := m.AddNetwork(genTable(t, 150, 36)); err == nil {
-		t.Error("AddNetwork during in-flight reload succeeded")
+	if _, err := m.AddNetwork(genTable(t, 150, 36)); !errors.Is(err, ErrReloadInFlight) {
+		t.Errorf("AddNetwork during reload error %v, want ErrReloadInFlight", err)
 	}
-	if _, err := m.RemoveNetwork(0); err == nil {
-		t.Error("RemoveNetwork during in-flight reload succeeded")
+	if _, err := m.RemoveNetwork(0); !errors.Is(err, ErrReloadInFlight) {
+		t.Errorf("RemoveNetwork during reload error %v, want ErrReloadInFlight", err)
 	}
 	if m.K() != 3 || len(m.Events()) != 0 {
 		t.Errorf("state changed during reload: K=%d events=%d", m.K(), len(m.Events()))
@@ -125,6 +126,55 @@ func TestMutationsRejectedDuringReload(t *testing.T) {
 	m.EndReload()
 	if _, err := m.ApplyUpdates(1, ops); err != nil {
 		t.Errorf("ApplyUpdates after EndReload: %v", err)
+	}
+	forwardingIntact(t, m)
+}
+
+// alwaysFail is a ReconfigFailer that voids every reload attempt.
+type alwaysFail struct{}
+
+func (alwaysFail) FailReconfig() bool { return true }
+
+// TestScrubExhaustionWrapsSentinel: a scrub that runs out of attempts must
+// be identifiable with errors.Is, not by message matching.
+func TestScrubExhaustionWrapsSentinel(t *testing.T) {
+	m, err := New(core.Config{Scheme: core.VS, ClockGating: true}, genTables(t, 2, 150, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScrubber(ScrubPolicy{MaxAttempts: 2}, alwaysFail{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ScrubNetwork(0, sc); !errors.Is(err, ErrScrubExhausted) {
+		t.Fatalf("exhausted scrub error %v, want ErrScrubExhausted", err)
+	}
+	if m.Reloading() {
+		t.Fatal("reload guard leaked after an exhausted scrub")
+	}
+	forwardingIntact(t, m)
+}
+
+// TestHitlessDoubleCommitWrapsSentinel: committing a finished hitless
+// update must surface ErrUpdateFinished through errors.Is.
+func TestHitlessDoubleCommitWrapsSentinel(t *testing.T) {
+	m, err := New(core.Config{Scheme: core.VS, ClockGating: true}, genTables(t, 2, 150, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := update.Churn(m.Tables()[0], 10, update.ChurnConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.BeginHitlessUpdate(0, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Commit(); !errors.Is(err, ErrUpdateFinished) {
+		t.Fatalf("double commit error %v, want ErrUpdateFinished", err)
 	}
 	forwardingIntact(t, m)
 }

@@ -1,0 +1,33 @@
+package ctrl
+
+// Sentinel errors for the control plane's failure modes. Every error path
+// that used to return an opaque fmt.Errorf now wraps one of these, so
+// callers branch with errors.Is instead of substring matching: the netsim
+// harnesses distinguish "the reload guard is busy" (retry next boundary)
+// from "the scrub budget is spent" (the engine is dead) from "the journal
+// found a torn operation" (run recovery) without parsing messages.
+
+import "errors"
+
+var (
+	// ErrReloadInFlight marks an operation rejected because the data-plane
+	// reload guard is held (a scrub, hitless update or lifecycle mutation is
+	// mid-rewrite).
+	ErrReloadInFlight = errors.New("data-plane reload in flight")
+	// ErrScrubExhausted marks a scrub whose bounded retry budget ran out;
+	// the engine stays dead.
+	ErrScrubExhausted = errors.New("scrub retry budget exhausted")
+	// ErrReloadTimeout marks a supervised reload or commit that blew its
+	// watchdog deadline (a reload stall, or a crashed updater).
+	ErrReloadTimeout = errors.New("reload deadline expired")
+	// ErrTornCommit marks a journaled multi-stage operation that stopped
+	// between intent and commit: some stages carry the new image, some the
+	// old, and recovery must replay or roll back before the image serves.
+	ErrTornCommit = errors.New("torn multi-stage commit")
+	// ErrOpInFlight marks a journal Begin while another journaled operation
+	// is still open — the single-writer mirror of ErrReloadInFlight.
+	ErrOpInFlight = errors.New("journaled operation already in flight")
+	// ErrUpdateFinished marks a Commit or journal mutation on an operation
+	// that already committed or aborted.
+	ErrUpdateFinished = errors.New("operation already finished")
+)

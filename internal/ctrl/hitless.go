@@ -177,7 +177,7 @@ func (m *Manager) prepareHitless(vn int, ops []update.Op) (*HitlessUpdate, error
 // write-bubble path) — and releases the reload guard.
 func (h *HitlessUpdate) Commit() (Event, error) {
 	if h.done {
-		return Event{}, fmt.Errorf("ctrl: hitless update already finished")
+		return Event{}, fmt.Errorf("ctrl: hitless update: %w", ErrUpdateFinished)
 	}
 	h.done = true
 	m := h.m

@@ -171,7 +171,7 @@ func (s *Scrubber) Scrub(rebuild func() (*pipeline.Image, error)) (ScrubResult, 
 	}
 	obsScrubsExhausted.Inc()
 	s.log.Log(obs.LevelError, -1, "scrub_exhausted", "attempts", s.pol.MaxAttempts)
-	return res, fmt.Errorf("ctrl: scrub failed after %d attempts", s.pol.MaxAttempts)
+	return res, fmt.Errorf("ctrl: scrub failed after %d attempts: %w", s.pol.MaxAttempts, ErrScrubExhausted)
 }
 
 // ScrubNetwork repairs network vn's engine on the managed router: the

@@ -1,0 +1,255 @@
+package ctrl
+
+// This file implements the control plane's watchdog: every journaled
+// operation (scrub reload, hitless commit) is armed with a slice-denominated
+// deadline derived from its expected completion cycle, and the supervisor
+// walks a fixed escalation ladder when the deadline expires — bounded
+// retries with seeded exponential backoff first, then the engine is marked
+// per-VNID degraded and an operator event is raised. The ladder is the
+// robustness counterpart of the scrubber's retry budget: the scrubber
+// bounds how often a reload is re-attempted, the watchdog bounds how long
+// any single attempt may run before the control plane stops waiting.
+
+import (
+	"fmt"
+
+	"vrpower/internal/obs"
+)
+
+// Watchdog instrumentation (surfaced by the cmd tools' -stats flag).
+var (
+	obsWatchdogRetries     = obs.NewCounter("ctrl.watchdog_retries")
+	obsWatchdogEscalations = obs.NewCounter("ctrl.watchdog_escalations")
+	obsWatchdogFalsePos    = obs.NewCounter("ctrl.watchdog_false_positives")
+)
+
+// WatchdogPolicy bounds the supervisor's escalation ladder.
+type WatchdogPolicy struct {
+	// DeadlineSlices is the grace window past an operation's expected
+	// completion cycle, denominated in scenario slices: the deadline is
+	// expectedDone + DeadlineSlices*slice.
+	DeadlineSlices int
+	// MaxRetries is how many deadline expiries are answered with a backoff
+	// and retry before the ladder escalates.
+	MaxRetries int
+	// Backoff paces the retries; the first retry waits Base cycles, each
+	// further retry doubles it (with optional seeded jitter).
+	Backoff Backoff
+}
+
+// DefaultWatchdogPolicy grants a four-slice grace window and two retries
+// with a 256-cycle base backoff.
+func DefaultWatchdogPolicy() WatchdogPolicy {
+	return WatchdogPolicy{DeadlineSlices: 4, MaxRetries: 2, Backoff: Backoff{Base: 256}}
+}
+
+// withDefaults fills zero fields.
+func (p WatchdogPolicy) withDefaults() WatchdogPolicy {
+	d := DefaultWatchdogPolicy()
+	if p.DeadlineSlices == 0 {
+		p.DeadlineSlices = d.DeadlineSlices
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = d.MaxRetries
+	}
+	if p.Backoff.Base == 0 {
+		p.Backoff.Base = d.Backoff.Base
+	}
+	return p
+}
+
+// Validate reports policy errors.
+func (p WatchdogPolicy) Validate() error {
+	if p.DeadlineSlices < 1 {
+		return fmt.Errorf("ctrl: watchdog DeadlineSlices %d, want >= 1", p.DeadlineSlices)
+	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("ctrl: watchdog MaxRetries %d, want >= 0", p.MaxRetries)
+	}
+	if p.Backoff.Base < 1 {
+		return fmt.Errorf("ctrl: watchdog backoff base %d, want >= 1", p.Backoff.Base)
+	}
+	if p.Backoff.Jitter < 0 || p.Backoff.Jitter > 1 {
+		return fmt.Errorf("ctrl: watchdog backoff jitter %g outside [0,1]", p.Backoff.Jitter)
+	}
+	return nil
+}
+
+// Verdict is the watchdog's ruling on a supervised operation.
+type Verdict int
+
+const (
+	// WatchOK: the operation is inside its deadline (or not supervised).
+	WatchOK Verdict = iota
+	// WatchRetry: the deadline expired inside the retry budget; back off by
+	// the returned delay and re-attempt.
+	WatchRetry
+	// WatchEscalate: the retry budget is spent; the engine is now per-VNID
+	// degraded and an operator event has been raised.
+	WatchEscalate
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case WatchOK:
+		return "ok"
+	case WatchRetry:
+		return "retry"
+	case WatchEscalate:
+		return "escalate"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// watched is one supervised operation.
+type watched struct {
+	op       OpKind
+	vn       int
+	deadline int64
+	retries  int
+}
+
+// Watchdog supervises journaled operations per engine. Like the journal it
+// runs on the coordinating goroutine and is not safe for concurrent use.
+type Watchdog struct {
+	pol   WatchdogPolicy
+	slice int64
+	log   *obs.EventLog
+	ops   map[int]*watched
+	// degraded marks engines whose supervised operation escalated: their
+	// networks stay administratively down until an operator (or a later
+	// successful recovery) clears them.
+	degraded map[int]bool
+
+	retriesTotal   int
+	falsePositives int
+	escalations    int
+}
+
+// NewWatchdog builds a watchdog with slice-denominated deadlines. Zero
+// policy fields take defaults.
+func NewWatchdog(pol WatchdogPolicy, slice int64, log *obs.EventLog) (*Watchdog, error) {
+	pol = pol.withDefaults()
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if slice < 1 {
+		return nil, fmt.Errorf("ctrl: watchdog slice %d, want >= 1", slice)
+	}
+	return &Watchdog{
+		pol: pol, slice: slice, log: log,
+		ops: make(map[int]*watched), degraded: make(map[int]bool),
+	}, nil
+}
+
+// Policy returns the effective (default-filled) policy.
+func (w *Watchdog) Policy() WatchdogPolicy { return w.pol }
+
+// Arm starts supervising an operation on engine: the deadline is the
+// expected completion cycle plus the policy's slice-denominated grace
+// window. Re-arming an engine replaces its previous supervision.
+func (w *Watchdog) Arm(engine int, op OpKind, vn int, expectedDone int64) {
+	w.ops[engine] = &watched{op: op, vn: vn, deadline: w.window(expectedDone)}
+}
+
+// window converts an expected completion cycle into a deadline.
+func (w *Watchdog) window(expectedDone int64) int64 {
+	return expectedDone + int64(w.pol.DeadlineSlices)*w.slice
+}
+
+// Extend moves a supervised operation's deadline to cover a new expected
+// completion cycle (a retry or a replay pushed the finish out).
+func (w *Watchdog) Extend(engine int, expectedDone int64) {
+	if o := w.ops[engine]; o != nil {
+		o.deadline = w.window(expectedDone)
+	}
+}
+
+// Disarm stops supervising engine (the operation completed) and clears any
+// degraded mark — a successful recovery restores the engine to service.
+func (w *Watchdog) Disarm(engine int) {
+	delete(w.ops, engine)
+	delete(w.degraded, engine)
+}
+
+// Watching reports whether engine has a supervised operation.
+func (w *Watchdog) Watching(engine int) bool { return w.ops[engine] != nil }
+
+// Deadline returns engine's current deadline cycle, or -1 when unarmed.
+func (w *Watchdog) Deadline(engine int) int64 {
+	if o := w.ops[engine]; o != nil {
+		return o.deadline
+	}
+	return -1
+}
+
+// Expired reports whether engine's supervised operation blew its deadline.
+func (w *Watchdog) Expired(engine int, cycle int64) bool {
+	o := w.ops[engine]
+	return o != nil && cycle >= o.deadline
+}
+
+// Check walks the escalation ladder for engine at cycle. Inside the
+// deadline (or unarmed) it returns WatchOK. On expiry it returns WatchRetry
+// with the seeded backoff delay while the retry budget lasts; the caller
+// re-attempts and Extends the deadline. When the budget is spent it marks
+// the engine per-VNID degraded, drops the supervision, raises the operator
+// event and returns WatchEscalate.
+func (w *Watchdog) Check(engine int, cycle int64) (Verdict, int64) {
+	o := w.ops[engine]
+	if o == nil || cycle < o.deadline {
+		return WatchOK, 0
+	}
+	if o.retries < w.pol.MaxRetries {
+		o.retries++
+		w.retriesTotal++
+		obsWatchdogRetries.Inc()
+		delay := w.pol.Backoff.Delay(o.retries)
+		w.log.Log(obs.LevelWarn, cycle, "watchdog_retry",
+			"engine", engine, "op", o.op.String(), "vn", o.vn,
+			"retry", o.retries, "of", w.pol.MaxRetries, "backoff", delay,
+			"error", ErrReloadTimeout.Error())
+		return WatchRetry, delay
+	}
+	w.degraded[engine] = true
+	delete(w.ops, engine)
+	w.escalations++
+	obsWatchdogEscalations.Inc()
+	w.log.Log(obs.LevelError, cycle, "watchdog_escalate",
+		"engine", engine, "op", o.op.String(), "vn", o.vn,
+		"retries", o.retries, "error", ErrReloadTimeout.Error())
+	return WatchEscalate, 0
+}
+
+// FalsePositive records that a fired deadline was spurious — the operation
+// was still making progress (e.g. a long merged-scheme reload) — and
+// extends the deadline by one grace window from cycle instead of walking
+// the ladder.
+func (w *Watchdog) FalsePositive(engine int, cycle int64) {
+	o := w.ops[engine]
+	if o == nil {
+		return
+	}
+	o.deadline = w.window(cycle)
+	w.falsePositives++
+	obsWatchdogFalsePos.Inc()
+	w.log.Log(obs.LevelWarn, cycle, "watchdog_false_positive",
+		"engine", engine, "op", o.op.String(), "vn", o.vn, "new_deadline", o.deadline)
+}
+
+// Degraded reports whether engine escalated and has not yet been restored.
+func (w *Watchdog) Degraded(engine int) bool { return w.degraded[engine] }
+
+// DegradedCount returns how many engines are currently degraded.
+func (w *Watchdog) DegradedCount() int { return len(w.degraded) }
+
+// Retries returns the lifetime retry count across all engines.
+func (w *Watchdog) Retries() int { return w.retriesTotal }
+
+// FalsePositives returns the lifetime spurious-fire count.
+func (w *Watchdog) FalsePositives() int { return w.falsePositives }
+
+// Escalations returns the lifetime escalation count.
+func (w *Watchdog) Escalations() int { return w.escalations }

@@ -24,6 +24,7 @@ import (
 	"vrpower/internal/core"
 	"vrpower/internal/faults"
 	"vrpower/internal/governor"
+	"vrpower/internal/scenario"
 	"vrpower/internal/sweep"
 )
 
@@ -140,6 +141,26 @@ func equivalenceCases() []equivalenceCase {
 			s.SetTelemetry(tel)
 			defer s.SetTelemetry(nil)
 			rep, err := s.RunUpdates(faultGen(t, s, 29), 8*1024, DefaultUpdateConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dumpJSON(t, rep)
+		}},
+		{"scenario_chaos", func(t *testing.T, tel *Telemetry) string {
+			// The full composition: surge load, SEU scrubs, churn, a power
+			// cap, and every control-plane fault class — crash-before-commit,
+			// reload stall, torn write, watchdog false positive — recovered
+			// through the journal in one run.
+			s, _ := buildSystem(t, core.VS, 3)
+			s.SetTelemetry(tel)
+			defer s.SetTelemetry(nil)
+			spec, err := scenario.Parse(
+				"load=surge:0.3:0.9,faults=seu:2e-8,churn=8x24,power-cap=38," +
+					"chaos=crash:3+stall:1+torn:1+falsepos:1,cycles=16384,queue=32,seed=11")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := s.RunScenario(faultGen(t, s, 17), spec)
 			if err != nil {
 				t.Fatal(err)
 			}

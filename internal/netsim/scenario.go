@@ -95,6 +95,10 @@ type ScenarioReport struct {
 	BatchesAborted int
 	UpdateWrites   int64
 	PlannedBubbles int64
+	// Chaos is the control-plane fault/recovery section (nil without
+	// chaos=): injected faults, journal recoveries, watchdog ladder
+	// accounting and post-recovery invariant audits.
+	Chaos *ChaosReport
 	// Completed reports that every queue, in-flight lookup, repair and
 	// batch finished inside the drain bound.
 	Completed bool
@@ -189,6 +193,9 @@ type scenEng struct {
 	refVN  int
 	batch  UpdateBatch
 	doneAt int64
+	// ch is the chaos stressor's per-engine state (journal token, dealt
+	// fault, crash schedule); inert without chaos=.
+	ch engChaos
 }
 
 // scenRun is the composed run's shared state: the kernel plus the state the
@@ -211,6 +218,12 @@ type scenRun struct {
 	in       *faults.Injector
 	scrubber *ctrl.Scrubber
 	started  int
+
+	// Chaos machinery (nil without chaos=): the seeded control-plane fault
+	// deck, one write-ahead journal per engine, and the shared watchdog.
+	ci  *faults.CtrlInjector
+	jrs []*ctrl.Journal
+	wd  *ctrl.Watchdog
 
 	rep *ScenarioReport
 	gv  *scenario.GovRun
@@ -240,12 +253,49 @@ func (r *scenRun) flushExits(e *scenEng) {
 	e.exit = e.exit[:0]
 }
 
-// abortUpdate cancels an engine's in-flight update (scrub reload would
-// clobber its shadow writes).
-func (r *scenRun) abortUpdate(e *scenEng, b int64) {
-	if e.handle == nil {
-		return
+// commitUpdate finishes an engine's completed hitless update: the control
+// plane installs the new table and image, the fault lifecycle's serving-
+// image pointer follows the flipped shadow bank (SEUs and scrub rebuilds
+// must target what the engine now reads), the journal closes the op and the
+// live image is audited.
+func (r *scenRun) commitUpdate(e *scenEng) error {
+	rep, tel := r.rep, r.s.tel
+	h := e.handle
+	if _, err := h.Commit(); err != nil {
+		return err
 	}
+	e.fs.img = h.Image()
+	e.batch.DoneAt = e.doneAt
+	rep.Batches = append(rep.Batches, e.batch)
+	rep.BatchesApplied++
+	rep.UpdateWrites += int64(e.batch.Writes)
+	rep.PlannedBubbles += int64(e.batch.Bubbles)
+	obsUpdateBatches.Inc()
+	obsUpdateWrites.Add(int64(e.batch.Writes))
+	obsUpdateBubbles.Add(int64(e.batch.Bubbles))
+	tel.Events.Log(obs.LevelInfo, e.doneAt, "update_commit",
+		"vn", e.batch.VN, "engine", e.batch.Engine, "writes", e.batch.Writes,
+		"bubbles", e.batch.Bubbles, "latency_cycles", e.batch.LatencyCycles())
+	r.chaosOnCommit(e, e.doneAt)
+	e.handle = nil
+	e.newRef = nil
+	e.doneAt = -1
+	return nil
+}
+
+// abortUpdate cancels an engine's in-flight update (scrub reload would
+// clobber its shadow writes). An update whose commit bubble already drained
+// — shadow bank and oracle flipped — is past the point of no return: it is
+// committed instead, so the control plane's tables never diverge from what
+// the engine serves.
+func (r *scenRun) abortUpdate(e *scenEng, b int64) error {
+	if e.handle == nil {
+		return nil
+	}
+	if e.doneAt >= 0 {
+		return r.commitUpdate(e)
+	}
+	r.chaosCloseOp(e, b)
 	e.handle.Abort()
 	r.rep.BatchesAborted++
 	r.s.tel.Events.Log(obs.LevelWarn, b, "update_abort",
@@ -253,6 +303,7 @@ func (r *scenRun) abortUpdate(e *scenEng, b int64) {
 	e.handle = nil
 	e.newRef = nil
 	e.doneAt = -1
+	return nil
 }
 
 // ---- fault stressor -------------------------------------------------------
@@ -316,9 +367,10 @@ func (f scenFaults) install(eIdx int, e *scenEng) {
 	// The repaired engine serves a fresh simulator over the clean image.
 	e.sim = pipeline.NewSim(fs.img)
 	e.sim.EnableParityCheck()
+	r.chaosOnInstall(eIdx, e, at)
 }
 
-func (f scenFaults) startScrub(eIdx int, e *scenEng, b int64) {
+func (f scenFaults) startScrub(eIdx int, e *scenEng, b int64) error {
 	r := f.r
 	rep, tel := r.rep, r.s.tel
 	fs := &e.fs
@@ -332,17 +384,23 @@ func (f scenFaults) startScrub(eIdx int, e *scenEng, b int64) {
 		}
 	}
 	tel.Events.Log(obs.LevelInfo, b, "scrub_start", "engine", eIdx, "via", via, "outstanding", len(fs.outstanding))
-	// Going down: in-flight lookups are lost, an in-flight update aborts.
-	r.abortUpdate(e, b)
+	// Going down: in-flight lookups are lost, an in-flight update aborts
+	// (or, past its commit bubble, completes).
+	if err := r.abortUpdate(e, b); err != nil {
+		return err
+	}
 	r.flushExits(e)
+	// The journal's intent record lands before the first stage write.
+	r.chaosScrubBegin(eIdx, e, b)
 	res, err := r.scrubber.Scrub(f.rebuild(eIdx))
 	rep.Scrubs++
 	rep.ScrubAttempts += res.Attempts
 	if err != nil {
 		rep.ScrubsExhausted++
 		fs.dead = true
+		r.chaosScrubDead(eIdx, e, b)
 		tel.Events.Log(obs.LevelError, b, "engine_dead", "engine", eIdx, "attempts", res.Attempts)
-		return
+		return nil
 	}
 	fs.reloading = true
 	fs.pending = res.Image
@@ -350,6 +408,8 @@ func (f scenFaults) startScrub(eIdx int, e *scenEng, b int64) {
 	tel.Events.Log(obs.LevelInfo, b, "scrub_reload",
 		"engine", eIdx, "attempts", res.Attempts, "writes", res.Writes,
 		"latency_cycles", res.LatencyCycles, "ready_at", fs.repairAt)
+	r.chaosScrubArmed(eIdx, e, b, res.LatencyCycles)
+	return nil
 }
 
 func (f scenFaults) Boundary(b int64, _ bool) error {
@@ -367,7 +427,9 @@ func (f scenFaults) Boundary(b int64, _ bool) error {
 			if fs.detectVia == "" {
 				fs.detectVia = ViaHeartbeat
 			}
-			f.startScrub(eIdx, e, b)
+			if err := f.startScrub(eIdx, e, b); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -437,23 +499,9 @@ func (c scenChurn) Boundary(b int64, _ bool) error {
 		if e.handle == nil || e.doneAt < 0 {
 			continue
 		}
-		if _, err := e.handle.Commit(); err != nil {
+		if err := r.commitUpdate(e); err != nil {
 			return err
 		}
-		e.batch.DoneAt = e.doneAt
-		rep.Batches = append(rep.Batches, e.batch)
-		rep.BatchesApplied++
-		rep.UpdateWrites += int64(e.batch.Writes)
-		rep.PlannedBubbles += int64(e.batch.Bubbles)
-		obsUpdateBatches.Inc()
-		obsUpdateWrites.Add(int64(e.batch.Writes))
-		obsUpdateBubbles.Add(int64(e.batch.Bubbles))
-		tel.Events.Log(obs.LevelInfo, e.doneAt, "update_commit",
-			"vn", e.batch.VN, "engine", e.batch.Engine, "writes", e.batch.Writes,
-			"bubbles", e.batch.Bubbles, "latency_cycles", e.batch.LatencyCycles())
-		e.handle = nil
-		e.newRef = nil
-		e.doneAt = -1
 	}
 	for _, e := range r.engines {
 		if e.handle != nil {
@@ -509,6 +557,7 @@ func (c scenChurn) Boundary(b int64, _ bool) error {
 	tel.Events.Log(obs.LevelInfo, b, "update_arm",
 		"vn", vn, "engine", h.Engine(), "raw_ops", h.RawOps(), "coalesced_ops", len(h.Ops()),
 		"writes", h.Writes(), "bubbles", h.Bubbles())
+	r.chaosOnArm(e, h, b)
 	r.started++
 	return nil
 }
@@ -617,17 +666,27 @@ func (r *scenRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) {
 			}
 			var res pipeline.Result
 			var done bool
-			if e.sim.PendingBubbles() > 0 {
-				if e.sim.PendingBubbles() == 1 {
-					// Commit bubble: the oracle flips with the shadow bank.
-					r.refs[e.refVN] = e.newRef
+			bubbled := false
+			if e.sim.PendingBubbles() > 0 && !e.ch.crashed {
+				if e.ch.crashAtBubble >= 0 && e.sim.PendingBubbles() <= e.ch.crashAtBubble {
+					// The updater dies before its commit bubble: shadow
+					// writes stop, the old bank keeps serving, and the
+					// watchdog rolls the torn commit back at a boundary.
+					r.chaosCrash(eIdx, e, cyc)
+				} else {
+					if e.sim.PendingBubbles() == 1 {
+						// Commit bubble: the oracle flips with the shadow bank.
+						r.refs[e.refVN] = e.newRef
+					}
+					var err error
+					res, done, err = e.sim.InjectBubble()
+					if err != nil {
+						return scenario.SliceStats{}, err
+					}
+					bubbled = true
 				}
-				var err error
-				res, done, err = e.sim.InjectBubble()
-				if err != nil {
-					return scenario.SliceStats{}, err
-				}
-			} else {
+			}
+			if !bubbled {
 				var req *pipeline.Request
 				for i := 0; i < s.k; i++ {
 					vn := (e.rrNext + i) % s.k
@@ -710,9 +769,12 @@ func (r *scenRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) {
 			rep.UnavailableCyclesPerVN[vn] += n
 		}
 	}
+	recoveries, degradedVNs := r.chaosSliceStats()
 	return scenario.SliceStats{
 		Util: r.utils, Delivered: winDelivered, Backlog: backlog,
-		Scrubs: downEngines, Updates: updating, Avail: r.upVN, Reloading: r.reloadFlags,
+		Scrubs: downEngines, Updates: updating,
+		Recoveries: recoveries, DegradedVNs: degradedVNs,
+		Avail: r.upVN, Reloading: r.reloadFlags,
 	}, nil
 }
 
@@ -764,6 +826,34 @@ func (s *System) RunScenario(gen *traffic.Generator, spec scenario.Spec) (Scenar
 	}
 
 	var stressors []scenario.Stressor
+	if spec.Chaos != nil {
+		// Chaos registers FIRST: its boundary repairs torn reloads and rolls
+		// crashed commits back before faults would install or churn commit.
+		ci, err := faults.NewCtrlInjector(faults.CtrlConfig{
+			Seed:           spec.Seed,
+			Stalls:         spec.Chaos.Stalls,
+			Torn:           spec.Chaos.Torn,
+			FalsePositives: spec.Chaos.FalsePositives,
+			Crashes:        spec.Chaos.Crashes,
+		})
+		if err != nil {
+			return ScenarioReport{}, err
+		}
+		wd, err := ctrl.NewWatchdog(ctrl.WatchdogPolicy{
+			Backoff: ctrl.Backoff{Base: 256, Seed: spec.Seed},
+		}, spec.Slice, s.tel.Events)
+		if err != nil {
+			return ScenarioReport{}, err
+		}
+		r.ci, r.wd = ci, wd
+		r.jrs = make([]*ctrl.Journal, len(images))
+		for i := range r.jrs {
+			r.jrs[i] = ctrl.NewJournal()
+			r.jrs[i].SetEventLog(s.tel.Events)
+		}
+		rep.Chaos = &ChaosReport{DegradedSlicesPerVN: make([]int64, s.k)}
+		stressors = append(stressors, scenChaos{r: r})
+	}
 	if spec.SEURate > 0 || spec.Kill != nil {
 		fc := faults.Config{Seed: spec.Seed, SEURate: spec.SEURate}
 		if spec.Kill != nil {
@@ -823,6 +913,11 @@ func (s *System) RunScenario(gen *traffic.Generator, spec scenario.Spec) (Scenar
 	if spec.Churn != nil {
 		maxDrain += 8 * spec.Churn.Batches
 	}
+	if spec.Chaos != nil {
+		// Each stall/torn replays up to a full reload latency under watchdog
+		// grace; each crash waits out a deadline before its batch re-arms.
+		maxDrain += spec.Chaos.Total() * (4*(r.maxWords/int(spec.Slice)+1) + 12)
+	}
 	eng := s.engine()
 	eng.Cycles = spec.Cycles
 	eng.SliceCycles = spec.Slice
@@ -854,6 +949,7 @@ func (s *System) RunScenario(gen *traffic.Generator, spec scenario.Spec) (Scenar
 	if gv != nil {
 		rep.Governor = gv.Report()
 	}
+	r.chaosFinalize()
 	obsPacketsResolved.Add(r.delivered)
 	obsLoadCycles.Add(rep.TrafficCycles)
 	return *rep, nil

@@ -549,6 +549,26 @@ func (s *Sim) Updating() bool { return s.next != nil }
 // PendingBubbles returns the write bubbles not yet injected.
 func (s *Sim) PendingBubbles() int { return s.bubblesLeft }
 
+// AbortUpdate disarms a pending hitless update: the shadow writes are
+// discarded and the serving image keeps serving — the data-plane half of a
+// journaled rollback. It is only legal while the commit bubble has NOT been
+// injected (PendingBubbles > 0): once the commit bubble is in the pipe,
+// stages flip as it passes and the update can no longer be unwound.
+func (s *Sim) AbortUpdate() error {
+	if s.next == nil {
+		return fmt.Errorf("pipeline: no update to abort")
+	}
+	if s.bubblesLeft == 0 {
+		return fmt.Errorf("pipeline: commit bubble already in flight, update cannot be aborted")
+	}
+	s.next = nil
+	s.bubblesLeft = 0
+	for i := range s.bankNew {
+		s.bankNew[i] = false
+	}
+	return nil
+}
+
 // InjectBubble advances one cycle feeding the next write bubble into stage
 // 0. The bubble occupies the input slot — that lost lookup slot is the
 // throughput cost ThroughputRetained prices — and performs the update's

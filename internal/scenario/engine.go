@@ -35,6 +35,11 @@ type SliceStats struct {
 	// Scrubs and Updates are the active control-plane operation counts
 	// (down/reloading engines, armed update batches).
 	Scrubs, Updates int
+	// Recoveries is the cumulative journaled-recovery count (replays +
+	// rollbacks) through this slice; DegradedVNs the networks currently
+	// watchdog-degraded. Both stay zero without the chaos stressor.
+	Recoveries  int
+	DegradedVNs int
 	// Avail flags each network as in service; nil means all up.
 	Avail []bool
 	// Reloading flags engines mid-reload for the governor's sample (their
@@ -115,7 +120,7 @@ func (e *Engine) observe(b, n int64, st SliceStats) {
 		return
 	}
 	e.Tel.AppendSlice(e.K, b, powerW, SliceGbps(e.FmaxMHz, st.Delivered, n), st.Backlog,
-		st.Scrubs, st.Updates, capW, rung, st.Avail)
+		st.Scrubs, st.Updates, st.Recoveries, st.DegradedVNs, capW, rung, st.Avail)
 }
 
 // boundary runs every stressor's Boundary hook in registration order.

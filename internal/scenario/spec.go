@@ -9,6 +9,7 @@ package scenario
 //	faults=seu:RATE          SEU injection at RATE upsets per data bit-cycle
 //	kill=ENGINE@CYCLE        scheduled hard failure of one engine
 //	churn=BATCHESxOPS[:vn=N] hitless route-update batches (round-robin, or pinned)
+//	chaos=KIND:N[+KIND:N..]  control-plane faults (crash, stall, torn, falsepos)
 //	power-cap=W              fleet-wide governor cap in Watts
 //	power-cap-device=W       per-device governor cap in Watts
 //	cycles=N                 offered-traffic window (default 32768)
@@ -116,6 +117,22 @@ type ChurnSpec struct {
 	TargetVN int
 }
 
+// ChaosSpec schedules control-plane faults: crashes of the hitless updater
+// before its commit, scrub-reload stalls, torn multi-stage writes, and
+// spurious watchdog fires. Crash faults ride the churn stressor's commits;
+// the scrub-side classes ride the faults stressor's reloads.
+type ChaosSpec struct {
+	Crashes        int
+	Stalls         int
+	Torn           int
+	FalsePositives int
+}
+
+// Total returns the number of faults the spec injects.
+func (c ChaosSpec) Total() int {
+	return c.Crashes + c.Stalls + c.Torn + c.FalsePositives
+}
+
 // Spec is one parsed scenario: which stressors run and how they are shaped.
 // Zero-valued optional sections (SEURate 0, nil Kill/Churn, zero caps) mean
 // that stressor is absent from the run.
@@ -124,6 +141,7 @@ type Spec struct {
 	SEURate float64
 	Kill    *KillSpec
 	Churn   *ChurnSpec
+	Chaos   *ChaosSpec
 	// CapW / DeviceCapW configure the power-envelope governor; both zero
 	// runs ungoverned (unless the harness has a governor attached).
 	CapW       float64
@@ -141,6 +159,9 @@ func (s Spec) Stressors() []string {
 	names := []string{"load"}
 	if s.SEURate > 0 || s.Kill != nil {
 		names = append(names, "faults")
+	}
+	if s.Chaos != nil {
+		names = append(names, "chaos")
 	}
 	if s.Churn != nil {
 		names = append(names, "churn")
@@ -288,7 +309,10 @@ func Parse(spec string) (Spec, error) {
 	for _, item := range strings.Split(spec, ",") {
 		item = strings.TrimSpace(item)
 		if item == "" {
-			continue
+			// A silent skip here would make "load=surge,," and
+			// "load=surge," parse — and hide a truncated spec in a shell
+			// script. Reject with the position spelled out.
+			return s, fmt.Errorf("scenario: empty item (trailing or doubled separator) in %q", spec)
 		}
 		key, val, found := strings.Cut(item, "=")
 		if !found {
@@ -350,6 +374,8 @@ func Parse(spec string) (Spec, error) {
 				c.TargetVN = int(vn)
 			}
 			s.Churn = c
+		case "chaos":
+			s.Chaos, err = parseChaos(val)
 		case "power-cap":
 			s.CapW, err = parseFloat("power-cap", val)
 			if err == nil && s.CapW <= 0 {
@@ -380,7 +406,7 @@ func Parse(spec string) (Spec, error) {
 		case "seed":
 			s.Seed, err = parseInt("seed", val)
 		default:
-			return s, fmt.Errorf("scenario: unknown key %q (want load, faults, kill, churn, power-cap, power-cap-device, cycles, slice, queue or seed)", key)
+			return s, fmt.Errorf("scenario: unknown key %q (want load, faults, kill, churn, chaos, power-cap, power-cap-device, cycles, slice, queue or seed)", key)
 		}
 		if err != nil {
 			return s, err
@@ -389,5 +415,54 @@ func Parse(spec string) (Spec, error) {
 	if s.Kill != nil && s.Kill.Cycle >= s.Cycles {
 		return s, fmt.Errorf("scenario: kill at cycle %d is past the %d-cycle run", s.Kill.Cycle, s.Cycles)
 	}
+	if s.Chaos != nil {
+		// Chaos faults ride other stressors' operations: crashes need
+		// hitless commits to crash, scrub-side faults need reloads to
+		// molest. Validate the composition so a chaos spec with no carrier
+		// fails at parse time, not as a silent no-op run.
+		if s.Chaos.Crashes > 0 && s.Churn == nil {
+			return s, fmt.Errorf("scenario: chaos crash faults need churn= (crashes hit hitless commits)")
+		}
+		if s.Chaos.Stalls+s.Chaos.Torn+s.Chaos.FalsePositives > 0 && s.SEURate <= 0 && s.Kill == nil {
+			return s, fmt.Errorf("scenario: chaos stall/torn/falsepos faults need faults= or kill= (they hit scrub reloads)")
+		}
+	}
 	return s, nil
+}
+
+// parseChaos parses chaos=KIND:N[+KIND:N...] with kinds crash, stall, torn
+// and falsepos.
+func parseChaos(val string) (*ChaosSpec, error) {
+	c := &ChaosSpec{}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(val, "+") {
+		kind, cnt, found := strings.Cut(part, ":")
+		if !found {
+			return nil, fmt.Errorf("scenario: chaos item %q, want KIND:N (kinds: crash, stall, torn, falsepos)", part)
+		}
+		if seen[kind] {
+			return nil, fmt.Errorf("scenario: duplicate chaos kind %q", kind)
+		}
+		seen[kind] = true
+		n, err := parseInt("chaos", cnt)
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("scenario: chaos %s count %d, want >= 1", kind, n)
+		}
+		switch kind {
+		case "crash":
+			c.Crashes = int(n)
+		case "stall":
+			c.Stalls = int(n)
+		case "torn":
+			c.Torn = int(n)
+		case "falsepos":
+			c.FalsePositives = int(n)
+		default:
+			return nil, fmt.Errorf("scenario: unknown chaos kind %q (want crash, stall, torn or falsepos)", kind)
+		}
+	}
+	return c, nil
 }

@@ -155,6 +155,17 @@ func TestParseErrors(t *testing.T) {
 		{"slice=0", "want >= 1"},
 		{"queue=0", "want >= 1"},
 		{"seed=x", "not an integer"},
+		{"load=saturate,", "empty item"},
+		{",load=saturate", "empty item"},
+		{"load=saturate,,seed=2", "empty item"},
+		{"load=saturate, ,seed=2", "empty item"},
+		{"chaos=crash:2", "need churn="},
+		{"chaos=stall:1", "need faults="},
+		{"churn=4x16,chaos=crash", "want KIND:N"},
+		{"churn=4x16,chaos=crash:0", "want >= 1"},
+		{"churn=4x16,chaos=crash:x", "not an integer"},
+		{"churn=4x16,chaos=crash:1+crash:2", `duplicate chaos kind "crash"`},
+		{"churn=4x16,chaos=meteor:1", `unknown chaos kind "meteor"`},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.spec)
@@ -165,6 +176,38 @@ func TestParseErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), c.want) {
 			t.Errorf("Parse(%q) = %q, want substring %q", c.spec, err, c.want)
 		}
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	s, err := Parse("load=const:0.4,faults=seu:1e-9,churn=10x32,chaos=crash:3+stall:2+torn:1+falsepos:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Chaos
+	if c == nil || c.Crashes != 3 || c.Stalls != 2 || c.Torn != 1 || c.FalsePositives != 1 {
+		t.Fatalf("chaos: %+v", c)
+	}
+	if c.Total() != 7 {
+		t.Fatalf("Total %d, want 7", c.Total())
+	}
+	got := s.Stressors()
+	want := []string{"load", "faults", "chaos", "churn"}
+	if len(got) != len(want) {
+		t.Fatalf("stressors %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stressors %v, want %v", got, want)
+		}
+	}
+	// Crash-only chaos needs churn but not faults=.
+	if _, err := Parse("churn=4x16,chaos=crash:1"); err != nil {
+		t.Fatalf("crash-only chaos with churn: %v", err)
+	}
+	// Scrub-side chaos is satisfied by kill= as well as faults=.
+	if _, err := Parse("kill=0@1000,chaos=stall:1"); err != nil {
+		t.Fatalf("stall chaos with kill: %v", err)
 	}
 }
 

@@ -31,6 +31,8 @@ var (
 	obsBacklogPkts   = obs.NewGauge("netsim.backlog_pkts")
 	obsScrubsActive  = obs.NewGauge("netsim.scrubs_active")
 	obsUpdatesActive = obs.NewGauge("netsim.updates_active")
+	obsRecoveries    = obs.NewGauge("netsim.recoveries")
+	obsDegradedVNs   = obs.NewGauge("netsim.degraded_vns")
 	obsSliceCapW     = obs.NewGauge("netsim.slice_cap_w")
 	obsSliceGovRung  = obs.NewGauge("netsim.slice_gov_rung")
 )
@@ -113,11 +115,13 @@ func LookupOutcome(res pipeline.Result, want ip.NextHop) string {
 }
 
 // SeriesColumns is the unified slice-row schema shared by every run loop:
-// power, throughput, backlog, control-plane activity, the governor's active
-// cap and ladder rung (both zero when ungoverned), then one availability
-// column per network.
+// power, throughput, backlog, control-plane activity, journaled-recovery
+// progress (cumulative replays+rollbacks and currently degraded networks,
+// both zero without the chaos stressor), the governor's active cap and
+// ladder rung (both zero when ungoverned), then one availability column per
+// network.
 func SeriesColumns(k int) []string {
-	cols := []string{"power_w", "throughput_gbps", "backlog_pkts", "scrubs_active", "updates_active", "cap_w", "gov_rung"}
+	cols := []string{"power_w", "throughput_gbps", "backlog_pkts", "scrubs_active", "updates_active", "recoveries", "degraded_vns", "cap_w", "gov_rung"}
 	for vn := 0; vn < k; vn++ {
 		cols = append(cols, fmt.Sprintf("avail_vn%02d", vn))
 	}
@@ -133,19 +137,22 @@ func (t *Telemetry) InitSeries(k int) {
 // cycle is the slice's start; capW and rung are the governor's active cap
 // and observed ladder rung (zero when ungoverned); avail may be nil for
 // "all networks up".
-func (t *Telemetry) AppendSlice(k int, cycle int64, powerW, gbps float64, backlog, scrubs, updates int, capW, rung float64, avail []bool) {
+func (t *Telemetry) AppendSlice(k int, cycle int64, powerW, gbps float64, backlog, scrubs, updates, recoveries, degraded int, capW, rung float64, avail []bool) {
 	obsSlicePowerW.Set(powerW)
 	obsSliceGbps.Set(gbps)
 	obsBacklogPkts.SetInt(int64(backlog))
 	obsScrubsActive.SetInt(int64(scrubs))
 	obsUpdatesActive.SetInt(int64(updates))
+	obsRecoveries.SetInt(int64(recoveries))
+	obsDegradedVNs.SetInt(int64(degraded))
 	obsSliceCapW.Set(capW)
 	obsSliceGovRung.Set(rung)
 	if t.Series == nil {
 		return
 	}
-	vals := make([]float64, 0, 7+k)
-	vals = append(vals, powerW, gbps, float64(backlog), float64(scrubs), float64(updates), capW, rung)
+	vals := make([]float64, 0, 9+k)
+	vals = append(vals, powerW, gbps, float64(backlog), float64(scrubs), float64(updates),
+		float64(recoveries), float64(degraded), capW, rung)
 	for vn := 0; vn < k; vn++ {
 		up := 1.0
 		if avail != nil && !avail[vn] {
