@@ -4,7 +4,7 @@
 #   make bench      = every benchmark with allocation counts
 GO ?= go
 
-.PHONY: all build test race race-faults race-updates race-obs race-governor race-scenarios race-chaos telemetry-smoke governor-smoke scenario-smoke chaos-smoke fuzz-smoke vet vuln bench
+.PHONY: all build test race race-faults race-updates race-obs race-governor race-scenarios race-chaos telemetry-smoke governor-smoke scenario-smoke chaos-smoke fuzz-smoke fuzz-batch-smoke vet vuln bench bench-gate bench-baseline
 
 all: build test
 
@@ -151,6 +151,11 @@ chaos-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/scenario -run='^$$' -fuzz=FuzzParse -fuzztime=10s
 
+# Short fuzz pass over the batched/scalar/trie lookup equivalence (the full
+# run is `go test -fuzz=FuzzBatchedLookup ./internal/pipeline`).
+fuzz-batch-smoke:
+	$(GO) test ./internal/pipeline -run='^$$' -fuzz=FuzzBatchedLookup -fuzztime=10s
+
 vet:
 	$(GO) vet ./...
 
@@ -165,3 +170,18 @@ vuln:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The gated benchmarks: the batched headline lookup bench and its scalar
+# oracle reference. -count=3 with benchgate's min-per-name sheds scheduler
+# noise on shared runners; the gate fails on a >10% ns/op regression or any
+# allocs/op increase against the checked-in baseline. bench-gate.out is kept
+# as a CI artifact.
+GATE_BENCH = ^(BenchmarkPipelineLookup|BenchmarkPipelineLookupScalar)$$
+bench-gate: build
+	$(GO) test -run='^$$' -bench='$(GATE_BENCH)' -benchmem -count=3 . | tee bench-gate.out
+	$(GO) run ./cmd/benchgate -baseline bench_baseline.json < bench-gate.out
+
+# Regenerate the baseline after an intentional performance change.
+bench-baseline: build
+	$(GO) test -run='^$$' -bench='$(GATE_BENCH)' -benchmem -count=3 . | \
+		$(GO) run ./cmd/benchgate -baseline bench_baseline.json -update

@@ -281,15 +281,36 @@ func BenchmarkAblationSimExec(b *testing.B) {
 		b.Fatal(err)
 	}
 	reqs := gen.Requests(4096)
+	// Simulator construction is hoisted and iterations Reset, so the timed
+	// loop measures lookups, not NewSim plus stats allocation.
 	b.Run("cycleloop", func(b *testing.B) {
+		sim := vrpower.NewSim(img)
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := vrpower.NewSim(img).Run(reqs, 1); err != nil {
+			sim.Reset()
+			if _, _, err := sim.Run(reqs, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+	})
+	b.Run("batched", func(b *testing.B) {
+		sim := vrpower.NewBatchSim(img)
+		res := make([]vrpower.Result, 0, len(reqs))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.Reset()
+			var err error
+			if res, _, err = sim.RunAppend(res[:0], reqs, 1); err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 	})
 	b.Run("channels", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			vrpower.RunConcurrent(img, reqs)
 		}
@@ -332,7 +353,10 @@ func BenchmarkMergeBuild(b *testing.B) {
 	}
 }
 
-func BenchmarkPipelineLookup(b *testing.B) {
+// pipelineLookupFixture builds the full-table image and request stream the
+// pipeline lookup benches share.
+func pipelineLookupFixture(b *testing.B) (*vrpower.Image, []vrpower.Request) {
+	b.Helper()
 	tbl, err := vrpower.Generate("bench", vrpower.DefaultGen(3725, 1))
 	if err != nil {
 		b.Fatal(err)
@@ -341,17 +365,47 @@ func BenchmarkPipelineLookup(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	img := r.Images()[0]
 	gen, err := vrpower.NewTraffic(vrpower.TrafficConfig{
 		K: 1, Seed: 8, Addr: vrpower.RoutedAddr, Tables: []*vrpower.Table{tbl},
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	reqs := gen.Requests(8192)
+	return r.Images()[0], gen.Requests(8192)
+}
+
+// BenchmarkPipelineLookup is the repo's headline lookup metric (ROADMAP
+// item 2, gated in CI by `make bench-gate`): the batched, data-oriented
+// engine on the paper's full 3725-prefix table. Construction is hoisted and
+// iterations Reset, so the timed loop measures lookups; the untraced
+// batched path must report 0 allocs/op.
+func BenchmarkPipelineLookup(b *testing.B) {
+	img, reqs := pipelineLookupFixture(b)
+	sim := vrpower.NewBatchSim(img)
+	res := make([]vrpower.Result, 0, len(reqs))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := vrpower.NewSim(img).Run(reqs, 1); err != nil {
+		sim.Reset()
+		var err error
+		if res, _, err = sim.RunAppend(res[:0], reqs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs))*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchmarkPipelineLookupScalar is the cycle-accurate oracle on the same
+// fixture — the before/after reference for the batched speedup and the
+// second bench the CI gate tracks.
+func BenchmarkPipelineLookupScalar(b *testing.B) {
+	img, reqs := pipelineLookupFixture(b)
+	sim := vrpower.NewSim(img)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Reset()
+		if _, _, err := sim.Run(reqs, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -379,16 +433,26 @@ func BenchmarkAnalyticSweep(b *testing.B) {
 	}
 }
 
+// itoa formats n without strconv. It works in negatives so math.MinInt
+// (whose magnitude overflows int) formats correctly too.
 func itoa(n int) string {
 	if n == 0 {
 		return "0"
 	}
-	var buf [8]byte
+	neg := n < 0
+	if !neg {
+		n = -n
+	}
+	var buf [21]byte // sign + 20 digits covers 64-bit ints
 	i := len(buf)
-	for n > 0 {
+	for n < 0 {
 		i--
-		buf[i] = byte('0' + n%10)
+		buf[i] = byte('0' - n%10)
 		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
 	}
 	return string(buf[i:])
 }

@@ -1,0 +1,200 @@
+// benchgate compares `go test -bench` output against a checked-in baseline
+// and fails the build on performance regressions. It reads the benchmark
+// output on stdin (pipe it through tee to keep an artifact), takes the best
+// (minimum) ns/op across -count repetitions of each benchmark to shed
+// scheduler noise, and fails if any baselined benchmark got more than the
+// allowed fraction slower or started allocating more per op.
+//
+//	go test -run='^$' -bench=BenchmarkPipelineLookup -benchmem -count=3 . |
+//	    tee bench-gate.out | go run ./cmd/benchgate -baseline bench_baseline.json
+//
+// -update rewrites the baseline from the measured numbers instead of
+// checking, which is how the baseline file is (re)generated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// entry is one benchmark's baselined performance.
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// baseline is the checked-in file format.
+type baseline struct {
+	// Note records how to regenerate the file; informational only.
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		basePath = flag.String("baseline", "bench_baseline.json", "baseline file to check against (or write with -update)")
+		update   = flag.Bool("update", false, "write the measured numbers as the new baseline instead of checking")
+		slack    = flag.Float64("slack", 0.10, "allowed fractional ns/op regression before failing")
+	)
+	flag.Parse()
+
+	measured, err := parseBench(os.Stdin)
+	if err != nil {
+		fatalf("benchgate: %v", err)
+	}
+	if len(measured) == 0 {
+		fatalf("benchgate: no benchmark results on stdin")
+	}
+
+	if *update {
+		if err := writeBaseline(*basePath, measured); err != nil {
+			fatalf("benchgate: %v", err)
+		}
+		fmt.Printf("benchgate: wrote %d benchmark(s) to %s\n", len(measured), *basePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fatalf("benchgate: reading baseline: %v (run with -update to create it)", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("benchgate: parsing baseline %s: %v", *basePath, err)
+	}
+
+	failed := false
+	for _, name := range sortedKeys(base.Benchmarks) {
+		want := base.Benchmarks[name]
+		got, ok := measured[name]
+		if !ok {
+			fmt.Printf("FAIL %s: baselined but not measured (bench filter too narrow?)\n", name)
+			failed = true
+			continue
+		}
+		ratio := got.NsPerOp / want.NsPerOp
+		switch {
+		case got.AllocsPerOp > want.AllocsPerOp:
+			fmt.Printf("FAIL %s: %d allocs/op, baseline %d\n", name, got.AllocsPerOp, want.AllocsPerOp)
+			failed = true
+		case ratio > 1+*slack:
+			fmt.Printf("FAIL %s: %.0f ns/op is %.1f%% over baseline %.0f ns/op (allowed %.0f%%)\n",
+				name, got.NsPerOp, (ratio-1)*100, want.NsPerOp, *slack*100)
+			failed = true
+		default:
+			fmt.Printf("ok   %s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%), %d allocs/op\n",
+				name, got.NsPerOp, want.NsPerOp, (ratio-1)*100, got.AllocsPerOp)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts per-benchmark minima from `go test -bench` output.
+// Lines look like
+//
+//	BenchmarkPipelineLookup-8   1602   762139 ns/op   10748724 lookups/s   6 B/op   0 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so baselines are stable across
+// machines; with -count>1 the minimum ns/op (and its allocs/op) per name
+// wins.
+func parseBench(r io.Reader) (map[string]entry, error) {
+	out := map[string]entry{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := splitFields(sc.Text())
+		if len(fields) < 4 || !hasBenchPrefix(fields[0]) {
+			continue
+		}
+		name := stripProcs(fields[0])
+		e := entry{NsPerOp: -1, AllocsPerOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			var v float64
+			if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = int64(v)
+			}
+		}
+		if e.NsPerOp < 0 {
+			continue
+		}
+		if prev, ok := out[name]; !ok || e.NsPerOp < prev.NsPerOp {
+			out[name] = e
+		}
+	}
+	return out, sc.Err()
+}
+
+// splitFields is strings.Fields without pulling the whole line into one
+// allocation-heavy path; kept trivial for testability.
+func splitFields(s string) []string {
+	var f []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' || s[i] == '\t' {
+			if start >= 0 {
+				f = append(f, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return f
+}
+
+func hasBenchPrefix(s string) bool {
+	return len(s) > len("Benchmark") && s[:len("Benchmark")] == "Benchmark"
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix go test appends.
+func stripProcs(name string) string {
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		if c == '-' && i < len(name)-1 {
+			return name[:i]
+		}
+		break
+	}
+	return name
+}
+
+func writeBaseline(path string, measured map[string]entry) error {
+	b := baseline{
+		Note:       "regenerate with: make bench-baseline",
+		Benchmarks: measured,
+	}
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func sortedKeys(m map[string]entry) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: vrpower
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipelineLookup-8   	    1602	    762139 ns/op	  10748724 lookups/s	       6 B/op	       0 allocs/op
+BenchmarkPipelineLookup-8   	    1419	    785822 ns/op	  10424782 lookups/s	       6 B/op	       0 allocs/op
+BenchmarkPipelineLookupScalar 	     295	   3978037 ns/op	   2059311 lookups/s	  524305 B/op	       1 allocs/op
+PASS
+ok  	vrpower	3.174s
+`
+	got, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	// GOMAXPROCS suffix stripped, minimum across repetitions kept.
+	e, ok := got["BenchmarkPipelineLookup"]
+	if !ok {
+		t.Fatalf("missing BenchmarkPipelineLookup (suffix not stripped?): %v", got)
+	}
+	if e.NsPerOp != 762139 {
+		t.Errorf("ns/op = %v, want minimum 762139", e.NsPerOp)
+	}
+	if e.AllocsPerOp != 0 {
+		t.Errorf("allocs/op = %d, want 0", e.AllocsPerOp)
+	}
+	s, ok := got["BenchmarkPipelineLookupScalar"]
+	if !ok || s.NsPerOp != 3978037 || s.AllocsPerOp != 1 {
+		t.Errorf("scalar entry = %+v ok=%v, want 3978037 ns/op, 1 alloc/op", s, ok)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":     "BenchmarkFoo",
+		"BenchmarkFoo-128":   "BenchmarkFoo",
+		"BenchmarkFoo":       "BenchmarkFoo",
+		"BenchmarkFoo/sub-4": "BenchmarkFoo/sub",
+		"BenchmarkFoo-":      "BenchmarkFoo-",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -160,13 +160,26 @@ func (k *forwardKernel) RunSlice(_, _ int64, _ bool) (scenario.SliceStats, error
 		mismatches int
 		noRoute    int
 	}
+	// Each engine runs the batched, data-oriented lookup core — scalar-
+	// equivalent by the pipeline package's differential tests, so reports
+	// and goldens are byte-identical to the cycle-loop simulator. A lone
+	// engine (the merged scheme) additionally shards its batch across the
+	// worker pool, since the per-engine fan-out below is then width 1.
+	shardSingle := len(images) == 1
 	runs, err := sweep.Run(len(images), func(e int) (engineRun, error) {
 		reqs := perEngine[e]
 		if len(reqs) == 0 {
 			return engineRun{}, nil
 		}
-		sim := pipeline.NewSim(images[e])
-		results, st, err := sim.Run(reqs, 1)
+		sim := pipeline.NewBatchSim(images[e])
+		var results []pipeline.Result
+		var st pipeline.Stats
+		var err error
+		if shardSingle {
+			results, st, err = sim.RunSharded(reqs)
+		} else {
+			results, st, err = sim.Run(reqs, 1)
+		}
 		if err != nil {
 			return engineRun{}, err
 		}
@@ -285,7 +298,9 @@ func (s *System) ForwardFrames(frames [][]byte) (FrameReport, error) {
 		if len(reqs) == 0 {
 			return engineRun{}, nil
 		}
-		results, _, err := pipeline.NewSim(images[e]).Run(reqs, 1)
+		// The frame path needs only next hops, so it runs the batched
+		// engine too; the egress edit consumes results in request order.
+		results, _, err := pipeline.NewBatchSim(images[e]).Run(reqs, 1)
 		if err != nil {
 			return engineRun{}, err
 		}

@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRunConcurrentMatchesScalarOnFaultedImages is the differential test
+// for the channel pipeline's fault semantics, which used to diverge from
+// Sim.process: out-of-range child pointers resolved to NoRoute without the
+// Faulted mark, and parity was never checked. Both paths must now agree —
+// next hop AND fault verdict — on corrupted images, so the ablation bench
+// compares equal semantics.
+func TestRunConcurrentMatchesScalarOnFaultedImages(t *testing.T) {
+	t.Run("out-of-range", func(t *testing.T) {
+		img := compileSingle(t, genTable(t, 400, 91), 28)
+		n := 0
+		for s := range img.Stages {
+			for i := range img.Stages[s].Entries {
+				e := &img.Stages[s].Entries[i]
+				if !e.Leaf && i%13 == 0 {
+					e.Child[1] = 1 << 29
+					e.Parity = e.DataParity() // only the range check can catch it
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			t.Fatal("no internal entries corrupted")
+		}
+		rng := rand.New(rand.NewSource(92))
+		reqs := randReqs(rng, 2000, 1, 0)
+		want, _, err := NewSim(img).Run(reqs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := RunConcurrent(img, reqs)
+		faulted := 0
+		for i := range want {
+			if got[i].NHI != want[i].NHI || got[i].Faulted != want[i].Faulted {
+				t.Fatalf("req %d: channels (nhi=%d faulted=%v), scalar (nhi=%d faulted=%v)",
+					i, got[i].NHI, got[i].Faulted, want[i].NHI, want[i].Faulted)
+			}
+			if want[i].Faulted {
+				faulted++
+			}
+		}
+		if faulted == 0 {
+			t.Error("no lookup crossed a corrupted pointer; weaken the test")
+		}
+	})
+	t.Run("parity", func(t *testing.T) {
+		img := compileMerged(t, 3, 400, 93, 28)
+		rng := rand.New(rand.NewSource(94))
+		for i := 0; i < 30; i++ {
+			s, idx, bit, ok := img.Locate(rng.Int63n(img.DataBits()))
+			if !ok {
+				t.Fatal("Locate failed in range")
+			}
+			img.FlipBit(s, idx, bit)
+		}
+		reqs := randReqs(rng, 2000, 3, 0)
+		scalar := NewSim(img)
+		scalar.EnableParityCheck()
+		want, _, err := scalar.Run(reqs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := RunConcurrentChecked(img, reqs, true)
+		faulted := 0
+		for i := range want {
+			if got[i].NHI != want[i].NHI || got[i].Faulted != want[i].Faulted {
+				t.Fatalf("req %d: channels (nhi=%d faulted=%v), scalar (nhi=%d faulted=%v)",
+					i, got[i].NHI, got[i].Faulted, want[i].NHI, want[i].Faulted)
+			}
+			if want[i].Faulted {
+				faulted++
+			}
+		}
+		if faulted == 0 {
+			t.Error("fault campaign never hit a corrupted word; weaken the test")
+		}
+	})
+}

@@ -416,23 +416,82 @@ func (s *Sim) Run(reqs []Request, interarrival int) ([]Result, Stats, error) {
 // Stats returns the accumulated counters.
 func (s *Sim) Stats() Stats { return s.st }
 
-// Lookup runs a single request through a throwaway pipeline and returns its
-// NHI — a convenience for correctness checks.
-func Lookup(img *Image, req Request) ip.NextHop {
-	sim := NewSim(img)
-	res, _, err := sim.Run([]Request{req}, 1)
-	if err != nil || len(res) != 1 {
-		return ip.NoRoute
+// Reset returns the simulator to its post-NewSim state over the same
+// serving image — zero cycle clock, zeroed stats, empty stage registers —
+// while preserving the flight free list and the stat slices, so repeated
+// runs (and benchmark iterations) measure lookups rather than construction.
+// A pending hitless update is discarded like AbortUpdate; the parity-check
+// setting survives.
+func (s *Sim) Reset() {
+	for i, f := range s.regs {
+		if f != nil {
+			s.recycle(f)
+			s.regs[i] = nil
+		}
 	}
-	return res[0].NHI
+	s.now = 0
+	s.st.Cycles, s.st.Lookups, s.st.Bubbles, s.st.Faults = 0, 0, 0, 0
+	for i := range s.st.StageActive {
+		s.st.StageActive[i] = 0
+	}
+	for i := range s.st.StageOccupied {
+		s.st.StageOccupied[i] = 0
+	}
+	s.next = nil
+	s.bubblesLeft = 0
+	for i := range s.bankNew {
+		s.bankNew[i] = false
+	}
+}
+
+// Lookup resolves a single request against the image and returns its NHI —
+// a convenience for correctness probes. It performs the same stage walk as
+// Sim.process (parity unchecked, faults resolving to NoRoute) directly on
+// the image, without constructing a throwaway simulator per probe; bulk
+// probing should use Lookups, which batches the vectors through one engine.
+func Lookup(img *Image, req Request) ip.NextHop {
+	idx := uint32(0)
+	for s := range img.Stages {
+		entries := img.Stages[s].Entries
+		for {
+			if int(idx) >= len(entries) {
+				return ip.NoRoute
+			}
+			e := &entries[idx]
+			if e.Leaf {
+				if req.VN < 0 || req.VN >= len(e.NHI) {
+					return ip.NoRoute
+				}
+				return e.NHI[req.VN]
+			}
+			next := e.Child[req.Addr.Bit(e.Level)]
+			if img.Map.Stage(e.Level+1) == s {
+				idx = next
+				continue
+			}
+			idx = next
+			break
+		}
+	}
+	return ip.NoRoute
 }
 
 // RunConcurrent executes the same semantics as Run(reqs, 1) with one
 // goroutine per pipeline stage connected by channels — the share-memory-by-
 // communicating construction of the same hardware structure. Results arrive
 // in request order. Cycle stamps are not meaningful in this mode; activity
-// counters are not collected.
+// counters are not collected. Parity is unchecked, matching a Sim without
+// EnableParityCheck; RunConcurrentChecked adds the per-access check.
 func RunConcurrent(img *Image, reqs []Request) []Result {
+	return RunConcurrentChecked(img, reqs, false)
+}
+
+// RunConcurrentChecked is RunConcurrent with optional per-access parity
+// verification, the channel pipeline's equivalent of EnableParityCheck.
+// Fault semantics match the scalar path exactly: an out-of-range child
+// pointer or a stale-parity word terminates the lookup as Faulted with NHI
+// NoRoute — drop, never misforward.
+func RunConcurrentChecked(img *Image, reqs []Request, parity bool) []Result {
 	type token struct {
 		f *flight
 	}
@@ -444,14 +503,22 @@ func RunConcurrent(img *Image, reqs []Request) []Result {
 			for t := range from {
 				f := t.f
 				if !f.resolved {
-					// Same per-stage work as Sim.process.
+					// Same per-stage work as Sim.process, fault paths
+					// included.
 					for {
 						if int(f.idx) >= len(img.Stages[stage].Entries) {
 							f.resolved = true
+							f.faulted = true
 							f.nhi = ip.NoRoute
 							break
 						}
 						e := img.Stages[stage].Entries[f.idx]
+						if parity && e.Parity != e.DataParity() {
+							f.resolved = true
+							f.faulted = true
+							f.nhi = ip.NoRoute
+							break
+						}
 						if e.Leaf {
 							f.resolved = true
 							if f.req.VN < 0 || f.req.VN >= len(e.NHI) {
@@ -482,7 +549,7 @@ func RunConcurrent(img *Image, reqs []Request) []Result {
 	}()
 	results := make([]Result, 0, len(reqs))
 	for t := range cur {
-		results = append(results, Result{Request: t.f.req, NHI: t.f.nhi})
+		results = append(results, Result{Request: t.f.req, NHI: t.f.nhi, Faulted: t.f.faulted})
 	}
 	obsLookups.Add(int64(len(results)))
 	return results

@@ -1,0 +1,23 @@
+package vrpower_test
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// TestItoa pins the bench harness's allocation-light formatter against
+// strconv for zero, positive, and negative inputs. The negative cases matter:
+// the original implementation looped forever on them, and math.MinInt has no
+// positive counterpart so the formatter must work in negatives throughout.
+func TestItoa(t *testing.T) {
+	cases := []int{
+		0, 1, 7, 9, 10, 42, 99, 100, 1024, 999999, math.MaxInt,
+		-1, -7, -10, -42, -100, -987654, math.MinInt + 1, math.MinInt,
+	}
+	for _, n := range cases {
+		if got, want := itoa(n), strconv.Itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
