@@ -4,7 +4,7 @@
 #   make bench      = every benchmark with allocation counts
 GO ?= go
 
-.PHONY: all build test race race-faults race-updates race-obs race-governor race-scenarios race-chaos telemetry-smoke governor-smoke scenario-smoke chaos-smoke fuzz-smoke fuzz-batch-smoke vet vuln bench bench-gate bench-baseline
+.PHONY: all build test race race-faults race-updates race-obs race-governor race-scenarios race-chaos race-energy telemetry-smoke governor-smoke scenario-smoke chaos-smoke energy-smoke fuzz-smoke fuzz-batch-smoke vet vuln bench bench-gate bench-baseline
 
 all: build test
 
@@ -145,6 +145,36 @@ chaos-smoke:
 	grep -q recovery_rollback chaos-smoke/events.jsonl
 	grep -q recovery_replay chaos-smoke/events.jsonl
 	grep -q invariant_audit chaos-smoke/events.jsonl
+
+# Race-detector pass focused on the energy accounting layer: the meter, the
+# harnesses whose workers fold per-shard meters, the scenario engine that
+# integrates static energy per slice, and the telemetry-parity differential
+# between the scalar and batched lookup cores.
+race-energy:
+	$(GO) test -race ./internal/energy/... ./internal/netsim/... ./internal/scenario/... ./internal/pipeline/... ./internal/sweep/...
+
+# Energy smoke run: the chaos-composed flagship spec with per-event energy
+# attribution on — executed at -j1 and -j8 and byte-compared (the energy
+# report and the dyn_j/static_j/j_per_bit series columns are part of the
+# determinism contract), then grepped for the attribution tables. Dumps land
+# in energy-smoke/ (CI uploads the directory as an artifact).
+ENERGY_SPEC = load=surge:0.3:0.9,faults=seu:2e-8,churn=8x24,power-cap=38,chaos=crash:3+stall:1+torn:1+falsepos:1,cycles=16384,queue=32,seed=11
+energy-smoke:
+	mkdir -p energy-smoke
+	$(GO) run ./cmd/lookupsim -scheme VS -k 3 -j 1 \
+		-scenario $(ENERGY_SPEC) -energy-report \
+		-timeseries-out energy-smoke/timeseries.csv \
+		> energy-smoke/report.txt
+	$(GO) run ./cmd/lookupsim -scheme VS -k 3 -j 8 \
+		-scenario $(ENERGY_SPEC) -energy-report \
+		-timeseries-out energy-smoke/timeseries-j8.csv \
+		> energy-smoke/report-j8.txt
+	cmp energy-smoke/report.txt energy-smoke/report-j8.txt
+	cmp energy-smoke/timeseries.csv energy-smoke/timeseries-j8.csv
+	grep -q 'Energy attribution' energy-smoke/report.txt
+	grep -q 'Per-VNID dynamic energy' energy-smoke/report.txt
+	grep -q 'Energy per forwarded bit' energy-smoke/report.txt
+	head -1 energy-smoke/timeseries.csv | grep -q 'dyn_j,static_j,j_per_bit'
 
 # Short deterministic fuzz pass over the operator-facing spec parser (the
 # full corpus run is `go test -fuzz=FuzzParse ./internal/scenario`).

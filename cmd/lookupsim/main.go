@@ -88,6 +88,7 @@ import (
 	"time"
 
 	"vrpower/internal/core"
+	"vrpower/internal/energy"
 	"vrpower/internal/faults"
 	"vrpower/internal/governor"
 	"vrpower/internal/netsim"
@@ -141,6 +142,7 @@ type options struct {
 	powerCapDevice float64
 	powerCapLift   int64
 	governorReport bool
+	energyReport   bool
 }
 
 // governor builds the run's power-envelope governor configuration, or nil
@@ -213,6 +215,7 @@ func main() {
 	flag.Float64Var(&o.powerCapDevice, "power-cap-device", 0, "per-device power cap in Watts (0 = no device cap)")
 	flag.Int64Var(&o.powerCapLift, "power-cap-lift", 0, "lift the caps from this cycle on, demonstrating recovery (0 = caps for the whole run)")
 	flag.BoolVar(&o.governorReport, "governor-report", false, "print the governor's time-at-tier and per-VNID degradation detail")
+	flag.BoolVar(&o.energyReport, "energy-report", false, "print the run's attributed energy breakdown (per VNID, per component, per device)")
 	jobs := flag.Int("j", 0, "engine worker-pool size (0 = GOMAXPROCS); results are identical at any value")
 	stats := flag.Bool("stats", false, "print run instrumentation to stderr on exit")
 	flag.Int64Var(&o.seed, "seed", 1, "seed for tables and traffic")
@@ -366,6 +369,9 @@ func dispatch(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, r 
 		if lrep.Governor != nil {
 			printGovernor(lrep.Governor, o.governorReport)
 		}
+		if o.energyReport {
+			printEnergy(lrep.Energy)
+		}
 		return nil
 	}
 
@@ -425,6 +431,9 @@ func dispatch(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, r 
 		at.AddF("Verdict", verdict)
 		fmt.Println(at.String())
 	}
+	if o.energyReport {
+		printEnergy(rep.Energy)
+	}
 	if rep.Mismatches != 0 {
 		return fmt.Errorf("%d lookups disagreed with the reference LPM", rep.Mismatches)
 	}
@@ -473,6 +482,59 @@ func printGovernor(g *governor.Report, detailed bool) {
 		vt.AddF(vn, g.ThrottledPerVN[vn], g.BrownoutPerVN[vn], g.DeferredPerVN[vn])
 	}
 	fmt.Println(vt.String())
+}
+
+// printEnergy renders a run's attributed energy breakdown: the headline
+// totals and the Graphite-style component split always, plus the per-VNID
+// and per-device attribution axes. Every number derives from the meter's
+// integer femtojoule counters, so the output is byte-identical at any -j.
+func printEnergy(e *energy.Report) {
+	if e == nil {
+		return
+	}
+	t := report.NewTable("Energy attribution (event-metered, integer femtojoules)", "Quantity", "Value")
+	t.AddF("Total energy (J)", fmt.Sprintf("%.6e", e.TotalJ))
+	t.AddF("Dynamic / static (J)", fmt.Sprintf("%.6e / %.6e", e.DynJ, e.StaticJ))
+	t.AddF("Component memory / clock / control-plane (fJ)",
+		fmt.Sprintf("%d / %d / %d", e.MemFJ, e.ClockFJ, e.CtrlFJ))
+	t.AddF("Events: lookups / bubbles / words / transitions",
+		fmt.Sprintf("%d / %d / %d / %d", e.Lookups, e.Bubbles, e.Words, e.Transitions))
+	if e.DeliveredBits > 0 {
+		t.AddF("Delivered bits", e.DeliveredBits)
+		t.AddF("Energy per forwarded bit (J/bit)", fmt.Sprintf("%.6e", e.JPerBit))
+	}
+	fmt.Println(t.String())
+
+	vt := report.NewTable("Per-VNID dynamic energy", "VN", "Dynamic (fJ)", "Share")
+	var dyn int64
+	for _, fj := range e.VNDynFJ {
+		dyn += fj
+	}
+	for vn, fj := range e.VNDynFJ {
+		share := 0.0
+		if dyn > 0 {
+			share = float64(fj) / float64(dyn)
+		}
+		vt.AddF(vn, fj, fmt.Sprintf("%.4f", share))
+	}
+	fmt.Println(vt.String())
+
+	et := report.NewTable("Per-engine dynamic / per-device static", "Index", "Engine dyn (fJ)", "Device static (fJ)")
+	rows := len(e.EngineDynFJ)
+	if len(e.DeviceStaticFJ) > rows {
+		rows = len(e.DeviceStaticFJ)
+	}
+	for i := 0; i < rows; i++ {
+		engFJ, devFJ := "-", "-"
+		if i < len(e.EngineDynFJ) {
+			engFJ = fmt.Sprintf("%d", e.EngineDynFJ[i])
+		}
+		if i < len(e.DeviceStaticFJ) {
+			devFJ = fmt.Sprintf("%d", e.DeviceStaticFJ[i])
+		}
+		et.AddF(i, engFJ, devFJ)
+	}
+	fmt.Println(et.String())
 }
 
 // writeOutput writes one telemetry dump to path; "-" means stdout.
@@ -546,6 +608,9 @@ func runUpdates(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, 
 	if rep.Governor != nil {
 		printGovernor(rep.Governor, o.governorReport)
 	}
+	if o.energyReport {
+		printEnergy(rep.Energy)
+	}
 
 	if o.updateReport && len(rep.Batches) > 0 {
 		bt := report.NewTable("Churn batch lifecycle (cycles)",
@@ -611,6 +676,9 @@ func runFaults(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, o
 	fmt.Println(t.String())
 	if rep.Governor != nil {
 		printGovernor(rep.Governor, o.governorReport)
+	}
+	if o.energyReport {
+		printEnergy(rep.Energy)
 	}
 
 	if o.mttrReport && len(rep.SEUs) > 0 {
@@ -746,6 +814,9 @@ func runScenario(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme,
 
 	if rep.Governor != nil {
 		printGovernor(rep.Governor, o.governorReport)
+	}
+	if o.energyReport {
+		printEnergy(rep.Energy)
 	}
 
 	if rep.Mismatches != 0 {

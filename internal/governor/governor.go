@@ -40,9 +40,12 @@ import (
 // Live gauges mirroring the most recent decision (surfaced by -stats and
 // the -http /metrics endpoint during a governed run).
 var (
-	obsGovRung   = obs.NewGauge("governor.rung")
-	obsGovPowerW = obs.NewGauge("governor.power_w")
-	obsGovCapW   = obs.NewGauge("governor.cap_w")
+	obsGovRung     = obs.NewGauge("governor.rung")
+	obsGovPowerW   = obs.NewGauge("governor.power_w")
+	obsGovCapW     = obs.NewGauge("governor.cap_w")
+	obsGovFreqFrac = obs.NewGauge("governor.freq_frac")
+	obsGovAdmit    = obs.NewGauge("governor.admit_frac")
+	obsGovQuiesced = obs.NewGauge("governor.quiesced_engines")
 )
 
 // Config parameterises a governor. At least one cap must be positive.
@@ -557,6 +560,15 @@ func (g *Governor) Observe(s Sample) Decision {
 	obsGovRung.SetInt(int64(g.cur))
 	obsGovPowerW.Set(total)
 	obsGovCapW.Set(capW)
+	obsGovFreqFrac.Set(d.Rung.FreqFrac)
+	obsGovAdmit.Set(d.Rung.AdmitFrac)
+	quiesced := 0
+	for e := range d.Rung.Quiesced {
+		if d.Rung.Quiesced[e] {
+			quiesced++
+		}
+	}
+	obsGovQuiesced.SetInt(int64(quiesced))
 	return d
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"vrpower/internal/core"
 	"vrpower/internal/ctrl"
+	"vrpower/internal/energy"
 	"vrpower/internal/faults"
 	"vrpower/internal/governor"
 	"vrpower/internal/ip"
@@ -151,6 +152,8 @@ type FaultReport struct {
 	// Governor is the power-envelope controller's summary when the run was
 	// governed (SetGovernor); nil otherwise.
 	Governor *governor.Report
+	// Energy is the run's attributed energy breakdown.
+	Energy *energy.Report
 }
 
 // Availability returns the fraction of traffic cycles network vn's engine
@@ -249,11 +252,13 @@ func (s *System) rebuildEngine(e int) func() (*pipeline.Image, error) {
 }
 
 // sweepStep advances the background readback sweep by words stage-memory
-// words, reporting whether any word's stored parity was stale.
-func (e *engState) sweepStep(words int) bool {
+// words, returning how many words it actually read (the clamp to the image
+// size is what the energy meter charges) and whether any word's stored
+// parity was stale.
+func (e *engState) sweepStep(words int) (int, bool) {
 	total := e.img.Words()
 	if total == 0 || words <= 0 {
-		return false
+		return 0, false
 	}
 	if words > total {
 		words = total
@@ -270,7 +275,7 @@ func (e *engState) sweepStep(words int) bool {
 		}
 		e.sweepIdx++
 	}
-	return hit
+	return words, hit
 }
 
 // faultRun is the fault harness's stressor + kernel pair over one shared
@@ -287,6 +292,7 @@ type faultRun struct {
 	gv       *scenario.GovRun
 	gen      *traffic.Generator
 	dropVN   []*obs.Counter
+	meter    *energy.Meter
 	S        int64
 	// utils/upVN/reloadFlags are the per-slice measurement scratch; utils
 	// is zeroed for the drain (no offered traffic: static power only).
@@ -359,6 +365,9 @@ func (f *faultRun) startScrub(eIdx int, e *engState, b int64) {
 	e.reloading = true
 	e.pending = res.Image
 	e.repairAt = b + res.LatencyCycles
+	// The reload rewrites every diffed word: control-plane energy on the
+	// engine, attributed to its lowest served network.
+	f.meter.AddWords(eIdx, f.s.lowVN(eIdx), int64(res.Writes))
 	tel.Events.Log(obs.LevelInfo, b, "scrub_reload",
 		"engine", eIdx, "attempts", res.Attempts, "writes", res.Writes,
 		"latency_cycles", res.LatencyCycles, "ready_at", e.repairAt)
@@ -414,9 +423,15 @@ func (f *faultRun) PreSlice(b, n int64, draining bool) error {
 			}
 		}
 	}
-	// Background readback sweep over the in-service engines.
-	for _, e := range f.engines {
-		if !e.down() && e.sweepStep(int(n)*f.cfg.SweepWordsPerCycle) && e.detectVia == "" {
+	// Background readback sweep over the in-service engines; every word the
+	// sweep reads is a metered control-plane access.
+	for eIdx, e := range f.engines {
+		if e.down() {
+			continue
+		}
+		scanned, hit := e.sweepStep(int(n) * f.cfg.SweepWordsPerCycle)
+		f.meter.AddWords(eIdx, f.s.lowVN(eIdx), int64(scanned))
+		if hit && e.detectVia == "" {
 			e.detectVia = ViaSweep
 		}
 	}
@@ -510,6 +525,8 @@ func (f *faultRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) 
 			faulted bool
 			// util is the slice-local stage utilization feeding the power model.
 			util float64
+			// em is the worker-local energy meter, folded in engine order.
+			em *energy.Meter
 		}
 		// The engines' pipeline simulations are the only fan-out: disjoint
 		// request slices, results folded back in engine order.
@@ -524,12 +541,13 @@ func (f *faultRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) 
 			if err != nil {
 				return engineRun{}, err
 			}
-			run := engineRun{perVN: make([]vnCounts, s.k), util: st.Utilization()}
+			run := engineRun{perVN: make([]vnCounts, s.k), util: st.Utilization(), em: s.meter()}
 			for ri, res := range results {
 				vn := res.VN
 				if f.scheme != core.VM {
 					vn = eIdx
 				}
+				run.em.Lookup(eIdx, vn, res.LastStage)
 				c := &run.perVN[vn]
 				if res.Faulted {
 					// Corruption read mid-lookup: drop, never misforward.
@@ -561,6 +579,7 @@ func (f *faultRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) 
 		}
 		for eIdx, run := range runs {
 			f.utils[eIdx] = run.util
+			f.meter.Fold(run.em)
 			if run.faulted && !f.engines[eIdx].down() && f.engines[eIdx].detectVia == "" {
 				f.engines[eIdx].detectVia = ViaAccess
 			}
@@ -663,7 +682,8 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 	}
 	f := &faultRun{
 		s: s, cfg: cfg, scheme: rep.Scheme, in: in, scrubber: scrubber,
-		engines: engines, rep: &rep, gv: gv, gen: gen, dropVN: dropVN, S: S,
+		engines: engines, rep: &rep, gv: gv, gen: gen, dropVN: dropVN,
+		meter: s.meter(), S: S,
 		utils:       make([]float64, len(engines)),
 		upVN:        make([]bool, s.k),
 		reloadFlags: make([]bool, len(engines)),
@@ -683,6 +703,7 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 	eng.Gov = gv
 	eng.Stressors = []scenario.Stressor{f}
 	eng.Kernel = f
+	eng.Energy = f.meter
 	if err := eng.Run(); err != nil {
 		return FaultReport{}, err
 	}
@@ -698,5 +719,15 @@ func (s *System) RunFaults(gen *traffic.Generator, trafficCycles int64, cfg Faul
 	if gv != nil {
 		rep.Governor = gv.Report()
 	}
+	var delivered int64
+	for _, d := range rep.DeliveredPerVN {
+		delivered += d
+	}
+	er, err := f.meter.Report(deliveredBits(delivered))
+	if err != nil {
+		return FaultReport{}, err
+	}
+	rep.Energy = er
+	er.Publish()
 	return rep, nil
 }

@@ -16,6 +16,8 @@ import (
 	"fmt"
 
 	"vrpower/internal/core"
+	"vrpower/internal/energy"
+	"vrpower/internal/fpga"
 	"vrpower/internal/governor"
 	"vrpower/internal/ip"
 	"vrpower/internal/obs"
@@ -48,6 +50,9 @@ type System struct {
 	// gov is the attached power-envelope governor configuration; nil runs
 	// ungoverned.
 	gov *governor.Config
+	// emodel is the per-event energy cost table derived from the router's
+	// power design; every harness meters against it.
+	emodel *energy.Model
 }
 
 // New wraps a built router. tables must be the same K tables the router was
@@ -64,7 +69,11 @@ func New(r *core.Router, tables []*rib.Table) (*System, error) {
 	for i, t := range tables {
 		refs[i] = t.Reference()
 	}
-	return &System{router: r, refs: refs, tables: tables, k: k, tel: noTelemetry}, nil
+	em, err := energy.NewModel(r.Design())
+	if err != nil {
+		return nil, err
+	}
+	return &System{router: r, refs: refs, tables: tables, k: k, tel: noTelemetry, emodel: em}, nil
 }
 
 // engineOf maps a network to the engine serving it: the shared engine 0
@@ -74,6 +83,25 @@ func (s *System) engineOf(vn int) int {
 		return 0
 	}
 	return vn
+}
+
+// lowVN maps an engine to the lowest VNID it serves — where control-plane
+// energy on that engine (sweeps, reloads) is attributed. Per-engine schemes
+// serve network e from engine e; the merged engine charges network 0.
+func (s *System) lowVN(e int) int {
+	if s.router.Config().Scheme == core.VM {
+		return 0
+	}
+	return e
+}
+
+// meter builds a zeroed energy meter over this system's cost model.
+func (s *System) meter() *energy.Meter { return energy.NewMeter(s.emodel, s.k) }
+
+// deliveredBits converts a delivered packet count into forwarded payload bits
+// at the minimum packet size (the ThroughputGbps convention).
+func deliveredBits(packets int64) int64 {
+	return packets * fpga.MinPacketBytes * 8
 }
 
 // engine returns a scenario engine preconfigured with this system's plant
@@ -101,15 +129,18 @@ type Report struct {
 	// EngineLoad is the fraction of packets handled per engine, the
 	// realised µ_i of Assumption 1.
 	EngineLoad []float64
+	// Energy is the run's attributed energy breakdown.
+	Energy *energy.Report
 }
 
 // forwardKernel is the one-shot batch kernel: the whole packet set runs as
 // a single slice — distribute per engine, simulate the disjoint request
 // slices on the worker pool, fold in engine order.
 type forwardKernel struct {
-	s    *System
-	pkts []traffic.Packet
-	rep  Report
+	s     *System
+	pkts  []traffic.Packet
+	meter *energy.Meter
+	rep   Report
 }
 
 func (k *forwardKernel) Outstanding() bool { return false }
@@ -159,6 +190,7 @@ func (k *forwardKernel) RunSlice(_, _ int64, _ bool) (scenario.SliceStats, error
 		st         pipeline.Stats
 		mismatches int
 		noRoute    int
+		em         *energy.Meter
 	}
 	// Each engine runs the batched, data-oriented lookup core — scalar-
 	// equivalent by the pipeline package's differential tests, so reports
@@ -183,12 +215,13 @@ func (k *forwardKernel) RunSlice(_, _ int64, _ bool) (scenario.SliceStats, error
 		if err != nil {
 			return engineRun{}, err
 		}
-		run := engineRun{st: st}
+		run := engineRun{st: st, em: s.meter()}
 		for ri, res := range results {
 			vn := res.VN
 			if scheme != core.VM {
 				vn = e // per-network engine: the engine index is the network
 			}
+			run.em.Lookup(e, vn, res.LastStage)
 			want := s.refs[vn].Lookup(res.Addr)
 			if res.NHI != want {
 				run.mismatches++
@@ -214,6 +247,7 @@ func (k *forwardKernel) RunSlice(_, _ int64, _ bool) (scenario.SliceStats, error
 		k.rep.PerEngine[e] = run.st
 		k.rep.Mismatches += run.mismatches
 		k.rep.NoRoute += run.noRoute
+		k.meter.Fold(run.em)
 	}
 	return scenario.SliceStats{}, nil
 }
@@ -222,7 +256,7 @@ func (k *forwardKernel) RunSlice(_, _ int64, _ bool) (scenario.SliceStats, error
 // pipeline cycle-accurately, and verifies each resolved next hop against
 // the reference tables.
 func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
-	k := &forwardKernel{s: s, pkts: pkts}
+	k := &forwardKernel{s: s, pkts: pkts, meter: s.meter()}
 	eng := s.engine()
 	// The whole batch is one slice; there is no slice clock, so no series.
 	eng.Cycles = int64(len(pkts))
@@ -233,9 +267,16 @@ func (s *System) Forward(pkts []traffic.Packet) (Report, error) {
 	eng.Truncate = true
 	eng.NoSeries = true
 	eng.Kernel = k
+	eng.Energy = k.meter
 	if err := eng.Run(); err != nil {
 		return Report{}, err
 	}
+	er, err := k.meter.Report(deliveredBits(int64(len(pkts))))
+	if err != nil {
+		return Report{}, err
+	}
+	k.rep.Energy = er
+	er.Publish()
 	obsPacketsResolved.Add(int64(len(pkts)))
 	return k.rep, nil
 }
@@ -358,6 +399,8 @@ type LoadReport struct {
 	// Governor is the power-envelope controller's summary when the run was
 	// governed (SetGovernor); nil otherwise.
 	Governor *governor.Report
+	// Energy is the run's attributed energy breakdown.
+	Energy *energy.Report
 }
 
 // DeliveredFraction returns delivered/offered over all networks.
@@ -401,6 +444,7 @@ type loadKernel struct {
 	exitVN    [][]queued // FIFO of in-flight metadata per engine
 	rrNext    []int      // round-robin pointer per engine
 	gv        *scenario.GovRun
+	meter     *energy.Meter
 	rep       LoadReport
 	delaySum  float64
 	delivered int64
@@ -470,6 +514,7 @@ func (k *loadKernel) RunSlice(b, n int64, _ bool) (scenario.SliceStats, error) {
 			if done {
 				meta := k.exitVN[e][0]
 				k.exitVN[e] = k.exitVN[e][1:]
+				k.meter.Lookup(e, meta.vn, res.LastStage)
 				k.rep.Delivered[meta.vn]++
 				winDelivered++
 				k.delaySum += float64(cyc - meta.arrival)
@@ -525,6 +570,7 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 		exitVN:    make([][]queued, len(images)),
 		rrNext:    make([]int, len(images)),
 		gv:        gv,
+		meter:     s.meter(),
 		utilCur:   make([][2]int64, len(images)),
 		utils:     make([]float64, len(images)),
 		rep: LoadReport{
@@ -537,12 +583,18 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 	for e := range images {
 		k.sims[e] = pipeline.NewSim(images[e])
 	}
+	// The cycle loop runs on the coordinator, so the run meter can feed the
+	// per-lookup energy histogram without touching any worker hot path.
+	k.meter.ObserveHist = true
 	if cycles <= 0 {
 		// Degenerate zero-cycle run: an initialised (empty) series and an
 		// untouched report, as the pre-engine loop produced.
 		s.tel.InitSeries(s.k)
 		if gv != nil {
 			k.rep.Governor = gv.Report()
+		}
+		if er, err := k.meter.Report(0); err == nil {
+			k.rep.Energy = er
 		}
 		return k.rep, nil
 	}
@@ -552,6 +604,7 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 	eng.Truncate = true
 	eng.Gov = gv
 	eng.Kernel = k
+	eng.Energy = k.meter
 	if err := eng.Run(); err != nil {
 		return LoadReport{}, err
 	}
@@ -561,6 +614,12 @@ func (s *System) LoadTest(gen *traffic.Generator, perVNLoad float64, cycles int6
 	if gv != nil {
 		k.rep.Governor = gv.Report()
 	}
+	er, err := k.meter.Report(deliveredBits(k.delivered))
+	if err != nil {
+		return LoadReport{}, err
+	}
+	k.rep.Energy = er
+	er.Publish()
 	obsLoadCycles.Add(cycles)
 	obsPacketsResolved.Add(k.delivered)
 	return k.rep, nil

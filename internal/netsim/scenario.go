@@ -35,6 +35,7 @@ import (
 
 	"vrpower/internal/core"
 	"vrpower/internal/ctrl"
+	"vrpower/internal/energy"
 	"vrpower/internal/faults"
 	"vrpower/internal/governor"
 	"vrpower/internal/ip"
@@ -105,6 +106,8 @@ type ScenarioReport struct {
 	// Governor is the power-envelope controller's summary for capped runs
 	// (power-cap= / power-cap-device= or an attached SetGovernor config).
 	Governor *governor.Report
+	// Energy is the run's attributed energy breakdown.
+	Energy *energy.Report
 }
 
 // Availability returns the fraction of traffic cycles network vn's engine
@@ -225,8 +228,9 @@ type scenRun struct {
 	jrs []*ctrl.Journal
 	wd  *ctrl.Watchdog
 
-	rep *ScenarioReport
-	gv  *scenario.GovRun
+	rep   *ScenarioReport
+	gv    *scenario.GovRun
+	meter *energy.Meter
 
 	delaySum  float64
 	delivered int64
@@ -405,6 +409,9 @@ func (f scenFaults) startScrub(eIdx int, e *scenEng, b int64) error {
 	fs.reloading = true
 	fs.pending = res.Image
 	fs.repairAt = b + res.LatencyCycles
+	// The reload rewrites every diffed word: control-plane energy on the
+	// engine, attributed to its lowest served network.
+	r.meter.AddWords(eIdx, r.s.lowVN(eIdx), int64(res.Writes))
 	tel.Events.Log(obs.LevelInfo, b, "scrub_reload",
 		"engine", eIdx, "attempts", res.Attempts, "writes", res.Writes,
 		"latency_cycles", res.LatencyCycles, "ready_at", fs.repairAt)
@@ -458,8 +465,13 @@ func (f scenFaults) PreSlice(b, n int64, draining bool) error {
 			}
 		}
 	}
-	for _, e := range r.engines {
-		if !e.fs.down() && e.fs.sweepStep(int(n)) && e.fs.detectVia == "" {
+	for eIdx, e := range r.engines {
+		if e.fs.down() {
+			continue
+		}
+		scanned, hit := e.fs.sweepStep(int(n))
+		r.meter.AddWords(eIdx, r.s.lowVN(eIdx), int64(scanned))
+		if hit && e.fs.detectVia == "" {
 			e.fs.detectVia = ViaSweep
 		}
 	}
@@ -683,6 +695,7 @@ func (r *scenRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) {
 					if err != nil {
 						return scenario.SliceStats{}, err
 					}
+					r.meter.Bubble(eIdx, e.batch.VN)
 					bubbled = true
 				}
 			}
@@ -708,6 +721,7 @@ func (r *scenRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) {
 			if done {
 				m := e.exit[0]
 				e.exit = e.exit[1:]
+				r.meter.Lookup(eIdx, m.vn, res.LastStage)
 				outcome := "forward"
 				switch {
 				case res.Faulted:
@@ -791,7 +805,10 @@ func (s *System) RunScenario(gen *traffic.Generator, spec scenario.Spec) (Scenar
 		return ScenarioReport{}, fmt.Errorf("netsim: kill engine %d with %d engines", spec.Kill.Engine, len(s.router.Images()))
 	}
 
-	r := &scenRun{s: s, spec: spec, gen: gen, scheme: scheme}
+	r := &scenRun{s: s, spec: spec, gen: gen, scheme: scheme, meter: s.meter()}
+	// The cycle loop runs on the coordinator, so the run meter can feed the
+	// per-lookup energy histogram without touching any worker hot path.
+	r.meter.ObserveHist = true
 	rep := &ScenarioReport{
 		Spec:                   spec.Raw,
 		Stressors:              spec.Stressors(),
@@ -925,6 +942,7 @@ func (s *System) RunScenario(gen *traffic.Generator, spec scenario.Spec) (Scenar
 	eng.Gov = gv
 	eng.Stressors = stressors
 	eng.Kernel = r
+	eng.Energy = r.meter
 	if err := eng.Run(); err != nil {
 		return ScenarioReport{}, err
 	}
@@ -949,6 +967,12 @@ func (s *System) RunScenario(gen *traffic.Generator, spec scenario.Spec) (Scenar
 	if gv != nil {
 		rep.Governor = gv.Report()
 	}
+	er, err := r.meter.Report(deliveredBits(r.delivered))
+	if err != nil {
+		return ScenarioReport{}, err
+	}
+	rep.Energy = er
+	er.Publish()
 	r.chaosFinalize()
 	obsPacketsResolved.Add(r.delivered)
 	obsLoadCycles.Add(rep.TrafficCycles)

@@ -120,7 +120,7 @@ func TestFaultRunTelemetryDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 	head := series[:strings.IndexByte(series, '\n')]
-	if head != "cycle,power_w,throughput_gbps,backlog_pkts,scrubs_active,updates_active,recoveries,degraded_vns,cap_w,gov_rung,avail_vn00,avail_vn01,avail_vn02" {
+	if head != "cycle,power_w,throughput_gbps,backlog_pkts,scrubs_active,updates_active,recoveries,degraded_vns,cap_w,gov_rung,dyn_j,static_j,j_per_bit,avail_vn00,avail_vn01,avail_vn02" {
 		t.Errorf("series header drifted: %s", head)
 	}
 	// The kill must be visible in the series as lost availability.

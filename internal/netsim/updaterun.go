@@ -25,6 +25,7 @@ import (
 
 	"vrpower/internal/core"
 	"vrpower/internal/ctrl"
+	"vrpower/internal/energy"
 	"vrpower/internal/governor"
 	"vrpower/internal/ip"
 	"vrpower/internal/obs"
@@ -155,6 +156,8 @@ type UpdateReport struct {
 	// governed (SetGovernor); nil otherwise. This harness defers rather
 	// than drops under degradation: throttled arrivals wait in backlogs.
 	Governor *governor.Report
+	// Energy is the run's attributed energy breakdown.
+	Energy *energy.Report
 }
 
 // MeasuredThroughputRetained is the lookup-slot fraction the run actually
@@ -211,6 +214,10 @@ type updEng struct {
 	delaySum       float64
 	delayN         int64
 	backlogPeak    int
+	// em is this slice's worker-local energy meter: handed out fresh by the
+	// coordinator before the fan-out, charged only by this engine's worker
+	// inside the slice, folded back in engine order at the barrier.
+	em *energy.Meter
 	// prevActive/prevCycles are the coordinator's per-slice utilization
 	// cursor over the sim's cumulative stats (read between slices only).
 	prevActive int64
@@ -245,6 +252,7 @@ func (e *updEng) cycle(refs []*ip.Table, cyc int64) error {
 		if err != nil {
 			return err
 		}
+		e.em.Bubble(e.engine, e.batch.VN)
 	} else if len(e.backlog) > 0 && !e.gate.Hold() {
 		m := e.backlog[0]
 		e.backlog = e.backlog[1:]
@@ -257,6 +265,7 @@ func (e *updEng) cycle(refs []*ip.Table, cyc int64) error {
 	if ok {
 		m := e.pending[0]
 		e.pending = e.pending[1:]
+		e.em.Lookup(e.engine, m.vn, res.LastStage)
 		outcome := "drop-fault"
 		if res.Faulted {
 			e.faulted++
@@ -300,6 +309,7 @@ type updRun struct {
 	rep     *UpdateReport
 	gv      *scenario.GovRun
 	gen     *traffic.Generator
+	meter   *energy.Meter
 	tracing bool
 	started int
 	// utils / prevDelivered are the coordinator's per-slice measurement
@@ -447,6 +457,11 @@ func (u *updRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) {
 			arrivals[eIdx] = append(arrivals[eIdx], m)
 		}
 	}
+	// Fresh worker-local energy meters for this slice, folded back in engine
+	// order at the barrier below — no shared counters inside the fan-out.
+	for _, e := range u.engines {
+		e.em = u.s.meter()
+	}
 	if _, err := sweep.Run(len(u.engines), func(eIdx int) (struct{}, error) {
 		e := u.engines[eIdx]
 		var next int
@@ -474,6 +489,7 @@ func (u *updRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) {
 	var delivered int64
 	for eIdx, e := range u.engines {
 		u.utils[eIdx], e.prevActive, e.prevCycles = scenario.UtilDelta(e.sim.Stats(), e.prevActive, e.prevCycles)
+		u.meter.Fold(e.em)
 		backlog += len(e.backlog)
 		if e.handle != nil {
 			updating++
@@ -549,7 +565,7 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 	}
 	u := &updRun{
 		s: s, cfg: cfg, scheme: scheme, mgr: mgr, engines: engines, refs: refs,
-		rep: &rep, gv: gv, gen: gen, tracing: tel.Tracing(),
+		rep: &rep, gv: gv, gen: gen, meter: s.meter(), tracing: tel.Tracing(),
 		utils: make([]float64, len(engines)),
 	}
 
@@ -564,6 +580,7 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 	eng.Gov = gv
 	eng.Stressors = []scenario.Stressor{u}
 	eng.Kernel = u
+	eng.Energy = u.meter
 	if err := eng.Run(); err != nil {
 		return UpdateReport{}, err
 	}
@@ -596,6 +613,12 @@ func (s *System) RunUpdates(gen *traffic.Generator, trafficCycles int64, cfg Upd
 	if gv != nil {
 		rep.Governor = gv.Report()
 	}
+	er, err := u.meter.Report(deliveredBits(delivered))
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	rep.Energy = er
+	er.Publish()
 	obsPacketsResolved.Add(delivered)
 	return rep, nil
 }

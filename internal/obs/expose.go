@@ -36,8 +36,9 @@ func promName(name string) string {
 
 // WriteMetrics renders every registered metric in Prometheus text format,
 // sorted by name within each kind: counters as counters, gauges as gauges,
-// histograms as cumulative power-of-two-nanosecond buckets with _sum (in
-// ns) and _count.
+// histograms as cumulative power-of-two buckets with _sum and _count. The
+// bucket bounds and _sum are in the histogram's registered unit (ns for
+// duration histograms, e.g. pJ for per-lookup energy), noted in a HELP line.
 func WriteMetrics(w io.Writer) error {
 	registry.mu.Lock()
 	counters := make([]*Counter, 0, len(registry.counters))
@@ -68,6 +69,9 @@ func WriteMetrics(w io.Writer) error {
 	}
 	for _, h := range histograms {
 		n := promName(h.name)
+		if u := h.Unit(); u != "" {
+			fmt.Fprintf(&b, "# HELP %s values in %s\n", n, u)
+		}
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
 		var cum int64
 		top := -1
@@ -81,7 +85,7 @@ func WriteMetrics(w io.Writer) error {
 			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", n, int64(1)<<uint(i+1), cum)
 		}
 		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
-			n, h.Count(), n, h.sumNS.Load(), n, h.Count())
+			n, h.Count(), n, h.sum.Load(), n, h.Count())
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -63,28 +63,40 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 func (c *Counter) Name() string { return c.name }
 
 // bucketCount sizes the histogram: bucket i holds observations of
-// [2^i, 2^(i+1)) nanoseconds (bucket 0 also absorbs sub-nanosecond), so 50
-// buckets span ~6.5 days — every latency this repo can produce.
+// [2^i, 2^(i+1)) units (bucket 0 also absorbs zero), so 50 buckets span
+// ~6.5 days of nanoseconds — every latency this repo can produce — and
+// every plausible per-event energy in picojoules.
 const bucketCount = 50
 
-// Histogram records durations in power-of-two nanosecond buckets. Observe
-// is two atomic adds plus one atomic bucket add — no locks, no allocation.
+// DurationUnit is the unit tag of duration histograms (NewHistogram); the
+// report and exposition layers format these with time.Duration semantics.
+const DurationUnit = "ns"
+
+// Histogram records non-negative integer values of one unit in power-of-two
+// buckets. The historical shape — and NewHistogram's default — is a duration
+// histogram in nanoseconds; NewValueHistogram tags any other unit (e.g. "pJ"
+// for per-lookup energy). Observing is two atomic adds plus one atomic
+// bucket add — no locks, no allocation.
 type Histogram struct {
 	name    string
+	unit    string
 	count   atomic.Int64
-	sumNS   atomic.Int64
+	sum     atomic.Int64
 	buckets [bucketCount]atomic.Int64
 }
 
 // Observe records one duration. Negative durations clamp to zero.
-func (h *Histogram) Observe(d time.Duration) {
-	ns := int64(d)
-	if ns < 0 {
-		ns = 0
+func (h *Histogram) Observe(d time.Duration) { h.ObserveValue(int64(d)) }
+
+// ObserveValue records one raw value in the histogram's unit. Negative
+// values clamp to zero.
+func (h *Histogram) ObserveValue(v int64) {
+	if v < 0 {
+		v = 0
 	}
 	h.count.Add(1)
-	h.sumNS.Add(ns)
-	h.buckets[bucketFor(ns)].Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketFor(v)].Add(1)
 }
 
 // Since records the time elapsed since start; use as
@@ -105,20 +117,31 @@ func bucketFor(ns int64) int {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
-// Mean returns the average observed duration (0 when empty).
-func (h *Histogram) Mean() time.Duration {
+// Mean returns the average observed duration (0 when empty). Meaningful for
+// duration histograms; value histograms use MeanValue.
+func (h *Histogram) Mean() time.Duration { return time.Duration(h.MeanValue()) }
+
+// MeanValue returns the average observed value in the histogram's unit
+// (0 when empty).
+func (h *Histogram) MeanValue() int64 {
 	n := h.count.Load()
 	if n == 0 {
 		return 0
 	}
-	return time.Duration(h.sumNS.Load() / n)
+	return h.sum.Load() / n
 }
 
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the top
-// of the bucket in which the quantile observation fell. Bucket resolution
-// is a factor of two, which is plenty for spotting order-of-magnitude
-// outliers in sweep-point latency.
+// Quantile returns an upper bound for the q-quantile as a duration; value
+// histograms use QuantileValue.
 func (h *Histogram) Quantile(q float64) time.Duration {
+	return time.Duration(h.QuantileValue(q))
+}
+
+// QuantileValue returns an upper bound for the q-quantile (0 < q <= 1) in
+// the histogram's unit: the top of the bucket in which the quantile
+// observation fell. Bucket resolution is a factor of two, which is plenty
+// for spotting order-of-magnitude outliers.
+func (h *Histogram) QuantileValue(q float64) int64 {
 	n := h.count.Load()
 	if n == 0 || q <= 0 {
 		return 0
@@ -134,14 +157,17 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i := range h.buckets {
 		cum += h.buckets[i].Load()
 		if cum >= rank {
-			return time.Duration(int64(1) << uint(i+1))
+			return int64(1) << uint(i+1)
 		}
 	}
-	return time.Duration(int64(1) << bucketCount)
+	return int64(1) << bucketCount
 }
 
 // Name returns the registered name.
 func (h *Histogram) Name() string { return h.name }
+
+// Unit returns the histogram's unit tag ("ns" for duration histograms).
+func (h *Histogram) Unit() string { return h.unit }
 
 // registry holds every metric the process has created. Registration is the
 // cold path (package init) and takes a lock; the metrics themselves never
@@ -170,15 +196,23 @@ func NewCounter(name string) *Counter {
 	return c
 }
 
-// NewHistogram returns the histogram registered under name, creating it on
-// first use.
+// NewHistogram returns the duration histogram (unit "ns") registered under
+// name, creating it on first use.
 func NewHistogram(name string) *Histogram {
+	return NewValueHistogram(name, DurationUnit)
+}
+
+// NewValueHistogram returns the histogram registered under name with the
+// given unit tag, creating it on first use. The unit is fixed at first
+// registration; later calls return the existing histogram regardless of the
+// unit they pass.
+func NewValueHistogram(name, unit string) *Histogram {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
 	if h, ok := registry.histograms[name]; ok {
 		return h
 	}
-	h := &Histogram{name: name}
+	h := &Histogram{name: name, unit: unit}
 	registry.histograms[name] = h
 	return h
 }
@@ -196,7 +230,7 @@ func Reset() {
 	}
 	for _, h := range registry.histograms {
 		h.count.Store(0)
-		h.sumNS.Store(0)
+		h.sum.Store(0)
 		for i := range h.buckets {
 			h.buckets[i].Store(0)
 		}
@@ -206,7 +240,7 @@ func Reset() {
 // histState is a histogram's frozen contents inside a Snapshot.
 type histState struct {
 	count   int64
-	sumNS   int64
+	sum     int64
 	buckets [bucketCount]int64
 }
 
@@ -238,7 +272,7 @@ func TakeSnapshot() Snapshot {
 		s.gauges[name] = g.Value()
 	}
 	for name, h := range registry.histograms {
-		hs := histState{count: h.count.Load(), sumNS: h.sumNS.Load()}
+		hs := histState{count: h.count.Load(), sum: h.sum.Load()}
 		for i := range h.buckets {
 			hs.buckets[i] = h.buckets[i].Load()
 		}
@@ -311,14 +345,24 @@ func ReportSince(since Snapshot) string {
 		if n == 0 {
 			continue
 		}
-		mean := time.Duration((h.sumNS.Load() - base.sumNS) / n)
+		mean := (h.sum.Load() - base.sum) / n
 		var d deltaHist
 		for i := range h.buckets {
 			d.buckets[i] = h.buckets[i].Load() - base.buckets[i]
 		}
 		d.count = n
-		lines = append(lines, line{h.name, fmt.Sprintf("  %-36s %12d obs, mean %v, p50 ≤ %v, p99 ≤ %v\n",
-			h.name, n, mean, d.quantile(0.5), d.quantile(0.99))})
+		// Duration histograms render with time.Duration semantics; other
+		// units render raw integers with the unit suffixed.
+		var text string
+		if h.unit == DurationUnit || h.unit == "" {
+			text = fmt.Sprintf("  %-36s %12d obs, mean %v, p50 ≤ %v, p99 ≤ %v\n",
+				h.name, n, time.Duration(mean),
+				time.Duration(d.quantile(0.5)), time.Duration(d.quantile(0.99)))
+		} else {
+			text = fmt.Sprintf("  %-36s %12d obs, mean %d %s, p50 ≤ %d %s, p99 ≤ %d %s\n",
+				h.name, n, mean, h.unit, d.quantile(0.5), h.unit, d.quantile(0.99), h.unit)
+		}
+		lines = append(lines, line{h.name, text})
 	}
 	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
 
@@ -334,13 +378,13 @@ func ReportSince(since Snapshot) string {
 }
 
 // deltaHist is the difference of two histogram states; quantile mirrors
-// Histogram.Quantile over the delta buckets.
+// Histogram.QuantileValue over the delta buckets.
 type deltaHist struct {
 	count   int64
 	buckets [bucketCount]int64
 }
 
-func (d *deltaHist) quantile(q float64) time.Duration {
+func (d *deltaHist) quantile(q float64) int64 {
 	if d.count == 0 || q <= 0 {
 		return 0
 	}
@@ -355,8 +399,8 @@ func (d *deltaHist) quantile(q float64) time.Duration {
 	for i := range d.buckets {
 		cum += d.buckets[i]
 		if cum >= rank {
-			return time.Duration(int64(1) << uint(i+1))
+			return int64(1) << uint(i+1)
 		}
 	}
-	return time.Duration(int64(1) << bucketCount)
+	return int64(1) << bucketCount
 }

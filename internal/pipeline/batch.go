@@ -42,6 +42,7 @@ type batchScratch struct {
 	fl   []bFlight    // live flights, dense, compacted every sweep step
 	nhi  []ip.NextHop // resolved next hop, by chunk position
 	flag []uint8      // flagFaulted / flagTraced, by chunk position
+	last []uint8      // deepest active stage (Result.LastStage), by chunk position
 }
 
 func (sc *batchScratch) ensure(n int) {
@@ -51,6 +52,7 @@ func (sc *batchScratch) ensure(n int) {
 	sc.fl = make([]bFlight, n)
 	sc.nhi = make([]ip.NextHop, n)
 	sc.flag = make([]uint8, n)
+	sc.last = make([]uint8, n)
 }
 
 // BatchSim is the batched, data-oriented lookup engine: the same
@@ -137,6 +139,7 @@ func (b *BatchSim) RunAppend(dst []Result, reqs []Request, interarrival int) ([]
 	dst = growResults(dst, len(reqs))
 	out := dst[base:]
 	g := int64(interarrival)
+	startFaults := b.st.Faults // sweepChunk bumps b.st in place; snapshot first
 	for chunk := 0; chunk < len(reqs); chunk += batchFlights {
 		m := len(reqs) - chunk
 		if m > batchFlights {
@@ -144,7 +147,7 @@ func (b *BatchSim) RunAppend(dst []Result, reqs []Request, interarrival int) ([]
 		}
 		b.sweepChunk(reqs[chunk:chunk+m], out[chunk:chunk+m], &b.scratch, &b.st, b.now+int64(chunk)*g, g)
 	}
-	b.finish(len(out), g, b.st.Faults)
+	b.finish(len(out), g, startFaults)
 	return dst, b.st, nil
 }
 
@@ -241,7 +244,7 @@ func (b *BatchSim) sweepChunk(reqs []Request, out []Result, sc *batchScratch, st
 			enter := enter0 + int64(j)*g
 			out[j] = Result{
 				Request: reqs[j], NHI: nhi, Faulted: faulted, Visits: visits,
-				EnterCycle: enter, ExitCycle: enter + n,
+				EnterCycle: enter, ExitCycle: enter + n, LastStage: rstage,
 			}
 			for s := 0; s <= rstage; s++ {
 				st.StageActive[s]++
@@ -253,6 +256,10 @@ func (b *BatchSim) sweepChunk(reqs []Request, out []Result, sc *batchScratch, st
 			continue
 		}
 		sc.flag[j] = 0
+		// Default to the full pipe: a flight that outlives the last stage was
+		// active in every one; removal points below overwrite with the stage
+		// the flight resolved or faulted in.
+		sc.last[j] = uint8(b.nStages - 1)
 		vn := reqs[j].VN
 		if vn != int(int32(vn)) {
 			vn = -1
@@ -286,6 +293,7 @@ func (b *BatchSim) sweepChunk(reqs []Request, out []Result, sc *batchScratch, st
 					idx := int(f.idx)
 					if idx >= len(meta) {
 						sc.flag[f.pos] = flagFaulted
+						sc.last[f.pos] = uint8(s)
 						st.Faults++
 						nLive--
 						fl[i] = fl[nLive]
@@ -294,6 +302,7 @@ func (b *BatchSim) sweepChunk(reqs []Request, out []Result, sc *batchScratch, st
 					m := meta[idx]
 					if m&metaParityBad != 0 {
 						sc.flag[f.pos] = flagFaulted
+						sc.last[f.pos] = uint8(s)
 						st.Faults++
 						nLive--
 						fl[i] = fl[nLive]
@@ -304,6 +313,7 @@ func (b *BatchSim) sweepChunk(reqs []Request, out []Result, sc *batchScratch, st
 						if uint32(f.vn) < c[1] {
 							sc.nhi[f.pos] = slab[c[0]+uint32(f.vn)]
 						}
+						sc.last[f.pos] = uint8(s)
 						nLive--
 						fl[i] = fl[nLive]
 						continue
@@ -320,6 +330,7 @@ func (b *BatchSim) sweepChunk(reqs []Request, out []Result, sc *batchScratch, st
 						// address range — fatal for the lookup, as in the
 						// scalar engine.
 						sc.flag[f.pos] = flagFaulted
+						sc.last[f.pos] = uint8(s)
 						st.Faults++
 						nLive--
 						fl[i] = fl[nLive]
@@ -331,6 +342,7 @@ func (b *BatchSim) sweepChunk(reqs []Request, out []Result, sc *batchScratch, st
 						if uint32(f.vn) < c[1] { // unsigned compare: negative VNs miss too
 							sc.nhi[f.pos] = slab[c[0]+uint32(f.vn)]
 						}
+						sc.last[f.pos] = uint8(s)
 						nLive--
 						fl[i] = fl[nLive]
 						continue
@@ -356,6 +368,7 @@ func (b *BatchSim) sweepChunk(reqs []Request, out []Result, sc *batchScratch, st
 			Faulted:    sc.flag[j]&flagFaulted != 0,
 			EnterCycle: enter,
 			ExitCycle:  enter + n,
+			LastStage:  int(sc.last[j]),
 		}
 	}
 }

@@ -42,6 +42,12 @@ type Result struct {
 	// difference is the pipeline latency in cycles.
 	EnterCycle int64
 	ExitCycle  int64
+	// LastStage is the deepest stage that performed a memory access for
+	// this lookup: the stage it resolved or faulted in, or the final stage
+	// for a lookup that walked the whole pipe. Stages 0..LastStage each
+	// contributed one StageActive cycle, which is what the energy meter
+	// charges — both lookup cores report it identically.
+	LastStage int
 	// Visits is the traced traversal (nil unless Request.Trace was set):
 	// every stage-memory access in order, annotated with the serving bank
 	// and the fault that terminated the lookup, if any.
@@ -107,6 +113,8 @@ type flight struct {
 	commit bool
 	nhi    ip.NextHop
 	enter  int64
+	// last is the deepest stage that processed the flight (Result.LastStage).
+	last int32
 	// trace holds a traced lookup's visit log; nil for untraced flights,
 	// which is the only tracing cost on the hot path. Indirecting through a
 	// pointer (instead of an inline slice header) keeps the untraced flight
@@ -278,6 +286,7 @@ func (s *Sim) process(stage int, f *flight) {
 		s.processTraced(stage, f)
 		return
 	}
+	f.last = int32(stage)
 	img := s.bank(stage)
 	for {
 		entries := img.Stages[stage].Entries
@@ -320,6 +329,7 @@ func (s *Sim) process(stage int, f *flight) {
 // memory access appended to the flight's visit log. Kept as a separate copy
 // so tracing support costs the untraced path nothing.
 func (s *Sim) processTraced(stage int, f *flight) {
+	f.last = int32(stage)
 	img := s.bank(stage)
 	newBank := s.next != nil && img == s.next
 	for {
@@ -393,6 +403,7 @@ func (s *Sim) Run(reqs []Request, interarrival int) ([]Result, Stats, error) {
 			EnterCycle: f.enter,
 			ExitCycle:  s.now - 1, // cycle at which the packet left the last stage
 			Faulted:    f.faulted,
+			LastStage:  int(f.last),
 			Visits:     f.visitLog(),
 		})
 		s.recycle(f)
@@ -503,6 +514,7 @@ func RunConcurrentChecked(img *Image, reqs []Request, parity bool) []Result {
 			for t := range from {
 				f := t.f
 				if !f.resolved {
+					f.last = int32(stage)
 					// Same per-stage work as Sim.process, fault paths
 					// included.
 					for {
@@ -549,7 +561,7 @@ func RunConcurrentChecked(img *Image, reqs []Request, parity bool) []Result {
 	}()
 	results := make([]Result, 0, len(reqs))
 	for t := range cur {
-		results = append(results, Result{Request: t.f.req, NHI: t.f.nhi, Faulted: t.f.faulted})
+		results = append(results, Result{Request: t.f.req, NHI: t.f.nhi, Faulted: t.f.faulted, LastStage: int(t.f.last)})
 	}
 	obsLookups.Add(int64(len(results)))
 	return results
@@ -574,6 +586,7 @@ func (s *Sim) Inject(req *Request) (Result, bool) {
 		EnterCycle: out.enter,
 		ExitCycle:  s.now - 1,
 		Faulted:    out.faulted,
+		LastStage:  int(out.last),
 		Visits:     out.visitLog(),
 	}
 	s.recycle(out)
@@ -663,6 +676,7 @@ func (s *Sim) InjectBubble() (Result, bool, error) {
 		EnterCycle: out.enter,
 		ExitCycle:  s.now - 1,
 		Faulted:    out.faulted,
+		LastStage:  int(out.last),
 		Visits:     out.visitLog(),
 	}
 	s.recycle(out)

@@ -1,0 +1,137 @@
+package pipeline
+
+// Telemetry parity between the two lookup cores: the scalar Sim and the
+// batched BatchSim must not only agree on every Result (the existing
+// differential tests) but also emit identical observability — the same
+// process-wide counter deltas, the same per-stage activity, and identical
+// energy-meter contents when each run's results are charged to a meter.
+// A core that resolved the same packets but visited different stages, or
+// double-counted a fault, would pass a results-only diff and still corrupt
+// every downstream energy and utilization report. Run under -race: the test
+// is single-goroutine but shares the global obs registry with the rest of
+// the suite.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vrpower/internal/energy"
+	"vrpower/internal/ip"
+	"vrpower/internal/obs"
+	"vrpower/internal/power"
+)
+
+// parityCounters are the process-wide metrics both cores bump on Run.
+var parityCounters = []string{
+	"pipeline.lookups_resolved",
+	"pipeline.cycles_simulated",
+	"pipeline.faults_detected",
+}
+
+// counterDeltas runs fn and returns each parity counter's delta across it.
+func counterDeltas(fn func()) map[string]int64 {
+	before := obs.TakeSnapshot()
+	fn()
+	out := make(map[string]int64, len(parityCounters))
+	for _, name := range parityCounters {
+		out[name] = obs.NewCounter(name).Value() - before.Counter(name)
+	}
+	return out
+}
+
+// chargeMeter replays a run's results into a fresh energy meter the way the
+// netsim harnesses do: every completed lookup pays stages 0..LastStage.
+func chargeMeter(m *energy.Model, k int, results []Result) *energy.Meter {
+	mt := energy.NewMeter(m, k)
+	for _, r := range results {
+		mt.Lookup(0, r.VN, r.LastStage)
+	}
+	return mt
+}
+
+// TestTelemetryParityScalarVsBatched feeds the same request vectors (with
+// in-range VNs, a sprinkling of traces, and a few injected SEUs so faulted
+// walks are exercised) through both cores and asserts the telemetry planes
+// match: obs counter deltas, Stats.StageActive, and the full energy meter.
+func TestTelemetryParityScalarVsBatched(t *testing.T) {
+	const k, stages, n = 3, 8, 4096
+	img := compileMerged(t, k, 700, 42, stages)
+
+	// Corrupt a spread of words before either core is built so both see the
+	// same stale-parity faults and mid-walk detection fires on shared state.
+	seuRng := rand.New(rand.NewSource(99))
+	for i := 0; i < 64; i++ {
+		stage, index, bit, ok := img.Locate(seuRng.Int63n(img.DataBits()))
+		if !ok {
+			t.Fatal("Locate failed")
+		}
+		img.FlipBit(stage, index, bit)
+	}
+
+	design := power.SystemDesign{
+		FMHz:    250,
+		Devices: 1,
+		Engines: []power.EngineDesign{{
+			StageBits:   DefaultLayout().AllStageBits(img),
+			Utilization: 1,
+		}},
+	}
+	model, err := energy.NewModel(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Addr: ip.Addr(rng.Uint32()), VN: rng.Intn(k)}
+		if i%64 == 0 {
+			reqs[i].Trace = true
+		}
+	}
+
+	for _, interarrival := range []int{1, 3} {
+		var sRes, bRes []Result
+		var sSt, bSt Stats
+		sDelta := counterDeltas(func() {
+			var err error
+			sRes, sSt, err = NewSim(img).Run(reqs, interarrival)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		bDelta := counterDeltas(func() {
+			var err error
+			bRes, bSt, err = NewBatchSim(img).Run(reqs, interarrival)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+
+		if !reflect.DeepEqual(sDelta, bDelta) {
+			t.Errorf("interarrival %d: obs counter deltas diverge:\nscalar  %v\nbatched %v",
+				interarrival, sDelta, bDelta)
+		}
+		if sDelta["pipeline.lookups_resolved"] != int64(n) {
+			t.Errorf("interarrival %d: scalar resolved %d lookups, want %d",
+				interarrival, sDelta["pipeline.lookups_resolved"], n)
+		}
+		if sDelta["pipeline.faults_detected"] == 0 {
+			t.Errorf("interarrival %d: no faults detected — SEU injection not exercised", interarrival)
+		}
+		if !reflect.DeepEqual(sSt.StageActive, bSt.StageActive) {
+			t.Errorf("interarrival %d: StageActive diverges:\nscalar  %v\nbatched %v",
+				interarrival, sSt.StageActive, bSt.StageActive)
+		}
+
+		sm, bm := chargeMeter(model, k, sRes), chargeMeter(model, k, bRes)
+		if !reflect.DeepEqual(sm, bm) {
+			t.Errorf("interarrival %d: energy meters diverge:\nscalar  %+v\nbatched %+v",
+				interarrival, sm, bm)
+		}
+		if sm.DynTotalFJ() <= 0 {
+			t.Errorf("interarrival %d: meter charged no dynamic energy", interarrival)
+		}
+	}
+}

@@ -172,6 +172,11 @@ func (d SystemDesign) usesDistRAM(bits int64) bool {
 	return d.DistRAMThresholdBits > 0 && bits > 0 && bits <= d.DistRAMThresholdBits
 }
 
+// UsesDistRAM reports whether a stage of the given size maps to distributed
+// RAM under the hybrid threshold — exported for the energy accounting layer,
+// which must replicate the estimator's memory-technology choice exactly.
+func (d SystemDesign) UsesDistRAM(bits int64) bool { return d.usesDistRAM(bits) }
+
 // TotalBlocks returns the design's total BRAM block demand and the maximum
 // per-stage block count (the congestion driver used by the timing model).
 // Stages mapped to distributed RAM consume no blocks.

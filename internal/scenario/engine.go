@@ -17,6 +17,8 @@ package scenario
 import (
 	"fmt"
 
+	"vrpower/internal/energy"
+	"vrpower/internal/fpga"
 	"vrpower/internal/governor"
 	"vrpower/internal/power"
 )
@@ -92,6 +94,12 @@ type Engine struct {
 	// Gov is the run's governor actuation, built by NewGovRun; nil runs
 	// ungoverned.
 	Gov *GovRun
+	// Energy is the run's event-energy meter; nil runs unmetered. The
+	// engine owns the time-dependent half of the accounting: static-power
+	// integration per slice at the active DVFS tier, and the transition
+	// charge whenever the governor moves the ladder. Kernels and stressors
+	// charge their own events (lookups, bubbles, sweeps, reload writes).
+	Energy *energy.Meter
 
 	Stressors []Stressor
 	Kernel    Kernel
@@ -103,24 +111,80 @@ type Engine struct {
 	// TrafficCycles and DrainCycles are filled in by Run.
 	TrafficCycles int64
 	DrainCycles   int64
+
+	// Clock-tier cursor for energy integration: the DVFS fraction the slice
+	// just executed ran at, and the ladder rung that chose it. Updated by
+	// observe from each governed decision; ungoverned runs stay at full rate.
+	curFreqFrac float64
+	curRung     int
+	// Cumulative-energy cursors turning the meter's totals into per-slice
+	// series deltas.
+	prevDynFJ    int64
+	prevStaticFJ int64
 }
 
 // observe closes one slice: telemetry row from the kernel's stats, governor
-// observe + actuation for the next slice.
+// observe + actuation for the next slice, and the slice's energy accounting
+// (static integration at the tier the slice ran at, transition charges when
+// the ladder moved, per-slice deltas for the series columns).
 func (e *Engine) observe(b, n int64, st SliceStats) {
 	powerW, capW, rung := SlicePower(e.Design, st.Util), 0.0, 0.0
+	var dec *governor.Decision
 	if e.Gov != nil {
 		d := e.Gov.Observe(b, n, st.Util, st.Reloading)
 		powerW, capW, rung = d.PowerW, d.CapW, float64(d.ObservedRung)
 		if dk, ok := e.Kernel.(DecisionKernel); ok {
 			dk.ApplyDecision(d)
 		}
+		dec = &d
+	}
+	dynJ, staticJ, jPerBit := 0.0, 0.0, 0.0
+	if e.Energy != nil {
+		// The slice just executed ran at the tier the PREVIOUS decision
+		// chose (full rate before any decision): integrate leakage over its
+		// stretched wall time, then advance the cursor to the fresh
+		// actuation and charge a full-pipe flush per engine if it moved.
+		frac := e.curFreqFrac
+		if frac == 0 {
+			frac = 1
+		}
+		e.Energy.StaticSlice(n, frac)
+		if dec != nil {
+			if dec.RungIndex != e.curRung {
+				for eng := range e.Energy.Model().Engines {
+					e.Energy.Transition(eng, e.engineLowVN(eng))
+				}
+				e.curRung = dec.RungIndex
+			}
+			e.curFreqFrac = dec.Rung.FreqFrac
+		}
+		dynFJ, staticFJ := e.Energy.DynTotalFJ(), e.Energy.StaticTotalFJ()
+		dDyn, dStatic := dynFJ-e.prevDynFJ, staticFJ-e.prevStaticFJ
+		e.prevDynFJ, e.prevStaticFJ = dynFJ, staticFJ
+		dynJ = float64(dDyn) / 1e15
+		staticJ = float64(dStatic) / 1e15
+		if st.Delivered > 0 {
+			jPerBit = float64(dDyn+dStatic) / 1e15 /
+				(float64(st.Delivered) * fpga.MinPacketBytes * 8)
+		}
 	}
 	if e.NoSeries {
 		return
 	}
 	e.Tel.AppendSlice(e.K, b, powerW, SliceGbps(e.FmaxMHz, st.Delivered, n), st.Backlog,
-		st.Scrubs, st.Updates, st.Recoveries, st.DegradedVNs, capW, rung, st.Avail)
+		st.Scrubs, st.Updates, st.Recoveries, st.DegradedVNs, capW, rung,
+		dynJ, staticJ, jPerBit, st.Avail)
+}
+
+// engineLowVN maps an engine to the lowest VNID it serves — the VNID
+// control-plane energy on that engine is attributed to. Per-engine schemes
+// serve network e from engine e; the merged scheme's single engine charges
+// network 0.
+func (e *Engine) engineLowVN(eng int) int {
+	if eng < e.K {
+		return eng
+	}
+	return 0
 }
 
 // boundary runs every stressor's Boundary hook in registration order.

@@ -35,6 +35,9 @@ var (
 	obsDegradedVNs   = obs.NewGauge("netsim.degraded_vns")
 	obsSliceCapW     = obs.NewGauge("netsim.slice_cap_w")
 	obsSliceGovRung  = obs.NewGauge("netsim.slice_gov_rung")
+	obsSliceDynJ     = obs.NewGauge("netsim.slice_dyn_j")
+	obsSliceStaticJ  = obs.NewGauge("netsim.slice_static_j")
+	obsSliceJPerBit  = obs.NewGauge("netsim.slice_j_per_bit")
 )
 
 // Telemetry is the set of observers a run feeds. Any field may be nil: a
@@ -118,10 +121,11 @@ func LookupOutcome(res pipeline.Result, want ip.NextHop) string {
 // power, throughput, backlog, control-plane activity, journaled-recovery
 // progress (cumulative replays+rollbacks and currently degraded networks,
 // both zero without the chaos stressor), the governor's active cap and
-// ladder rung (both zero when ungoverned), then one availability column per
-// network.
+// ladder rung (both zero when ungoverned), the slice's attributed energy
+// (dynamic and static Joules plus joules per forwarded bit, all zero when
+// no meter is attached), then one availability column per network.
 func SeriesColumns(k int) []string {
-	cols := []string{"power_w", "throughput_gbps", "backlog_pkts", "scrubs_active", "updates_active", "recoveries", "degraded_vns", "cap_w", "gov_rung"}
+	cols := []string{"power_w", "throughput_gbps", "backlog_pkts", "scrubs_active", "updates_active", "recoveries", "degraded_vns", "cap_w", "gov_rung", "dyn_j", "static_j", "j_per_bit"}
 	for vn := 0; vn < k; vn++ {
 		cols = append(cols, fmt.Sprintf("avail_vn%02d", vn))
 	}
@@ -135,9 +139,10 @@ func (t *Telemetry) InitSeries(k int) {
 
 // AppendSlice records one slice row (and mirrors it into the live gauges).
 // cycle is the slice's start; capW and rung are the governor's active cap
-// and observed ladder rung (zero when ungoverned); avail may be nil for
-// "all networks up".
-func (t *Telemetry) AppendSlice(k int, cycle int64, powerW, gbps float64, backlog, scrubs, updates, recoveries, degraded int, capW, rung float64, avail []bool) {
+// and observed ladder rung (zero when ungoverned); dynJ/staticJ/jPerBit are
+// the slice's attributed energy (zero when no meter is attached); avail may
+// be nil for "all networks up".
+func (t *Telemetry) AppendSlice(k int, cycle int64, powerW, gbps float64, backlog, scrubs, updates, recoveries, degraded int, capW, rung, dynJ, staticJ, jPerBit float64, avail []bool) {
 	obsSlicePowerW.Set(powerW)
 	obsSliceGbps.Set(gbps)
 	obsBacklogPkts.SetInt(int64(backlog))
@@ -147,12 +152,15 @@ func (t *Telemetry) AppendSlice(k int, cycle int64, powerW, gbps float64, backlo
 	obsDegradedVNs.SetInt(int64(degraded))
 	obsSliceCapW.Set(capW)
 	obsSliceGovRung.Set(rung)
+	obsSliceDynJ.Set(dynJ)
+	obsSliceStaticJ.Set(staticJ)
+	obsSliceJPerBit.Set(jPerBit)
 	if t.Series == nil {
 		return
 	}
-	vals := make([]float64, 0, 9+k)
+	vals := make([]float64, 0, 12+k)
 	vals = append(vals, powerW, gbps, float64(backlog), float64(scrubs), float64(updates),
-		float64(recoveries), float64(degraded), capW, rung)
+		float64(recoveries), float64(degraded), capW, rung, dynJ, staticJ, jPerBit)
 	for vn := 0; vn < k; vn++ {
 		up := 1.0
 		if avail != nil && !avail[vn] {
