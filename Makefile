@@ -4,7 +4,7 @@
 #   make bench      = every benchmark with allocation counts
 GO ?= go
 
-.PHONY: all build test race race-faults race-updates race-obs race-governor race-scenarios race-chaos race-energy telemetry-smoke governor-smoke scenario-smoke chaos-smoke energy-smoke fuzz-smoke fuzz-batch-smoke vet vuln bench bench-gate bench-baseline
+.PHONY: all build test race race-faults race-updates race-obs race-governor race-scenarios race-chaos race-energy race-fleet telemetry-smoke governor-smoke scenario-smoke chaos-smoke energy-smoke fleet-smoke fuzz-smoke fuzz-batch-smoke vet vuln bench bench-gate bench-baseline
 
 all: build test
 
@@ -175,6 +175,49 @@ energy-smoke:
 	grep -q 'Per-VNID dynamic energy' energy-smoke/report.txt
 	grep -q 'Energy per forwarded bit' energy-smoke/report.txt
 	head -1 energy-smoke/timeseries.csv | grep -q 'dyn_j,static_j,j_per_bit'
+
+# Race-detector pass focused on the fleet failure-domain layer: placement
+# and failover control, the device-scale fault injector, the fleet scenario
+# kernel, and the spec grammar feeding them, over the sweep pool.
+race-fleet:
+	$(GO) test -race ./internal/fleet/... ./internal/faults/... ./internal/netsim/... ./internal/scenario/... ./internal/sweep/...
+
+# Fleet smoke run: the N+1-spare failover flagship — eight networks packed
+# over two devices plus a dark spare, BOTH actives crashed in sequence
+# (first crash's victims live-migrate to the survivor, then the survivor
+# dies too and the spare powers up to take the whole fleet), two flaky
+# reconfigurers (retry/backoff ladder) and a brownout window in ONE run —
+# executed at -j1 and -j8 and byte-compared, then grepped for the failover
+# lifecycle: the crashes, the spare power-up, a failed-and-retried install,
+# the journaled landing and its invariant audit, ending with every network
+# recovered (no vn_degraded). Dumps land in fleet-smoke/ (CI uploads the
+# directory as an artifact). lookupsim exits nonzero if any post-migration
+# audit probe misforwards, so the smoke also gates drop-never-misforward
+# under failover.
+FLEET_SPEC = load=const:0.4,fleet=2:spare=1,chaos=devcrash:2+flaky:2+brownout:1,cycles=65536,queue=32,seed=2
+fleet-smoke:
+	mkdir -p fleet-smoke
+	$(GO) run ./cmd/lookupsim -scheme VS -k 8 -j 1 \
+		-scenario $(FLEET_SPEC) \
+		-timeseries-out fleet-smoke/timeseries.csv \
+		-events-out fleet-smoke/events.jsonl \
+		> fleet-smoke/report.txt
+	$(GO) run ./cmd/lookupsim -scheme VS -k 8 -j 8 \
+		-scenario $(FLEET_SPEC) \
+		-timeseries-out fleet-smoke/timeseries-j8.csv \
+		-events-out fleet-smoke/events-j8.jsonl \
+		> fleet-smoke/report-j8.txt
+	cmp fleet-smoke/report.txt fleet-smoke/report-j8.txt
+	cmp fleet-smoke/timeseries.csv fleet-smoke/timeseries-j8.csv
+	cmp fleet-smoke/events.jsonl fleet-smoke/events-j8.jsonl
+	grep -q 'load + fleet + chaos' fleet-smoke/report.txt
+	grep -q 'Completed.*true' fleet-smoke/report.txt
+	grep -q device_crash fleet-smoke/events.jsonl
+	grep -q spare_powerup fleet-smoke/events.jsonl
+	grep -q migration_fail fleet-smoke/events.jsonl
+	grep -q migration_commit fleet-smoke/events.jsonl
+	grep -q invariant_audit fleet-smoke/events.jsonl
+	! grep -q vn_degraded fleet-smoke/events.jsonl
 
 # Short deterministic fuzz pass over the operator-facing spec parser (the
 # full corpus run is `go test -fuzz=FuzzParse ./internal/scenario`).

@@ -24,7 +24,7 @@
 //
 //	lookupsim -scheme VM -k 4 -packets 10000 [-prefixes 1000] [-share 0.5]
 //	          [-dist uniform|zipf] [-routed] [-frames] [-load 0.5]
-//	          [-scenario load=...,faults=...,kill=...,churn=...,chaos=...,power-cap=...]
+//	          [-scenario load=...,faults=...,kill=...,churn=...,chaos=...,fleet=N:spare=M,power-cap=...]
 //	          [-faults] [-fault-seed 1] [-seu-rate 1e-8]
 //	          [-kill-engine N -kill-cycle C] [-reconfig-failures N]
 //	          [-mttr-report]
@@ -189,7 +189,7 @@ func main() {
 	flag.BoolVar(&o.routed, "routed", true, "draw destinations from the routed space")
 	flag.BoolVar(&o.frames, "frames", false, "drive the full frame path (parse -> lookup -> edit) instead of bare lookups")
 	flag.Float64Var(&o.load, "load", 0, "per-VN offered load for an open-loop run (0 = closed-loop batch)")
-	flag.StringVar(&o.scenario, "scenario", "", "composed scenario spec: comma-separated key=value stressors (load=, faults=, kill=, churn=, chaos=, power-cap=, ...; see docs/CLI.md)")
+	flag.StringVar(&o.scenario, "scenario", "", "composed scenario spec: comma-separated key=value stressors (load=, faults=, kill=, churn=, chaos=, fleet=, power-cap=, ...; see docs/CLI.md)")
 	flag.BoolVar(&o.faults, "faults", false, "run the fault-injection experiment (SEUs, detection, scrubbing)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the fault schedule (independent of -seed)")
 	flag.Float64Var(&o.seuRate, "seu-rate", 1e-8, "SEU probability per data bit per cycle")
@@ -444,6 +444,55 @@ func dispatch(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme, r 
 // always, plus time-at-tier and per-VNID degradation when detailed. All
 // numbers come from the deterministic Report, so the output is byte-
 // identical at any -j.
+// printFleet renders the fleet stressor's section: per-device placement and
+// end state, the crash schedule, every migration's lifecycle (attempts,
+// retargets, MTTR), the degraded networks, and the post-install invariant
+// audits.
+func printFleet(f *netsim.FleetReport) {
+	t := report.NewTable(
+		fmt.Sprintf("Fleet stressor: %d devices + %d spares", f.Devices, f.Spares),
+		"Quantity", "Value")
+	t.AddF("Migrations planned / landed / attempts / failed attempts",
+		fmt.Sprintf("%d / %d / %d / %d",
+			len(f.Migrations), f.MigrationsDone, f.MigrationAttempts, f.MigrationFailures))
+	t.AddF("Mean MTTR (cycles)", fmt.Sprintf("%.1f", f.MeanMTTRCycles()))
+	t.AddF("Spares activated", f.SpareActivations)
+	t.AddF("Networks degraded", len(f.Degraded))
+	t.AddF("Invariant audits / probes / faulted / mismatches",
+		fmt.Sprintf("%d / %d / %d / %d", f.Audits, f.AuditProbes, f.AuditFaulted, f.AuditMismatches))
+	fmt.Println(t.String())
+
+	dt := report.NewTable("Fleet devices", "Device", "State", "Scheme", "Placed VNs", "Final VNs", "Est W", "Browned cycles")
+	for _, d := range f.PerDevice {
+		dt.AddF(d.Device, d.State, d.Scheme,
+			fmt.Sprintf("%v", d.PlacedVNs), fmt.Sprintf("%v", d.VNs),
+			fmt.Sprintf("%.2f", d.EstWatts), d.BrownedCycles)
+	}
+	fmt.Println(dt.String())
+
+	if len(f.Migrations) > 0 {
+		mt := report.NewTable("Fleet migrations",
+			"VN", "From", "To", "Scheme", "Crashed", "Committed", "MTTR", "Attempts", "Failed", "Retargets", "Writes")
+		for _, m := range f.Migrations {
+			committed, mttr := "-", "-"
+			if m.CommittedAt >= 0 {
+				committed = fmt.Sprintf("%d", m.CommittedAt)
+				mttr = fmt.Sprintf("%d", m.MTTRCycles)
+			}
+			mt.AddF(m.VN, m.From, m.To, m.ToScheme, m.CrashedAt, committed, mttr,
+				m.Attempts, m.FailedAttempts, m.Retargets, m.Writes)
+		}
+		fmt.Println(mt.String())
+	}
+	if len(f.Degraded) > 0 {
+		gt := report.NewTable("Fleet degraded networks", "VN", "At", "Reason")
+		for _, d := range f.Degraded {
+			gt.AddF(d.VN, d.At, d.Reason)
+		}
+		fmt.Println(gt.String())
+	}
+}
+
 func printGovernor(g *governor.Report, detailed bool) {
 	t := report.NewTable(
 		fmt.Sprintf("Power governor: cap %.2f W fleet / %.2f W device, lift cycle %d",
@@ -812,6 +861,10 @@ func runScenario(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme,
 		fmt.Println(xt.String())
 	}
 
+	if rep.Fleet != nil {
+		printFleet(rep.Fleet)
+	}
+
 	if rep.Governor != nil {
 		printGovernor(rep.Governor, o.governorReport)
 	}
@@ -824,6 +877,9 @@ func runScenario(sys *netsim.System, gen *traffic.Generator, scheme core.Scheme,
 	}
 	if rep.Chaos != nil && rep.Chaos.AuditMismatches != 0 {
 		return fmt.Errorf("%d invariant-audit probes misforwarded after recovery", rep.Chaos.AuditMismatches)
+	}
+	if rep.Fleet != nil && rep.Fleet.AuditMismatches != 0 {
+		return fmt.Errorf("%d invariant-audit probes misforwarded after migration", rep.Fleet.AuditMismatches)
 	}
 	if !rep.Completed {
 		return fmt.Errorf("run ended with repairs, updates or backlogs outstanding")

@@ -30,4 +30,15 @@ var (
 	// ErrUpdateFinished marks a Commit or journal mutation on an operation
 	// that already committed or aborted.
 	ErrUpdateFinished = errors.New("operation already finished")
+	// ErrMigrationTimeout marks a live migration whose bounded retry budget
+	// or deadline ran out; the victim network enters degraded mode instead
+	// of retrying forever.
+	ErrMigrationTimeout = errors.New("migration retry budget exhausted")
+	// ErrNoCapacity marks a placement or failover decision that found no
+	// surviving device with engine slots and power headroom for the network.
+	ErrNoCapacity = errors.New("no device capacity for network")
+	// ErrDeviceLost marks an operation aimed at a device that crashed (or
+	// crashed mid-operation): the work is void and must be re-planned
+	// against the surviving fleet.
+	ErrDeviceLost = errors.New("target device lost")
 )

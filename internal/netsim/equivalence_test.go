@@ -166,6 +166,25 @@ func equivalenceCases() []equivalenceCase {
 			}
 			return dumpJSON(t, rep)
 		}},
+		{"scenario_fleet", func(t *testing.T, tel *Telemetry) string {
+			// Fleet failure domains: four networks bin-packed over two devices
+			// plus a dark spare, one device crash mid-run, a flaky reconfig
+			// target exercising the retry/backoff ladder, and a brownout
+			// window — every victim re-placed by live migration.
+			s, _ := buildSystem(t, core.VS, 4)
+			s.SetTelemetry(tel)
+			defer s.SetTelemetry(nil)
+			spec, err := scenario.Parse(
+				"load=const:0.4,fleet=2:spare=1,chaos=devcrash:1+flaky:2+brownout:1,cycles=16384,queue=32,seed=11")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := s.RunScenario(faultGen(t, s, 17), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return dumpJSON(t, rep)
+		}},
 	}
 }
 

@@ -100,6 +100,10 @@ type ScenarioReport struct {
 	// chaos=): injected faults, journal recoveries, watchdog ladder
 	// accounting and post-recovery invariant audits.
 	Chaos *ChaosReport
+	// Fleet is the multi-device section (nil without fleet=): placement,
+	// device lifecycle, failover migrations and their audits. The omitempty
+	// tag keeps single-device reports (and their goldens) byte-unchanged.
+	Fleet *FleetReport `json:",omitempty"`
 	// Completed reports that every queue, in-flight lookup, repair and
 	// batch finished inside the drain bound.
 	Completed bool
@@ -797,6 +801,11 @@ func (r *scenRun) RunSlice(b, n int64, live bool) (scenario.SliceStats, error) {
 // The report is a pure function of the spec and the generator's seed —
 // byte-identical at any -j.
 func (s *System) RunScenario(gen *traffic.Generator, spec scenario.Spec) (ScenarioReport, error) {
+	if spec.Fleet != nil {
+		// Fleet runs re-place the networks over their own per-device
+		// routers; the single-router path below does not apply.
+		return s.runFleetScenario(gen, spec)
+	}
 	scheme := s.router.Config().Scheme
 	if spec.Churn != nil && spec.Churn.TargetVN >= s.k {
 		return ScenarioReport{}, fmt.Errorf("netsim: churn target network %d outside [0,%d)", spec.Churn.TargetVN, s.k)

@@ -32,6 +32,14 @@ func FuzzParse(f *testing.F) {
 		"kill=0@50000",
 		"=",
 		"a=b=c",
+		"load=const:0.4,fleet=4:spare=1,chaos=devcrash:1+brownout:2+flaky:1",
+		"fleet=2",
+		"fleet=2:spare=0,power-cap=40",
+		"fleet=0",
+		"fleet=2:x=1",
+		"fleet=2,chaos=devcrash:3",
+		"fleet=2,faults=seu:1e-9",
+		"chaos=devcrash:1",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -69,6 +77,25 @@ func FuzzParse(f *testing.F) {
 			if s.Chaos.Stalls+s.Chaos.Torn+s.Chaos.FalsePositives > 0 && s.SEURate <= 0 && s.Kill == nil {
 				t.Fatalf("Parse(%q) accepted scrub chaos without faults/kill", spec)
 			}
+			if s.Chaos.DeviceTotal() > 0 && s.Fleet == nil {
+				t.Fatalf("Parse(%q) accepted device chaos without fleet", spec)
+			}
+		}
+		if s.Fleet != nil {
+			if s.Fleet.Devices < 1 || s.Fleet.Spares < 0 {
+				t.Fatalf("Parse(%q) accepted fleet %+v", spec, s.Fleet)
+			}
+			if s.Chaos != nil {
+				if s.Chaos.CtrlTotal() > 0 {
+					t.Fatalf("Parse(%q) accepted control-plane chaos on a fleet run", spec)
+				}
+				if s.Chaos.DeviceCrashes > s.Fleet.Devices {
+					t.Fatalf("Parse(%q) accepted %d crashes over %d devices", spec, s.Chaos.DeviceCrashes, s.Fleet.Devices)
+				}
+			}
+			if s.SEURate > 0 || s.Kill != nil || s.Churn != nil {
+				t.Fatalf("Parse(%q) accepted single-device stressors on a fleet run: %+v", spec, s)
+			}
 		}
 		// The stressor list must mirror the populated sections.
 		names := map[string]bool{}
@@ -81,6 +108,7 @@ func FuzzParse(f *testing.F) {
 		if names["faults"] != (s.SEURate > 0 || s.Kill != nil) ||
 			names["chaos"] != (s.Chaos != nil) ||
 			names["churn"] != (s.Churn != nil) ||
+			names["fleet"] != (s.Fleet != nil) ||
 			names["power-cap"] != (s.CapW > 0 || s.DeviceCapW > 0) {
 			t.Fatalf("Parse(%q): stressors %v inconsistent with spec %+v", spec, s.Stressors(), s)
 		}

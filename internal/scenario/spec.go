@@ -10,6 +10,8 @@ package scenario
 //	kill=ENGINE@CYCLE        scheduled hard failure of one engine
 //	churn=BATCHESxOPS[:vn=N] hitless route-update batches (round-robin, or pinned)
 //	chaos=KIND:N[+KIND:N..]  control-plane faults (crash, stall, torn, falsepos)
+//	                         or device-scale faults (devcrash, brownout, flaky)
+//	fleet=N[:spare=M]        multi-device run: N active devices plus M dark spares
 //	power-cap=W              fleet-wide governor cap in Watts
 //	power-cap-device=W       per-device governor cap in Watts
 //	cycles=N                 offered-traffic window (default 32768)
@@ -17,8 +19,11 @@ package scenario
 //	queue=N                  per-network ingress queue capacity (default 64)
 //	seed=N                   load-shape default seed offset (default 1)
 //
-// Every value is validated at parse time with a specific error; a Spec that
-// parses is runnable.
+// Every value is validated at parse time with a specific error naming the
+// offending key and value; a Spec that parses is runnable. fleet= composes
+// with load/chaos (device kinds)/power caps/dimensions only: the per-engine
+// stressors (faults=, kill=, churn=, control-plane chaos kinds) target a
+// single device's engines and are rejected alongside it.
 
 import (
 	"fmt"
@@ -117,20 +122,43 @@ type ChurnSpec struct {
 	TargetVN int
 }
 
-// ChaosSpec schedules control-plane faults: crashes of the hitless updater
-// before its commit, scrub-reload stalls, torn multi-stage writes, and
-// spurious watchdog fires. Crash faults ride the churn stressor's commits;
-// the scrub-side classes ride the faults stressor's reloads.
+// ChaosSpec schedules control-plane faults — crashes of the hitless
+// updater before its commit, scrub-reload stalls, torn multi-stage writes,
+// and spurious watchdog fires — plus the device-scale kinds carried by a
+// fleet run: whole-device crashes, partial brownouts and flaky-reconfig
+// devices. Crash faults ride the churn stressor's commits; the scrub-side
+// classes ride the faults stressor's reloads; the device kinds ride fleet=.
 type ChaosSpec struct {
 	Crashes        int
 	Stalls         int
 	Torn           int
 	FalsePositives int
+	// Device-scale kinds (fleet runs only).
+	DeviceCrashes int
+	Brownouts     int
+	FlakyDevices  int
 }
 
 // Total returns the number of faults the spec injects.
 func (c ChaosSpec) Total() int {
+	return c.Crashes + c.Stalls + c.Torn + c.FalsePositives + c.DeviceTotal()
+}
+
+// DeviceTotal counts the device-scale kinds (fleet carriers).
+func (c ChaosSpec) DeviceTotal() int {
+	return c.DeviceCrashes + c.Brownouts + c.FlakyDevices
+}
+
+// CtrlTotal counts the control-plane kinds (churn/faults carriers).
+func (c ChaosSpec) CtrlTotal() int {
 	return c.Crashes + c.Stalls + c.Torn + c.FalsePositives
+}
+
+// FleetSpec sizes a multi-device run: Devices active devices take the
+// initial placement; Spares stay powered down until a failover wakes them.
+type FleetSpec struct {
+	Devices int
+	Spares  int
 }
 
 // Spec is one parsed scenario: which stressors run and how they are shaped.
@@ -142,6 +170,7 @@ type Spec struct {
 	Kill    *KillSpec
 	Churn   *ChurnSpec
 	Chaos   *ChaosSpec
+	Fleet   *FleetSpec
 	// CapW / DeviceCapW configure the power-envelope governor; both zero
 	// runs ungoverned (unless the harness has a governor attached).
 	CapW       float64
@@ -157,6 +186,9 @@ type Spec struct {
 // Stressors lists the active stressor names, for reports and logs.
 func (s Spec) Stressors() []string {
 	names := []string{"load"}
+	if s.Fleet != nil {
+		names = append(names, "fleet")
+	}
 	if s.SEURate > 0 || s.Kill != nil {
 		names = append(names, "faults")
 	}
@@ -235,7 +267,7 @@ func parseLoad(v string) (LoadShape, error) {
 				l.Len, err = parseInt("load", args[3])
 			}
 			if err == nil && (l.Start < 0 || l.Len < 1) {
-				return l, fmt.Errorf("scenario: load=surge window [%d,+%d) invalid, want start >= 0 and len >= 1", l.Start, l.Len)
+				return l, fmt.Errorf("scenario: load=%q: surge window [%d,+%d) invalid, want start >= 0 and len >= 1", v, l.Start, l.Len)
 			}
 		default:
 			return l, fmt.Errorf("scenario: load=surge takes 0, 2 or 4 arguments, got %d (grammar: %s)",
@@ -251,10 +283,10 @@ func parseLoad(v string) (LoadShape, error) {
 		}
 		l.Duty = num(2)
 		if err == nil && l.Period < 1 {
-			return l, fmt.Errorf("scenario: load=burst period %d, want >= 1", l.Period)
+			return l, fmt.Errorf("scenario: load=%q: burst period %d, want >= 1", v, l.Period)
 		}
 		if err == nil && (l.Duty <= 0 || l.Duty > 1) {
-			return l, fmt.Errorf("scenario: load=burst duty %g outside (0,1]", l.Duty)
+			return l, fmt.Errorf("scenario: load=%q: burst duty %g outside (0,1]", v, l.Duty)
 		}
 	case LoadRamp:
 		if err := want(2); err != nil {
@@ -262,14 +294,14 @@ func parseLoad(v string) (LoadShape, error) {
 		}
 		l.P0, l.P1 = num(0), num(1)
 	default:
-		return l, fmt.Errorf("scenario: unknown load shape %q (want saturate, const, surge, burst or ramp)", l.Kind)
+		return l, fmt.Errorf("scenario: load=%q: unknown load shape %q (want saturate, const, surge, burst or ramp)", v, l.Kind)
 	}
 	if err != nil {
 		return l, err
 	}
 	for _, p := range []float64{l.P0, l.P1} {
 		if p < 0 || p > 1 {
-			return l, fmt.Errorf("scenario: load probability %g outside [0,1]", p)
+			return l, fmt.Errorf("scenario: load=%q: probability %g outside [0,1]", v, p)
 		}
 	}
 	return l, nil
@@ -319,7 +351,7 @@ func Parse(spec string) (Spec, error) {
 			return s, fmt.Errorf("scenario: %q is not key=value", item)
 		}
 		if seen[key] {
-			return s, fmt.Errorf("scenario: duplicate key %q", key)
+			return s, fmt.Errorf("scenario: duplicate key %q (second value %q)", key, val)
 		}
 		seen[key] = true
 		var err error
@@ -333,7 +365,7 @@ func Parse(spec string) (Spec, error) {
 			}
 			s.SEURate, err = parseFloat("faults", rate)
 			if err == nil && (s.SEURate <= 0 || s.SEURate >= 1) {
-				return s, fmt.Errorf("scenario: SEU rate %g outside (0,1) per bit-cycle", s.SEURate)
+				return s, fmt.Errorf("scenario: faults=%q: SEU rate %g outside (0,1) per bit-cycle", val, s.SEURate)
 			}
 		case "kill":
 			e, c, found := strings.Cut(val, "@")
@@ -345,7 +377,7 @@ func Parse(spec string) (Spec, error) {
 				cyc, err = parseInt("kill", c)
 			}
 			if err == nil && (eng < 0 || cyc < 0) {
-				return s, fmt.Errorf("scenario: kill of engine %d at cycle %d, want both >= 0", eng, cyc)
+				return s, fmt.Errorf("scenario: kill=%q: engine %d at cycle %d, want both >= 0", val, eng, cyc)
 			}
 			s.Kill = &KillSpec{Engine: int(eng), Cycle: cyc}
 		case "churn":
@@ -359,54 +391,56 @@ func Parse(spec string) (Spec, error) {
 				ops, err = parseInt("churn", o)
 			}
 			if err == nil && (batches < 1 || ops < 1) {
-				return s, fmt.Errorf("scenario: churn of %d batches x %d ops, want both >= 1", batches, ops)
+				return s, fmt.Errorf("scenario: churn=%q: %d batches x %d ops, want both >= 1", val, batches, ops)
 			}
 			c := &ChurnSpec{Batches: int(batches), Ops: int(ops), TargetVN: -1}
 			if hasVN && err == nil {
 				n, ok := strings.CutPrefix(vnPart, "vn=")
 				if !ok {
-					return s, fmt.Errorf("scenario: churn option %q, want vn=N", vnPart)
+					return s, fmt.Errorf("scenario: churn=%q: option %q, want vn=N", val, vnPart)
 				}
 				var vn int64
 				if vn, err = parseInt("churn", n); err == nil && vn < 0 {
-					return s, fmt.Errorf("scenario: churn vn %d, want >= 0", vn)
+					return s, fmt.Errorf("scenario: churn=%q: vn %d, want >= 0", val, vn)
 				}
 				c.TargetVN = int(vn)
 			}
 			s.Churn = c
 		case "chaos":
 			s.Chaos, err = parseChaos(val)
+		case "fleet":
+			s.Fleet, err = parseFleet(val)
 		case "power-cap":
 			s.CapW, err = parseFloat("power-cap", val)
 			if err == nil && s.CapW <= 0 {
-				return s, fmt.Errorf("scenario: power-cap %g W, want > 0", s.CapW)
+				return s, fmt.Errorf("scenario: power-cap=%q: %g W, want > 0", val, s.CapW)
 			}
 		case "power-cap-device":
 			s.DeviceCapW, err = parseFloat("power-cap-device", val)
 			if err == nil && s.DeviceCapW <= 0 {
-				return s, fmt.Errorf("scenario: power-cap-device %g W, want > 0", s.DeviceCapW)
+				return s, fmt.Errorf("scenario: power-cap-device=%q: %g W, want > 0", val, s.DeviceCapW)
 			}
 		case "cycles":
 			s.Cycles, err = parseInt("cycles", val)
 			if err == nil && s.Cycles < 1 {
-				return s, fmt.Errorf("scenario: cycles=%d, want >= 1", s.Cycles)
+				return s, fmt.Errorf("scenario: cycles=%q: %d, want >= 1", val, s.Cycles)
 			}
 		case "slice":
 			s.Slice, err = parseInt("slice", val)
 			if err == nil && s.Slice < 1 {
-				return s, fmt.Errorf("scenario: slice=%d, want >= 1", s.Slice)
+				return s, fmt.Errorf("scenario: slice=%q: %d, want >= 1", val, s.Slice)
 			}
 		case "queue":
 			var q int64
 			q, err = parseInt("queue", val)
 			if err == nil && q < 1 {
-				return s, fmt.Errorf("scenario: queue=%d, want >= 1", q)
+				return s, fmt.Errorf("scenario: queue=%q: %d, want >= 1", val, q)
 			}
 			s.Queue = int(q)
 		case "seed":
 			s.Seed, err = parseInt("seed", val)
 		default:
-			return s, fmt.Errorf("scenario: unknown key %q (want load, faults, kill, churn, chaos, power-cap, power-cap-device, cycles, slice, queue or seed)", key)
+			return s, fmt.Errorf("scenario: unknown key %q (value %q; want load, faults, kill, churn, chaos, fleet, power-cap, power-cap-device, cycles, slice, queue or seed)", key, val)
 		}
 		if err != nil {
 			return s, err
@@ -415,33 +449,83 @@ func Parse(spec string) (Spec, error) {
 	if s.Kill != nil && s.Kill.Cycle >= s.Cycles {
 		return s, fmt.Errorf("scenario: kill at cycle %d is past the %d-cycle run", s.Kill.Cycle, s.Cycles)
 	}
+	if s.Fleet != nil {
+		// Fleet runs re-place networks across devices, so the per-engine
+		// stressors (which name one device's engines) cannot compose with
+		// them; reject at parse time rather than run as a silent no-op.
+		switch {
+		case s.SEURate > 0 || s.Kill != nil:
+			return s, fmt.Errorf("scenario: fleet=%d: faults=/kill= target a single device's engines and cannot compose with a fleet run", s.Fleet.Devices)
+		case s.Churn != nil:
+			return s, fmt.Errorf("scenario: fleet=%d: churn= targets a single device's engines and cannot compose with a fleet run", s.Fleet.Devices)
+		}
+		if s.Chaos != nil && s.Chaos.CtrlTotal() > 0 {
+			return s, fmt.Errorf("scenario: fleet=%d: control-plane chaos kinds (crash, stall, torn, falsepos) ride churn/faults; a fleet run takes devcrash, brownout or flaky", s.Fleet.Devices)
+		}
+		if s.Chaos != nil && s.Chaos.DeviceCrashes > s.Fleet.Devices {
+			return s, fmt.Errorf("scenario: chaos devcrash:%d over fleet=%d devices, want distinct victims", s.Chaos.DeviceCrashes, s.Fleet.Devices)
+		}
+	}
 	if s.Chaos != nil {
 		// Chaos faults ride other stressors' operations: crashes need
 		// hitless commits to crash, scrub-side faults need reloads to
-		// molest. Validate the composition so a chaos spec with no carrier
-		// fails at parse time, not as a silent no-op run.
+		// molest, device kinds need a fleet. Validate the composition so a
+		// chaos spec with no carrier fails at parse time, not as a silent
+		// no-op run.
 		if s.Chaos.Crashes > 0 && s.Churn == nil {
 			return s, fmt.Errorf("scenario: chaos crash faults need churn= (crashes hit hitless commits)")
 		}
 		if s.Chaos.Stalls+s.Chaos.Torn+s.Chaos.FalsePositives > 0 && s.SEURate <= 0 && s.Kill == nil {
 			return s, fmt.Errorf("scenario: chaos stall/torn/falsepos faults need faults= or kill= (they hit scrub reloads)")
 		}
+		if s.Chaos.DeviceTotal() > 0 && s.Fleet == nil {
+			return s, fmt.Errorf("scenario: chaos devcrash/brownout/flaky faults need fleet= (they hit whole devices)")
+		}
 	}
 	return s, nil
 }
 
-// parseChaos parses chaos=KIND:N[+KIND:N...] with kinds crash, stall, torn
-// and falsepos.
+// parseFleet parses fleet=N[:spare=M].
+func parseFleet(val string) (*FleetSpec, error) {
+	body, sparePart, hasSpare := strings.Cut(val, ":")
+	n, err := parseInt("fleet", body)
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("scenario: fleet=%q: %d devices, want >= 1", val, n)
+	}
+	f := &FleetSpec{Devices: int(n)}
+	if hasSpare {
+		m, ok := strings.CutPrefix(sparePart, "spare=")
+		if !ok {
+			return nil, fmt.Errorf("scenario: fleet=%q: option %q, want spare=M", val, sparePart)
+		}
+		spares, err := parseInt("fleet", m)
+		if err != nil {
+			return nil, err
+		}
+		if spares < 0 {
+			return nil, fmt.Errorf("scenario: fleet=%q: %d spares, want >= 0", val, spares)
+		}
+		f.Spares = int(spares)
+	}
+	return f, nil
+}
+
+// parseChaos parses chaos=KIND:N[+KIND:N...] with control-plane kinds
+// crash, stall, torn and falsepos, and device-scale kinds devcrash,
+// brownout and flaky.
 func parseChaos(val string) (*ChaosSpec, error) {
 	c := &ChaosSpec{}
 	seen := map[string]bool{}
 	for _, part := range strings.Split(val, "+") {
 		kind, cnt, found := strings.Cut(part, ":")
 		if !found {
-			return nil, fmt.Errorf("scenario: chaos item %q, want KIND:N (kinds: crash, stall, torn, falsepos)", part)
+			return nil, fmt.Errorf("scenario: chaos=%q: item %q, want KIND:N (kinds: crash, stall, torn, falsepos, devcrash, brownout, flaky)", val, part)
 		}
 		if seen[kind] {
-			return nil, fmt.Errorf("scenario: duplicate chaos kind %q", kind)
+			return nil, fmt.Errorf("scenario: chaos=%q: duplicate chaos kind %q", val, kind)
 		}
 		seen[kind] = true
 		n, err := parseInt("chaos", cnt)
@@ -449,7 +533,7 @@ func parseChaos(val string) (*ChaosSpec, error) {
 			return nil, err
 		}
 		if n < 1 {
-			return nil, fmt.Errorf("scenario: chaos %s count %d, want >= 1", kind, n)
+			return nil, fmt.Errorf("scenario: chaos=%q: %s count %d, want >= 1", val, kind, n)
 		}
 		switch kind {
 		case "crash":
@@ -460,8 +544,14 @@ func parseChaos(val string) (*ChaosSpec, error) {
 			c.Torn = int(n)
 		case "falsepos":
 			c.FalsePositives = int(n)
+		case "devcrash":
+			c.DeviceCrashes = int(n)
+		case "brownout":
+			c.Brownouts = int(n)
+		case "flaky":
+			c.FlakyDevices = int(n)
 		default:
-			return nil, fmt.Errorf("scenario: unknown chaos kind %q (want crash, stall, torn or falsepos)", kind)
+			return nil, fmt.Errorf("scenario: chaos=%q: unknown chaos kind %q (want crash, stall, torn, falsepos, devcrash, brownout or flaky)", val, kind)
 		}
 	}
 	return c, nil

@@ -166,6 +166,20 @@ func TestParseErrors(t *testing.T) {
 		{"churn=4x16,chaos=crash:x", "not an integer"},
 		{"churn=4x16,chaos=crash:1+crash:2", `duplicate chaos kind "crash"`},
 		{"churn=4x16,chaos=meteor:1", `unknown chaos kind "meteor"`},
+		{"fleet=0", "0 devices, want >= 1"},
+		{"fleet=x", "not an integer"},
+		{"fleet=2:x=1", `option "x=1", want spare=M`},
+		{"fleet=2:spare=-1", "-1 spares, want >= 0"},
+		{"fleet=2:spare=y", "not an integer"},
+		{"fleet=2,faults=seu:1e-9", "cannot compose with a fleet run"},
+		{"fleet=2,kill=0@100", "cannot compose with a fleet run"},
+		{"fleet=2,churn=4x16", "cannot compose with a fleet run"},
+		{"fleet=2,chaos=crash:1", "a fleet run takes devcrash, brownout or flaky"},
+		{"fleet=2,chaos=devcrash:3", "over fleet=2 devices, want distinct victims"},
+		{"chaos=devcrash:1", "need fleet="},
+		{"chaos=brownout:1", "need fleet="},
+		{"chaos=flaky:1", "need fleet="},
+		{"fleet=2,chaos=devcrash:0", "want >= 1"},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.spec)
@@ -208,6 +222,41 @@ func TestParseChaos(t *testing.T) {
 	// Scrub-side chaos is satisfied by kill= as well as faults=.
 	if _, err := Parse("kill=0@1000,chaos=stall:1"); err != nil {
 		t.Fatalf("stall chaos with kill: %v", err)
+	}
+}
+
+func TestParseFleet(t *testing.T) {
+	s, err := Parse("load=const:0.4,fleet=4:spare=2,chaos=devcrash:1+brownout:2+flaky:1,power-cap=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fleet == nil || s.Fleet.Devices != 4 || s.Fleet.Spares != 2 {
+		t.Fatalf("fleet: %+v", s.Fleet)
+	}
+	c := s.Chaos
+	if c == nil || c.DeviceCrashes != 1 || c.Brownouts != 2 || c.FlakyDevices != 1 {
+		t.Fatalf("chaos: %+v", c)
+	}
+	if c.DeviceTotal() != 4 || c.CtrlTotal() != 0 || c.Total() != 4 {
+		t.Fatalf("chaos totals: device %d ctrl %d total %d", c.DeviceTotal(), c.CtrlTotal(), c.Total())
+	}
+	got := s.Stressors()
+	want := []string{"load", "fleet", "chaos", "power-cap"}
+	if len(got) != len(want) {
+		t.Fatalf("stressors %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stressors %v, want %v", got, want)
+		}
+	}
+	// Spares default to zero; a bare fleet needs no chaos.
+	s, err = Parse("fleet=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fleet.Devices != 2 || s.Fleet.Spares != 0 {
+		t.Fatalf("bare fleet: %+v", s.Fleet)
 	}
 }
 
